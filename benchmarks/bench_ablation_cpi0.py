@@ -1,0 +1,59 @@
+"""Ablation A1: the unbiased cpi0 estimator (Section 2.2, Eq. 2).
+
+The paper replaces Lubeck's biased small-data-set CPI with an adjusted
+estimator that removes the compulsory-miss cycles.  This ablation
+quantifies the bias on all three applications and verifies the adjustment
+moves the estimate toward the workloads' true compute CPI.
+"""
+
+from repro.core.estimators import adjust_cpi0, cpi0_run, fit_t2_tm
+from repro.viz.tables import format_table
+from repro.workloads import Hydro2d, Swim, T3dheat
+
+TRUE_CPI0 = {"t3dheat": T3dheat.cpi0, "hydro2d": Hydro2d.cpi0, "swim": Swim.cpi0}
+
+
+def ablate(campaign, l2_bytes):
+    uniproc = {s: r.without_ground_truth() for s, r in campaign.uniprocessor_runs().items()}
+    small = cpi0_run(uniproc, l2_bytes)
+    biased = small.counters.cpi
+    t2, tm, _ = fit_t2_tm(uniproc, biased, l2_bytes)
+    unbiased = adjust_cpi0(biased, small, t2, tm)
+    return {"biased": biased, "unbiased": unbiased, "run_size": small.size_bytes}
+
+
+def test_ablation_cpi0(benchmark, emit, t3dheat_campaign, hydro2d_campaign, swim_campaign):
+    campaigns = {
+        "t3dheat": t3dheat_campaign,
+        "hydro2d": hydro2d_campaign,
+        "swim": swim_campaign,
+    }
+
+    def run_all():
+        out = {}
+        for name, campaign in campaigns.items():
+            l2 = int(campaign.records[0].machine["l2_bytes"])
+            out[name] = ablate(campaign, l2)
+        return out
+
+    results = benchmark(run_all)
+    rows = [
+        {
+            "app": name,
+            "true cpi0": TRUE_CPI0[name],
+            "biased (Lubeck)": r["biased"],
+            "unbiased (Eq. 2)": r["unbiased"],
+            "bias removed": r["biased"] - r["unbiased"],
+            "cpi0 run size (B)": r["run_size"],
+        }
+        for name, r in results.items()
+    ]
+    emit("ablation_cpi0", format_table(rows, title="A1: biased vs unbiased cpi0"))
+
+    for name, r in results.items():
+        # Eq. 2 never moves the estimate away from the truth
+        true = TRUE_CPI0[name]
+        assert abs(r["unbiased"] - true) <= abs(r["biased"] - true) + 0.02
+        # residual overestimate remains (scale-invariant per-barrier costs
+        # and L1-stall absorption -- documented in EXPERIMENTS.md)
+        assert r["unbiased"] >= true - 0.05

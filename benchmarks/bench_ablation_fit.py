@@ -1,0 +1,80 @@
+"""Ablation A2: the L2-overflow filter on the (t2, tm) regression.
+
+Section 2.3: "we use only data set sizes that overflow the L2 cache when
+we generate the triplets", because tm "varies noticeably depending on
+whether or not the data set size fits in the L2".  This ablation fits
+with and without the filter and compares how well each fit predicts the
+base-size uniprocessor run.
+"""
+
+import pytest
+
+from repro.core.estimators import cpi0_run, fit_t2_tm
+from repro.core.model import cpi_linear
+from repro.viz.tables import format_table
+
+
+def fit_variants(campaign, l2_bytes):
+    uniproc = {s: r.without_ground_truth() for s, r in campaign.uniprocessor_runs().items()}
+    cpi0 = cpi0_run(uniproc, l2_bytes).counters.cpi
+    out = {}
+    for label, overflow_only in (("filtered (paper)", True), ("unfiltered", False)):
+        t2, tm, diag = fit_t2_tm(uniproc, cpi0, l2_bytes, overflow_only=overflow_only)
+        # evaluate: predict the s0 run's CPI from its own (h2, hm)
+        rec = uniproc[max(uniproc)]
+        c = rec.counters
+        predicted = cpi_linear(cpi0, c.h2, c.hm, t2, tm)
+        out[label] = {
+            "t2": t2,
+            "tm": tm,
+            "n_triplets": len(diag["sizes"]),
+            "rms": diag["rms"],
+            "pred_error_at_s0": abs(predicted - c.cpi) / c.cpi,
+        }
+    return out
+
+
+def test_ablation_fit_filter(benchmark, emit, t3dheat_campaign):
+    l2 = int(t3dheat_campaign.records[0].machine["l2_bytes"])
+    results = benchmark(fit_variants, t3dheat_campaign, l2)
+
+    rows = [{"variant": k, **v} for k, v in results.items()]
+    emit("ablation_fit_filter", format_table(rows, title="A2: L2-overflow triplet filter"))
+
+    filt = results["filtered (paper)"]
+    unfilt = results["unfiltered"]
+    # the unfiltered fit pools in-cache sizes whose tm regime differs
+    assert unfilt["n_triplets"] > filt["n_triplets"]
+    # the paper's filter predicts the overflowing base run at least as well
+    assert filt["pred_error_at_s0"] <= unfilt["pred_error_at_s0"] + 0.01
+    assert filt["pred_error_at_s0"] < 0.10
+
+
+def test_ablation_triplet_count(benchmark, emit, t3dheat_campaign):
+    """How many triplets are enough?  The paper uses 'about 3-4'."""
+    l2 = int(t3dheat_campaign.records[0].machine["l2_bytes"])
+    uniproc = {
+        s: r.without_ground_truth() for s, r in t3dheat_campaign.uniprocessor_runs().items()
+    }
+    cpi0 = cpi0_run(uniproc, l2).counters.cpi
+    overflow = sorted(
+        (s for s in uniproc if s >= 1.2 * l2), reverse=True
+    )
+
+    def sweep_counts():
+        out = []
+        for k in range(2, len(overflow) + 1):
+            subset = {s: uniproc[s] for s in overflow[:k]}
+            try:
+                t2, tm, diag = fit_t2_tm(subset, cpi0, l2)
+                out.append({"triplets": k, "t2": t2, "tm": tm, "rms": diag["rms"]})
+            except Exception:
+                continue
+        return out
+
+    rows = benchmark(sweep_counts)
+    emit("ablation_triplet_count", format_table(rows, title="A2b: fit vs triplet count"))
+    assert len(rows) >= 2
+    # with 3+ triplets the fitted tm stabilises (spread under 40%)
+    tms = [r["tm"] for r in rows if r["triplets"] >= 3]
+    assert max(tms) - min(tms) < 0.4 * max(tms)

@@ -1,0 +1,48 @@
+"""Ablation: interconnect topology and the tm(n) growth law (Section 2.6).
+
+The paper's what-if list includes the interconnection network.  This
+ablation measures the memory-latency kernel's mean L2-miss latency across
+topologies and processor counts (round-robin placement so misses really go
+remote), compares against the analytic expectation, and confirms the
+ordering the machine geometry dictates.
+"""
+
+import pytest
+
+from repro.machine.config import origin2000_scaled
+from repro.machine.latency import topology_survey
+from repro.viz.tables import format_table
+
+COUNTS = (2, 8, 32)
+TOPOLOGIES = ("hypercube", "mesh", "ring", "crossbar")
+
+
+@pytest.fixture(scope="module")
+def survey():
+    return topology_survey(
+        origin2000_scaled(n_processors=1),
+        processor_counts=COUNTS,
+        topologies=TOPOLOGIES,
+        kernel_refs=2000,
+        footprint_factor=6,
+    )
+
+
+def test_ablation_topology(benchmark, emit, survey):
+    rows = benchmark(lambda: [p.row() for p in survey])
+    emit(
+        "ablation_topology",
+        format_table(rows, title="tm(n) growth by interconnect topology"),
+    )
+
+    by = {(p.topology, p.n_processors): p for p in survey}
+    # every topology's measured tm grows with machine size
+    for topo in TOPOLOGIES:
+        assert by[(topo, 32)].measured_tm > by[(topo, 2)].measured_tm
+    # at 32 processors, geometry orders the latency: ring worst, crossbar best
+    assert by[("ring", 32)].measured_tm > by[("mesh", 32)].measured_tm
+    assert by[("mesh", 32)].measured_tm >= by[("hypercube", 32)].measured_tm * 0.95
+    assert by[("hypercube", 32)].measured_tm > by[("crossbar", 32)].measured_tm
+    # the analytic first-order model tracks the measurement
+    for p in survey:
+        assert p.measured_tm == pytest.approx(p.analytic_tm, rel=0.8)

@@ -1,0 +1,65 @@
+"""Ablation: a victim buffer vs the insufficient-caching-space bottleneck.
+
+The model's L2Lim cost prices conflict misses at full memory latency; a
+small victim buffer is the classic hardware fix.  This ablation runs
+T3dheat's conflict-bound low-processor-count regime with and without a
+victim buffer and reports how much of the L2Lim cost it recovers — and
+confirms it recovers nothing at high counts, where L2Lim is already gone.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.machine.config import origin2000_scaled
+from repro.machine.system import DsmMachine
+from repro.viz.tables import format_table
+from repro.workloads import T3dheat
+
+VICTIM_ENTRIES = 128
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    wl = T3dheat(iters=2, inner_steps=8)
+    for n in (1, 32):
+        for entries in (0, VICTIM_ENTRIES):
+            cfg = replace(origin2000_scaled(n_processors=n), victim_entries=entries)
+            out[(n, entries)] = DsmMachine(cfg).run(wl, wl.default_size())
+    return out
+
+
+def test_ablation_victim(benchmark, emit, runs):
+    def summarize():
+        rows = []
+        for (n, entries), res in sorted(runs.items()):
+            g = res.ground_truth
+            rows.append(
+                {
+                    "n": n,
+                    "victim entries": entries,
+                    "cycles": res.counters.cycles,
+                    "replacement misses": g.replacement_misses,
+                    "victim hits": g.victim_hits,
+                    "memory stall": g.memory_stall_cycles,
+                }
+            )
+        return rows
+
+    rows = benchmark(summarize)
+    emit("ablation_victim", format_table(rows, title="victim buffer vs conflict misses (T3dheat)"))
+
+    plain1 = runs[(1, 0)]
+    buffered1 = runs[(1, VICTIM_ENTRIES)]
+    plain32 = runs[(32, 0)]
+    buffered32 = runs[(32, VICTIM_ENTRIES)]
+
+    # the buffer touches only latency, never the miss counts
+    assert buffered1.counters.l2_misses == plain1.counters.l2_misses
+    # T3dheat's dominant n=1 pattern is cyclic sweeping, so the recovery is
+    # partial (the gather misses have short reuse; the sweeps do not)
+    assert buffered1.counters.cycles <= plain1.counters.cycles
+    # at n=32 conflicts are gone: the buffer is inert
+    assert buffered32.counters.cycles == pytest.approx(plain32.counters.cycles, rel=0.02)
+    assert buffered32.ground_truth.victim_hits <= buffered1.ground_truth.victim_hits + 1000

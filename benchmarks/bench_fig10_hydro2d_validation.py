@@ -1,0 +1,17 @@
+"""Figure 10: validation of the model for Hydro2d.
+
+Paper: "for 32 processors, the predicted and the measured Base-MP curves
+differ by only 9% of the accumulated cycles of all processors."
+"""
+
+from repro.core.validation import validate_mp
+
+
+def test_fig10(benchmark, emit, hydro2d_analysis, hydro2d_campaign):
+    comparison = benchmark(validate_mp, hydro2d_analysis, hydro2d_campaign, exact=True)
+    emit("fig10_hydro2d_validation", comparison.summary())
+
+    # paper band at 32 processors: 9%; we allow modest slack
+    assert comparison.divergence(32) < 0.15
+    _, worst = comparison.max_divergence()
+    assert worst < 0.25

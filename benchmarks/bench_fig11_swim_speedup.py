@@ -1,0 +1,23 @@
+"""Figure 11: speedups for Swim.
+
+Paper: "the Origin 2000 delivers very good speedups" (~24 at 32
+processors).
+"""
+
+from repro.viz.ascii_chart import ascii_chart
+
+from .conftest import speedup_table
+
+
+def test_fig11(benchmark, emit, swim_analysis):
+    series = benchmark(swim_analysis.curves.speedups)
+    chart = ascii_chart(
+        {"speedup": series, "ideal": [(n, float(n)) for n, _ in series]},
+        title="Figure 11: Swim speedup",
+    )
+    emit("fig11_swim_speedup", chart + "\n\n" + speedup_table(swim_analysis))
+
+    spd = dict(series)
+    assert spd[32] > 20  # very good (paper: ~24)
+    assert spd[16] > 12
+    assert spd[32] < 40  # but not super-linear nonsense

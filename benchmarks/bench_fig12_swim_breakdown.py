@@ -1,0 +1,28 @@
+"""Figure 12: estimation of the scalability bottlenecks in Swim.
+
+Paper: "the Base-L2Lim curve overlaps completely on top of the Base
+curve" (limited caching space negligible); "of the multiprocessor
+effects, load imbalance dominates by far over synchronization".
+"""
+
+from repro.core.report import curves_chart
+
+from .conftest import breakdown_table
+
+
+def test_fig12(benchmark, emit, swim_analysis):
+    rows = benchmark(swim_analysis.curves.rows)
+    emit(
+        "fig12_swim_breakdown",
+        curves_chart(swim_analysis) + "\n\n" + breakdown_table(swim_analysis),
+    )
+
+    c = swim_analysis.curves
+    # caching space: small at 1 (paper: negligible), gone by 16
+    assert c.l2lim_cost[1] / c.base[1] < 0.35
+    assert c.l2lim_cost[16] / c.base[16] < 0.02
+    # imbalance at least matches sync (paper: dominates by far)
+    assert c.imb_cost[32] >= c.sync_cost[32]
+    assert swim_analysis.dominant_bottleneck(32) == "load imbalance"
+    # the MP cost stays a modest share: this is the well-scaling app
+    assert swim_analysis.mp_fraction(32) < 0.6

@@ -1,0 +1,91 @@
+"""Figures 1-2: the model's curve anatomy and CPI breakdown.
+
+Figure 1 sketches the three curves (Base / -L2Lim / -MP) the model
+produces for any application; Figure 2 defines each curve's CPI algebra.
+This bench regenerates both from a synthetic workload with every
+bottleneck knob turned on, and asserts the structural relations of the
+figures: curve ordering, the L2Lim gap shrinking with n, the MP gap
+growing with n, and curve c's (1 - frac_syn - frac_imb) * cpi_infinf
+construction.
+"""
+
+import pytest
+
+from repro.core import ScalTool
+from repro.runner import CampaignConfig
+from repro.runner.cache import cached_campaign
+from repro.viz.ascii_chart import ascii_chart
+from repro.viz.tables import format_table
+from repro.workloads import SyntheticWorkload
+
+
+@pytest.fixture(scope="module")
+def synthetic_analysis():
+    wl = SyntheticWorkload(
+        iters=4, barriers_per_iter=4, imbalance_amp=0.25, serial_frac=0.03, refs_per_block=6
+    )
+    cfg = CampaignConfig(s0=wl.default_size(), processor_counts=(1, 2, 4, 8, 16, 32))
+    campaign = cached_campaign(wl, cfg)
+    return ScalTool(campaign).analyze(), campaign
+
+
+def curve_series(analysis):
+    c = analysis.curves
+    return {
+        "Base": [(n, c.base[n]) for n in c.processor_counts],
+        "-L2Lim": [(n, c.base_minus_l2lim[n]) for n in c.processor_counts],
+        "-L2Lim-MP": [(n, c.base_minus_l2lim_mp[n]) for n in c.processor_counts],
+    }
+
+
+def test_fig1_curve_anatomy(benchmark, emit, synthetic_analysis):
+    analysis, _ = synthetic_analysis
+    series = benchmark(curve_series, analysis)
+    chart = ascii_chart(series, title="Figure 1: execution under real and estimated conditions",
+                        y_label="cycles")
+    emit("fig1_model_curves", chart)
+
+    c = analysis.curves
+    counts = c.processor_counts
+    # Figure 1's shape: L2Lim matters at low n and fades; MP starts at zero
+    # and grows with n.
+    l2lim_frac = {n: c.l2lim_cost[n] / c.base[n] for n in counts}
+    mp_frac = {n: c.mp_cost(n) / c.base[n] for n in counts}
+    assert l2lim_frac[1] > l2lim_frac[32]
+    assert mp_frac[1] < 0.05
+    assert mp_frac[32] > mp_frac[2]
+    for n in counts:
+        assert c.base[n] >= c.base_minus_l2lim[n] >= c.base_minus_l2lim_mp[n]
+
+
+def test_fig2_cpi_breakdown(benchmark, emit, synthetic_analysis):
+    analysis, campaign = synthetic_analysis
+
+    def breakdown():
+        rows = []
+        for n in analysis.curves.processor_counts:
+            inst = analysis.curves.instructions[n]
+            fs = analysis.sync.frac_syn(n)
+            fi = analysis.sync.frac_imb(n)
+            rows.append(
+                {
+                    "n": n,
+                    "cpi(s0,n)*inst": analysis.curves.base[n],
+                    "cpi_inf*inst": analysis.curves.base_minus_l2lim[n],
+                    "cpi_infinf*(1-fs-fi)*inst": analysis.curves.base_minus_l2lim_mp[n],
+                    "frac_syn": fs,
+                    "frac_imb": fi,
+                }
+            )
+        return rows
+
+    rows = benchmark(breakdown)
+    emit("fig2_cpi_breakdown", format_table(rows, title="Figure 2: CPI-breakdown areas"))
+
+    # Figure 2's identity: curve b minus curve c equals the shaded MP area
+    # (cpi_syn frac_syn + cpi_imb frac_imb) * inst, up to clamping.
+    c = analysis.curves
+    for n in c.processor_counts[1:]:
+        shaded = c.sync_cost[n] + c.imb_cost[n]
+        gap = c.base_minus_l2lim[n] - c.base_minus_l2lim_mp[n]
+        assert gap == pytest.approx(shaded, rel=0.15, abs=0.02 * c.base[n])

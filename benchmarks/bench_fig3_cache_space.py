@@ -1,0 +1,68 @@
+"""Figure 3: removing the effects of insufficient caching space.
+
+(a) the uniprocessor L2 hit rate as the data set shrinks — low on the
+left (conflict misses), rising to the compulsory plateau;
+(b) the estimated infinite-L2 hit rate L2hitr_inf(s0, n) vs the measured
+multiprocessor hit rate — starting above it (conflicts) and converging at
+high n while coherence misses pull it down.
+"""
+
+import pytest
+
+from repro.core.cache_analysis import compulsory_miss_rate, hit_rate_curve
+from repro.viz.ascii_chart import ascii_chart
+from repro.viz.tables import format_table
+
+
+def test_fig3a_hit_rate_vs_size(benchmark, emit, t3dheat_campaign):
+    uniproc = t3dheat_campaign.uniprocessor_runs()
+    curve = benchmark(hit_rate_curve, uniproc)
+    compulsory = compulsory_miss_rate(uniproc)
+
+    rows = [{"size (KB)": s / 1024, "L2hitr(s,1)": hr} for s, hr in curve]
+    text = format_table(rows, title="Figure 3-(a): uniprocessor L2 hit rate vs data-set size")
+    text += f"\ncompulsory miss rate (plateau): {compulsory:.4f}"
+    emit("fig3a_hitrate_vs_size", text)
+
+    hit = dict(curve)
+    sizes = sorted(hit)
+    # left side (large data sets): low hit rate from conflict misses
+    assert hit[sizes[-1]] < 0.5
+    # plateau: some small size reaches near the maximum
+    assert max(hit.values()) > 0.85
+    # the maximum is NOT at the largest size
+    assert max(hit, key=hit.get) < sizes[-1]
+
+
+def test_fig3b_l2hitr_inf_vs_n(benchmark, emit, t3dheat_analysis):
+    cache = t3dheat_analysis.cache
+
+    def series():
+        counts = sorted(cache.measured_l2hitr_by_n)
+        return {
+            "L2hitr_inf(s0,n)": [(n, cache.l2hitr_inf(n)) for n in counts],
+            "L2hitr(s0,n) measured": [(n, cache.measured_l2hitr_by_n[n]) for n in counts],
+        }
+
+    data = benchmark(series)
+    chart = ascii_chart(data, title="Figure 3-(b): infinite-L2 vs measured hit rate",
+                        y_label="hit rate")
+    rows = [
+        {
+            "n": n,
+            "measured": cache.measured_l2hitr_by_n[n],
+            "Coh(s0,n)": cache.coherence_by_n[n],
+            "L2hitr_inf": cache.l2hitr_inf(n),
+            "conflict": cache.conflict_rate(n),
+        }
+        for n in sorted(cache.measured_l2hitr_by_n)
+    ]
+    emit("fig3b_l2hitr_inf", chart + "\n\n" + format_table(rows))
+
+    counts = sorted(cache.measured_l2hitr_by_n)
+    # at n=1 the estimate sits well above the measurement (conflicts)
+    assert cache.l2hitr_inf(1) > cache.measured_l2hitr_by_n[1] + 0.2
+    # "in the limit, the curves converge"
+    gap_first = cache.l2hitr_inf(counts[0]) - cache.measured_l2hitr_by_n[counts[0]]
+    gap_last = cache.l2hitr_inf(counts[-1]) - cache.measured_l2hitr_by_n[counts[-1]]
+    assert gap_last < 0.25 * gap_first

@@ -1,0 +1,39 @@
+"""Figure 4: cpi_infinf(s0, n) grows with the processor count.
+
+"One major reason is because cpi(inf,inf) depends on tm(n), which itself
+increases with n. Intuitively, the larger machine size induces a longer
+latency on each of the compulsory misses."
+"""
+
+import pytest
+
+from repro.core.bottlenecks import cpi_infinf_by_n
+from repro.viz.ascii_chart import ascii_chart
+from repro.viz.tables import format_table
+
+
+def test_fig4_cpi_infinf_grows(benchmark, emit, t3dheat_analysis, t3dheat_campaign):
+    analysis = t3dheat_analysis
+    base_runs = {
+        n: r.without_ground_truth() for n, r in t3dheat_campaign.base_runs().items()
+    }
+
+    def series():
+        return cpi_infinf_by_n(base_runs, analysis.params, analysis.cache)
+
+    cpi = benchmark(series)
+    counts = sorted(cpi)
+    chart = ascii_chart(
+        {"cpi_infinf(s0,n)": [(n, cpi[n]) for n in counts]},
+        title="Figure 4: CPI with caching space and MP factors removed",
+        y_label="cpi",
+    )
+    rows = [{"n": n, "cpi_infinf": cpi[n], "tm(n)": analysis.params.tm(n)} for n in counts]
+    emit("fig4_cpi_infinf", chart + "\n\n" + format_table(rows))
+
+    # the curve rises with n, driven by tm(n)
+    assert cpi[counts[-1]] > cpi[counts[0]]
+    assert analysis.params.tm(counts[-1]) > analysis.params.tm(counts[0])
+    # and never drops below the compute CPI
+    for n in counts:
+        assert cpi[n] >= analysis.params.cpi0 - 1e-9

@@ -1,0 +1,24 @@
+"""Figure 5: speedups for T3dheat.
+
+Paper: "good speedups up to 16 processors. However, after that, the curve
+saturates" — and the good low-end speedup exists only because extra
+processors bring extra caching space.
+"""
+
+from repro.viz.ascii_chart import ascii_chart
+
+from .conftest import speedup_table
+
+
+def test_fig5(benchmark, emit, t3dheat_analysis):
+    series = benchmark(t3dheat_analysis.curves.speedups)
+    chart = ascii_chart(
+        {"speedup": series, "ideal": [(n, float(n)) for n, _ in series]},
+        title="Figure 5: T3dheat speedup",
+    )
+    emit("fig5_t3dheat_speedup", chart + "\n\n" + speedup_table(t3dheat_analysis))
+
+    spd = dict(series)
+    assert spd[16] > 12  # excellent up to 16
+    assert spd[32] / spd[16] < 1.6  # saturation past 16
+    assert spd[2] > 1.8  # near-linear at the start

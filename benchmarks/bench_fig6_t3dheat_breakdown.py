@@ -1,0 +1,31 @@
+"""Figure 6: estimation of the scalability bottlenecks in T3dheat.
+
+Paper: at 1 processor the limited L2 is "responsible for nearly doubling
+the execution time"; the effect "gradually decreases ... and becomes zero
+at 8 processors"; past that, multiprocessor overheads grow until they are
+"responsible for about 75% of the cycles for 30 processors", and "most of
+the multiprocessor overhead comes from synchronization".
+"""
+
+from repro.core.report import curves_chart
+
+from .conftest import breakdown_table
+
+
+def test_fig6(benchmark, emit, t3dheat_analysis):
+    rows = benchmark(t3dheat_analysis.curves.rows)
+    emit(
+        "fig6_t3dheat_breakdown",
+        curves_chart(t3dheat_analysis) + "\n\n" + breakdown_table(t3dheat_analysis),
+    )
+
+    c = t3dheat_analysis.curves
+    # L2Lim large at n=1 (paper: ~2x; ours: a significant fraction), fading
+    assert c.l2lim_cost[1] / c.base_minus_l2lim[1] > 0.25
+    assert c.l2lim_cost[8] / c.base[8] < 0.10
+    assert c.l2lim_cost[16] / c.base[16] < 0.02
+    # MP dominates at 32 (paper: ~75% at 30)
+    assert t3dheat_analysis.mp_fraction(32) > 0.5
+    # synchronization is the bulk of MP
+    assert c.sync_cost[32] > 2 * c.imb_cost[32]
+    assert t3dheat_analysis.dominant_bottleneck(32) == "synchronization"

@@ -1,0 +1,17 @@
+"""Figure 7: validation of the model for T3dheat.
+
+Paper: speedshop PC sampling of the barrier/wait routines gives an MP
+measurement "remarkably similar" to Scal-Tool's estimate.
+"""
+
+from repro.core.validation import validate_mp
+
+
+def test_fig7(benchmark, emit, t3dheat_analysis, t3dheat_campaign):
+    comparison = benchmark(validate_mp, t3dheat_analysis, t3dheat_campaign, exact=True)
+    emit("fig7_t3dheat_validation", comparison.summary())
+
+    _, worst = comparison.max_divergence()
+    assert worst < 0.10  # "remarkably similar"
+    for n in comparison.processor_counts:
+        assert comparison.estimated_base_minus_mp(n) > 0

@@ -1,0 +1,24 @@
+"""Figure 8: speedups for Hydro2d.
+
+Paper: "the Origin 2000 delivers only modest speedups" (~9 at 32
+processors), throttled by large serial sections / load imbalance.
+"""
+
+from repro.viz.ascii_chart import ascii_chart
+
+from .conftest import speedup_table
+
+
+def test_fig8(benchmark, emit, hydro2d_analysis):
+    series = benchmark(hydro2d_analysis.curves.speedups)
+    chart = ascii_chart(
+        {"speedup": series, "ideal": [(n, float(n)) for n, _ in series]},
+        title="Figure 8: Hydro2d speedup",
+    )
+    emit("fig8_hydro2d_speedup", chart + "\n\n" + speedup_table(hydro2d_analysis))
+
+    spd = dict(series)
+    assert 6 < spd[32] < 20  # modest (paper: ~9)
+    assert spd[32] < 0.6 * 32  # well below linear
+    # sub-linear from early on, unlike T3dheat's cache-boosted start
+    assert spd[4] < 4.5

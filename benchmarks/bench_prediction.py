@@ -1,0 +1,52 @@
+"""Extension: predicting scalability beyond the measured counts.
+
+The paper's future work includes "testing the tool for large numbers of
+processors".  The predictor fits each isolated component's trend on the
+measured 1..32 range and extrapolates: where does T3dheat saturate?  What
+would 64 or 128 processors buy the three applications?  A leave-one-out
+check quantifies the extrapolation error on the measured range itself.
+"""
+
+import pytest
+
+from repro.core.prediction import ScalabilityPredictor
+from repro.viz.tables import format_table
+
+EXTRAPOLATED = [48, 64, 128]
+
+
+def test_prediction(benchmark, emit, t3dheat_analysis, hydro2d_analysis, swim_analysis):
+    analyses = {
+        "t3dheat": t3dheat_analysis,
+        "hydro2d": hydro2d_analysis,
+        "swim": swim_analysis,
+    }
+
+    def run_all():
+        return {name: ScalabilityPredictor(a) for name, a in analyses.items()}
+
+    predictors = benchmark(run_all)
+
+    sections = []
+    for name, pred in predictors.items():
+        rows = pred.rows(list(pred.measured_counts) + EXTRAPOLATED)
+        sections.append(format_table(rows, title=f"{name}: measured + predicted scaling"))
+        loo = pred.leave_one_out()
+        sections.append(format_table(loo, title=f"{name}: leave-one-out validation"))
+        sections.append(f"{name}: predicted saturation at ~{pred.saturation_count()} processors")
+    emit("prediction_scaling", "\n\n".join(sections))
+
+    t3 = predictors["t3dheat"]
+    swim = predictors["swim"]
+    # the barrier-bound app saturates first
+    assert t3.saturation_count() <= swim.saturation_count()
+    # T3dheat's sync share keeps exploding: 128 cpus buy little or negative
+    assert t3.predict_speedup(128) < 2.2 * t3.predict_speedup(32)
+    # the well-scaling app holds its speedup furthest out: saturation no
+    # earlier than the measured edge, and no cliff at 64
+    assert swim.saturation_count() >= 32
+    assert swim.predict_speedup(64) > 0.5 * swim.predict_speedup(32)
+    # leave-one-out error stays moderate on every application
+    for name, pred in predictors.items():
+        for row in pred.leave_one_out():
+            assert row["error"] < 0.5, (name, row)

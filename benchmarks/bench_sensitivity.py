@@ -1,0 +1,25 @@
+"""Extension: sensitivity of the MP estimate to the model's inputs.
+
+The paper concedes the tool gives a *rough* quantification; this bench
+measures the roughness directly by perturbing each estimated input +-10%
+on T3dheat and reporting the elasticity of the 32-processor MP estimate.
+"""
+
+import pytest
+
+from repro.core.sensitivity import analyze_sensitivity
+from repro.viz.tables import format_table
+
+
+def test_sensitivity(benchmark, emit, t3dheat_analysis, t3dheat_campaign):
+    report = benchmark(analyze_sensitivity, t3dheat_analysis, t3dheat_campaign, 0.10)
+    emit("sensitivity_t3dheat", report.summary())
+
+    by = {r.parameter: r for r in report.results}
+    # tsyn directly scales the dominant sync cost: |elasticity| is material
+    assert abs(by["tsyn"].elasticity) > 0.2
+    # no input may blow the estimate up catastrophically at +-10%
+    for r in report.results:
+        assert abs(r.mp_change) < 0.6
+    # the probe sits at the largest measured count
+    assert report.probe_n == 32

@@ -1,0 +1,32 @@
+"""Table 1: resources needed by existing tools vs Scal-Tool.
+
+Regenerates the run/processor/file accounting for the motivating example
+(execution time + sync/spin fraction at processor counts 1..2^(n-1)) and
+checks the paper's headline: at n = 6, Scal-Tool needs ~50% of the
+processors and fewer files.
+"""
+
+from repro.core.runplan import table1_rows
+from repro.tools.cost import processor_savings
+from repro.viz.tables import format_table
+
+
+def regenerate(n: int = 6):
+    rows = [
+        {"Parameter Measured (Tool)": label, "Num. Runs": runs,
+         "Total Num. Processors": procs, "Num. Files": files}
+        for label, runs, procs, files in table1_rows(n)
+    ]
+    return rows, processor_savings(n)
+
+
+def test_table1(benchmark, emit):
+    rows, savings = benchmark(regenerate, 6)
+    text = format_table(rows, title="Table 1 (n = 6, processor counts 1..32)")
+    text += f"\n\nScal-Tool processor usage vs existing tools: {savings:.0%} (paper: ~50%)"
+    emit("table1_tool_cost", text)
+
+    assert rows[-1]["Num. Runs"] == 11
+    assert rows[-1]["Total Num. Processors"] == 68
+    assert rows[2]["Total Num. Processors"] == 126
+    assert 0.45 < savings < 0.60

@@ -1,0 +1,36 @@
+"""Table 2: bottlenecks that affect scalability and their effects.
+
+Regenerates the taxonomy and cross-checks that every quantified bottleneck
+maps to an implemented analysis module.
+"""
+
+import importlib
+
+from repro.core.bottlenecks import BOTTLENECK_TAXONOMY
+from repro.viz.tables import format_table
+
+
+def regenerate():
+    return [
+        {
+            "Bottleneck": row["bottleneck"],
+            "Category": row["category"],
+            "Effects": row["effects"],
+            "Quantified by": row["quantified_by"],
+        }
+        for row in BOTTLENECK_TAXONOMY
+    ]
+
+
+def test_table2(benchmark, emit):
+    rows = benchmark(regenerate)
+    emit("table2_taxonomy", format_table(rows, title="Table 2: bottlenecks and effects"))
+
+    assert len(rows) == 5
+    names = [r["Bottleneck"] for r in rows]
+    assert names[0] == "Insufficient Caching Space"
+    assert {"Synchronization", "Load Imbalance", "True Sharing", "False Sharing"} <= set(names)
+    # every referenced module exists
+    for row in rows:
+        module = "repro." + row["Quantified by"].split(" ")[0]
+        importlib.import_module(module)

@@ -1,0 +1,36 @@
+"""Table 3: the runs needed to gather Scal-Tool's empirical data.
+
+Regenerates the (data-set size x processor count) run matrix for the
+paper's shape (s0 at every count; fractional sizes on the uniprocessor)
+and verifies it against both the closed-form accounting and the actual
+campaign planner.
+"""
+
+from repro.core.runplan import table3_matrix
+from repro.runner import CampaignConfig, ScalToolCampaign
+from repro.workloads import T3dheat
+
+
+def regenerate(s0: int, counts):
+    return table3_matrix(s0, counts)
+
+
+def test_table3(benchmark, emit):
+    wl = T3dheat()
+    s0 = wl.default_size()
+    counts = (1, 2, 4, 8, 16, 32)
+    matrix = benchmark(regenerate, s0, counts)
+    emit("table3_runplan", matrix.format())
+
+    assert matrix.runs() == 2 * len(counts) - 1
+    assert matrix.processors() == 2 ** len(counts) + len(counts) - 2
+
+    # the campaign planner executes a superset of Table 3 (it extends the
+    # fractional chain to the L1 for the Figure 3-a sweep)
+    campaign = ScalToolCampaign(wl, CampaignConfig(s0=s0, processor_counts=counts))
+    planned = campaign.planned_runs()
+    base_points = {(s, n) for role, s, n in planned if role == "app_base"}
+    assert base_points == {(s0, n) for n in counts}
+    frac_sizes = {s for role, s, n in planned if role == "app_frac"}
+    for i in range(1, len(counts)):
+        assert s0 // (2**i) in frac_sizes

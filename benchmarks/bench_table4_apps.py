@@ -1,0 +1,50 @@
+"""Table 4: characteristics of the applications analysed.
+
+Regenerates the application-characterisation table (scalability, load
+balance, data-set size, model of parallelism) from the actual campaigns
+and ssusage-style measurements, and checks it against the paper's rows.
+"""
+
+import pytest
+
+from repro.viz.tables import format_table
+from repro.workloads import Hydro2d, Swim, T3dheat
+
+
+def characterize(analysis, campaign, workload_cls):
+    spd = dict(analysis.curves.speedups())
+    return {
+        "Application": workload_cls.name,
+        "Source": workload_cls.source,
+        "What It Does": workload_cls.what_it_does,
+        "Speedup@16": round(spd[16], 1),
+        "Speedup@32": round(spd[32], 1),
+        "Data Set (paper)": f"{workload_cls.paper_footprint_bytes / 2**20:.1f}MB",
+        "Data Set (scaled)": f"{campaign.s0 / 2**10:.0f}KB",
+        "Model of Parallelism": workload_cls.parallel_model,
+    }
+
+
+def test_table4(benchmark, emit, t3dheat_analysis, t3dheat_campaign,
+                hydro2d_analysis, hydro2d_campaign, swim_analysis, swim_campaign):
+    def regenerate():
+        return [
+            characterize(t3dheat_analysis, t3dheat_campaign, T3dheat),
+            characterize(hydro2d_analysis, hydro2d_campaign, Hydro2d),
+            characterize(swim_analysis, swim_campaign, Swim),
+        ]
+
+    rows = benchmark(regenerate)
+    emit("table4_applications", format_table(rows, title="Table 4: application characteristics"))
+
+    by_name = {r["Application"]: r for r in rows}
+    # paper: T3dheat "excellent scalability up to 16, poor beyond 16"
+    assert by_name["t3dheat"]["Speedup@16"] > 12
+    assert by_name["t3dheat"]["Speedup@32"] < 1.6 * by_name["t3dheat"]["Speedup@16"]
+    # paper: Hydro2d "modest scalability (9 at 32 processors)"
+    assert 6 < by_name["hydro2d"]["Speedup@32"] < 20
+    # paper: Swim "good scalability (24 at 32 processors)"
+    assert by_name["swim"]["Speedup@32"] > 20
+    # parallel models as in the paper
+    assert "PCF" in by_name["t3dheat"]["Model of Parallelism"]
+    assert "DOACROSS" in by_name["swim"]["Model of Parallelism"]

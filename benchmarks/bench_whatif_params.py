@@ -1,0 +1,88 @@
+"""Section 2.6: experimenting with different machine parameters.
+
+Regenerates the what-if predictions the paper describes — faster/slower
+L2, memory, and synchronization support, a wider issue width, a k-times
+L2, and a new synchronization primitive — without re-running the
+application, and checks their directional logic.
+"""
+
+import pytest
+
+from repro.core import WhatIf
+from repro.viz.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def whatif(t3dheat_analysis, t3dheat_campaign):
+    return WhatIf(t3dheat_analysis, t3dheat_campaign)
+
+
+def test_whatif_latency_parameters(benchmark, emit, whatif):
+    def run_experiments():
+        return {
+            "L2 2x faster (t2 x0.5)": whatif.scale_parameters(t2_factor=0.5),
+            "memory 2x faster (tm x0.5)": whatif.scale_parameters(tm_factor=0.5),
+            "sync 4x faster (tsyn x0.25)": whatif.scale_parameters(tsyn_factor=0.25),
+            "issue 2x wider (cpi0 x0.5)": whatif.scale_parameters(cpi0_factor=0.5),
+        }
+
+    predictions = benchmark(run_experiments)
+    sections = []
+    for label, pred in predictions.items():
+        sections.append(format_table(pred.rows(), title=label))
+    emit("whatif_parameters", "\n\n".join(sections))
+
+    # every speed-up knob helps (or at worst does nothing) at every n
+    for pred in predictions.values():
+        for n in pred.baseline:
+            assert pred.predicted[n] <= pred.baseline[n] + 1e-6
+
+    # faster sync helps the barrier-bound app most at scale
+    sync = predictions["sync 4x faster (tsyn x0.25)"]
+    assert (1 - sync.predicted[32] / sync.baseline[32]) > (
+        1 - sync.predicted[1] / sync.baseline[1]
+    )
+    # faster memory buys double-digit savings on the conflict-bound
+    # uniprocessor run (at n=32 tm(n) has absorbed sync latency, so the
+    # knob helps there too -- that absorption is the model's semantics)
+    mem = predictions["memory 2x faster (tm x0.5)"]
+    assert (1 - mem.predicted[1] / mem.baseline[1]) > 0.08
+
+
+def test_whatif_l2_size(benchmark, emit, whatif):
+    def run():
+        return {k: whatif.scale_l2(k) for k in (2.0, 4.0, 8.0)}
+
+    preds = benchmark(run)
+    rows = []
+    for k, pred in preds.items():
+        for n in sorted(pred.baseline):
+            rows.append(
+                {
+                    "k": k,
+                    "n": n,
+                    "miss rate": whatif.l2_miss_rate_with_factor(n, k),
+                    "predicted/baseline": pred.predicted[n] / pred.baseline[n],
+                }
+            )
+    emit("whatif_l2_size", format_table(rows, title="Section 2.6: L2 size x k (Eq. 11)"))
+
+    # bigger caches -> monotonically lower predicted miss rate at n=1
+    rates = [whatif.l2_miss_rate_with_factor(1, k) for k in (1.0, 2.0, 4.0, 8.0)]
+    assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+    # T3dheat at n=1 is conflict-bound: an 8x L2 saves substantial time
+    assert preds[8.0].predicted[1] < 0.85 * preds[8.0].baseline[1]
+    # at n=32 conflicts are gone: nothing left to save
+    assert preds[8.0].predicted[32] > 0.95 * preds[8.0].baseline[32]
+
+
+def test_whatif_new_sync_primitive(benchmark, emit, whatif):
+    pred = benchmark(whatif.new_sync_primitive, 20.0)
+    emit(
+        "whatif_sync_primitive",
+        format_table(pred.rows(), title="Section 2.6: new synchronization primitive (tsyn=20)")
+        + f"\nnote: {pred.note}",
+    )
+    # a near-free primitive saves the most where sync dominates
+    assert pred.predicted[32] < pred.baseline[32]
+    assert "imbalance" in pred.note

@@ -1,0 +1,103 @@
+"""Shared fixtures for the table/figure regeneration benches.
+
+Campaigns for the three paper applications run once (disk-cached under
+``.scaltool_cache``), and every bench writes its regenerated table/figure
+both to stdout and to ``benchmarks/results/<name>.txt`` so the artifacts
+survive pytest's output capturing.  EXPERIMENTS.md is written from these
+artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import ScalTool
+from repro.runner import CampaignConfig
+from repro.runner.cache import cached_campaign
+from repro.workloads import Hydro2d, Swim, T3dheat
+
+PAPER_COUNTS = (1, 2, 4, 8, 16, 32)
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _campaign(workload):
+    cfg = CampaignConfig(s0=workload.default_size(), processor_counts=PAPER_COUNTS)
+    return cached_campaign(workload, cfg)
+
+
+@pytest.fixture(scope="session")
+def t3dheat_campaign():
+    return _campaign(T3dheat())
+
+
+@pytest.fixture(scope="session")
+def hydro2d_campaign():
+    return _campaign(Hydro2d())
+
+
+@pytest.fixture(scope="session")
+def swim_campaign():
+    return _campaign(Swim())
+
+
+@pytest.fixture(scope="session")
+def t3dheat_analysis(t3dheat_campaign):
+    return ScalTool(t3dheat_campaign).analyze()
+
+
+@pytest.fixture(scope="session")
+def hydro2d_analysis(hydro2d_campaign):
+    return ScalTool(hydro2d_campaign).analyze()
+
+
+@pytest.fixture(scope="session")
+def swim_analysis(swim_campaign):
+    return ScalTool(swim_campaign).analyze()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a regenerated artifact to stdout and benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n=== {name} ===\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def breakdown_table(analysis) -> str:
+    """The Figure 6/9/12 data as a table (accumulated cycles)."""
+    from repro.viz.tables import format_table
+
+    return format_table(
+        analysis.curves.rows(),
+        columns=[
+            "n",
+            "base",
+            "base-L2Lim",
+            "base-L2Lim-Sync",
+            "base-L2Lim-Imb",
+            "base-L2Lim-MP",
+            "L2Lim",
+            "Sync",
+            "Imb",
+        ],
+        title=f"{analysis.workload}: accumulated cycles and isolated bottleneck costs",
+    )
+
+
+def speedup_table(analysis) -> str:
+    from repro.viz.tables import format_table
+
+    rows = [{"n": n, "speedup": s} for n, s in analysis.curves.speedups()]
+    return format_table(rows, title=f"{analysis.workload}: speedup vs processors")
+
+
+def validation_table(analysis, campaign) -> str:
+    from repro.core.validation import validate_mp
+
+    return validate_mp(analysis, campaign, exact=True).summary()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's T3dheat study (Section 4.1, Figures 5-7).
+
+T3dheat is the paper's cache-hungry, barrier-bound application: it scales
+beautifully to 16 processors *only because* extra processors bring extra
+L2 space, and saturates beyond that as synchronization cost explodes.
+
+This script runs the full campaign (cached on disk after the first run),
+prints the speedup curve, the bottleneck breakdown, and the speedshop
+validation, and then drills into the machine state of one run.
+
+Run:  python examples/analyze_t3dheat.py
+"""
+
+from repro.core import ScalTool, validate_mp
+from repro.core.report import curves_chart, speedup_chart
+from repro.machine.stats import snapshot
+from repro.machine.system import DsmMachine
+from repro.machine.config import origin2000_scaled
+from repro.runner import CampaignConfig
+from repro.runner.cache import cached_campaign
+from repro.tools.ssusage import caching_space_processors, data_set_size
+from repro.workloads import T3dheat
+
+
+def main() -> None:
+    workload = T3dheat()
+    s0 = workload.default_size()
+    config = CampaignConfig(s0=s0, processor_counts=(1, 2, 4, 8, 16, 32))
+
+    print(f"T3dheat campaign: s0 = {s0} bytes, counts {config.processor_counts}")
+    print("(first run simulates ~30 program executions; later runs hit the cache)\n")
+    campaign = cached_campaign(workload, config)
+
+    analysis = ScalTool(campaign).analyze()
+
+    # Figure 5: the speedup curve.
+    print(speedup_chart(analysis))
+    print()
+
+    # Figure 6: the bottleneck breakdown.
+    print(curves_chart(analysis))
+    c = analysis.curves
+    print()
+    for n in c.processor_counts:
+        print(
+            f"  n={n:2d}: L2Lim {c.l2lim_cost[n] / c.base[n]:6.1%}  "
+            f"Sync {c.sync_cost[n] / c.base[n]:6.1%}  "
+            f"Imb {c.imb_cost[n] / c.base[n]:6.1%} of the accumulated cycles"
+        )
+
+    # The paper's ssusage cross-check: 40 MB / 4 MB L2 -> caching space
+    # suffices at ~10 processors, which is where L2Lim should vanish.
+    machine = DsmMachine(origin2000_scaled(n_processors=1))
+    machine.run(workload, s0)
+    footprint = data_set_size(machine)
+    rec = campaign.base_runs()[1]
+    print(
+        f"\nssusage: data set {footprint} bytes; caching space sufficient at "
+        f"~{caching_space_processors(rec, footprint):.0f} processors"
+    )
+
+    # Figure 7: validation against speedshop.
+    print()
+    print(validate_mp(analysis, campaign).summary())
+
+    # A look inside the machine after the uniprocessor run.
+    print("\nMachine state after the uniprocessor run:")
+    print(snapshot(machine).describe())
+
+
+if __name__ == "__main__":
+    main()

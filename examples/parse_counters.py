@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Offline analysis from counter files: the tool's file-based workflow.
+
+A campaign writes one perfex-format counter report per run ("one output
+file", as the paper's Table 1 counts resources).  This script
+
+1. runs a small Swim campaign and saves it to a directory,
+2. pretends to be a different session: re-parses the perfex text files
+   and the JSONL manifest from disk,
+3. runs Scal-Tool on the reloaded measurements and shows the analyses
+   agree bit-for-bit.
+
+Run:  python examples/parse_counters.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import ScalTool
+from repro.runner import CampaignConfig, ScalToolCampaign
+from repro.runner.campaign import CampaignData
+from repro.tools.perfex import parse_report
+from repro.workloads import Swim
+
+
+def main() -> None:
+    workload = Swim(iters=3)
+    config = CampaignConfig(s0=workload.default_size(), processor_counts=(1, 2, 4))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_dir = Path(tmp) / "swim_campaign"
+        print("Running the campaign and writing one counter file per run...")
+        data = ScalToolCampaign(workload, config).run()
+        data.save(out_dir)
+
+        perfex_files = sorted(out_dir.glob("*.perfex"))
+        print(f"  wrote {len(perfex_files)} perfex files + campaign.jsonl to {out_dir}\n")
+
+        # Show one raw counter report, as a user would see it.
+        sample = perfex_files[0].read_text()
+        print("One raw counter file:")
+        print("\n".join(sample.splitlines()[:14]))
+        print("  ...\n")
+
+        # Parse every perfex file back (this is the "parse perf output" path).
+        total_cycles = 0.0
+        for path in perfex_files:
+            meta, totals, per_cpu = parse_report(path.read_text())
+            total_cycles += totals.cycles
+        print(f"Parsed {len(perfex_files)} reports; campaign total: {total_cycles:,.0f} cycles\n")
+
+        # Reload the manifest and analyse offline.
+        reloaded = CampaignData.load(out_dir)
+        offline = ScalTool(reloaded).analyze()
+        online = ScalTool(data).analyze()
+
+        print(offline.report())
+        drift = max(
+            abs(offline.curves.base[n] - online.curves.base[n])
+            for n in offline.curves.processor_counts
+        )
+        print(f"\noffline vs online analysis drift: {drift:.3g} cycles (should be ~0)")
+
+
+if __name__ == "__main__":
+    main()

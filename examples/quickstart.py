@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: analyse a synthetic workload's scalability bottlenecks.
+
+Runs the Table-3 measurement campaign for a small synthetic workload with
+every bottleneck knob turned on (insufficient caching space, barriers,
+load imbalance, a serial section), then lets Scal-Tool isolate and
+quantify each one from the hardware counters alone.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_analysis
+from repro.core import validate_mp
+
+
+def main() -> None:
+    print("Running the measurement campaign (a few seconds)...\n")
+    analysis, campaign = quick_analysis(
+        "synthetic",
+        processor_counts=(1, 2, 4, 8),
+        iters=3,
+        barriers_per_iter=4,
+        imbalance_amp=0.25,
+        serial_frac=0.04,
+    )
+
+    # The full analysis report: estimated model parameters, the cache-space
+    # decomposition, sync/imbalance fractions, and the bottleneck curves.
+    print(analysis.report())
+
+    # The tool's headline answer.
+    n = analysis.curves.processor_counts[-1]
+    print(
+        f"\nAt {n} processors the dominant bottleneck is: "
+        f"{analysis.dominant_bottleneck(n)}"
+    )
+
+    # Validate the MP estimate against the simulated speedshop profiler
+    # (exactly the check the paper runs in Figures 7/10/13).
+    print()
+    print(validate_mp(analysis, campaign).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables the
+setup.py-develop editable path on offline machines whose setuptools
+cannot build PEP-660 wheels.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,290 @@
+"""Command-line interface: ``scaltool``.
+
+Subcommands mirror the paper's workflow:
+
+* ``scaltool run`` — execute one workload run and print its perfex report;
+* ``scaltool campaign`` — run the Table-3 campaign, writing one counter
+  file per run into a directory;
+* ``scaltool analyze`` — run Scal-Tool over a campaign directory (or run
+  the campaign inline) and print the bottleneck report;
+* ``scaltool validate`` — compare the MP estimate against the simulated
+  speedshop measurement;
+* ``scaltool whatif`` — machine-parameter experiments over a campaign;
+* ``scaltool plan`` — print the Table 1 / Table 3 resource accounting;
+* ``scaltool list`` — available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import ScalTool, WhatIf, validate_mp
+from .core.runplan import table1_rows, table3_matrix
+from .errors import ReproError
+from .runner import CampaignConfig, ScalToolCampaign, run_experiment
+from .runner.campaign import CampaignData
+from .runner.cache import cached_campaign
+from .tools.perfex import format_report
+from .viz.tables import format_table
+from .workloads import available_workloads, make_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def _counts(text: str) -> tuple[int, ...]:
+    try:
+        values = tuple(int(x) for x in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad processor counts: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("empty processor counts")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scaltool",
+        description="Scal-Tool: isolate and quantify scalability bottlenecks (SC'99 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available workloads")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("workload", help="workload name (see `scaltool list`)")
+    common.add_argument("--s0", type=int, default=None, help="base data-set size in bytes")
+    common.add_argument(
+        "--counts", type=_counts, default=(1, 2, 4, 8, 16, 32), help="processor counts, e.g. 1,2,4,8"
+    )
+    common.add_argument("--cache-dir", default=None, help="campaign cache directory")
+
+    p_run = sub.add_parser("run", help="run one experiment, print its perfex report")
+    p_run.add_argument("workload")
+    p_run.add_argument("--size", type=int, default=None, help="data-set size in bytes")
+    p_run.add_argument("-n", "--processors", type=int, default=1)
+
+    p_campaign = sub.add_parser("campaign", parents=[common], help="run the Table-3 campaign")
+    p_campaign.add_argument("--out", required=True, help="directory for the counter files")
+
+    p_analyze = sub.add_parser("analyze", parents=[common], help="full bottleneck analysis")
+    p_analyze.add_argument("--from-dir", default=None, help="load a saved campaign instead of running")
+    p_analyze.add_argument("--markdown", action="store_true", help="emit a markdown report")
+
+    p_validate = sub.add_parser("validate", parents=[common], help="MP estimate vs speedshop")
+
+    p_segments = sub.add_parser(
+        "segments", parents=[common], help="per-segment breakdown (Section 2.1)"
+    )
+    p_segments.add_argument(
+        "--group",
+        action="append",
+        default=None,
+        metavar="NAME=PATTERN",
+        help="segment definition, e.g. --group spmv='spmv_*' (repeatable); "
+        "default: one segment per phase-name prefix",
+    )
+
+    p_sharing = sub.add_parser(
+        "sharing", parents=[common], help="sharing-corrected analysis (Section 6 extension)"
+    )
+
+    p_topology = sub.add_parser("topology", help="tm(n) growth by interconnect topology")
+    p_topology.add_argument("--counts", type=_counts, default=(2, 8, 32))
+    p_topology.add_argument(
+        "--topologies", default="hypercube,mesh,ring,crossbar", help="comma-separated list"
+    )
+
+    p_predict = sub.add_parser(
+        "predict", parents=[common], help="extrapolate the scaling to unmeasured counts"
+    )
+    p_predict.add_argument(
+        "--to", type=_counts, default=(48, 64, 128), help="counts to predict, e.g. 64,128"
+    )
+
+    p_balance = sub.add_parser(
+        "balance", parents=[common], help="per-processor load-balance report"
+    )
+
+    p_whatif = sub.add_parser("whatif", parents=[common], help="machine-parameter experiments")
+    p_whatif.add_argument("--t2", type=float, default=1.0, help="scale factor for t2")
+    p_whatif.add_argument("--tm", type=float, default=1.0, help="scale factor for tm")
+    p_whatif.add_argument("--tsyn", type=float, default=1.0, help="scale factor for tsyn")
+    p_whatif.add_argument("--cpi0", type=float, default=1.0, help="scale factor for cpi0")
+    p_whatif.add_argument("--l2", type=float, default=None, help="L2 size factor k")
+
+    p_plan = sub.add_parser("plan", help="print Table 1 / Table 3 resource accounting")
+    p_plan.add_argument("--n", type=int, default=6, help="number of processor counts (1..2^(n-1))")
+    p_plan.add_argument("--s0", type=int, default=640 * 1024)
+    return parser
+
+
+def _campaign_for(args) -> tuple[CampaignData, object]:
+    workload = make_workload(args.workload)
+    s0 = args.s0 if args.s0 else workload.default_size()
+    config = CampaignConfig(s0=s0, processor_counts=args.counts)
+    campaign = cached_campaign(workload, config, cache_dir=args.cache_dir)
+    return campaign, workload
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): not an error
+        return 0
+
+
+def _dispatch(args) -> int:
+    if args.command == "list":
+        for name in available_workloads():
+            print(name)
+        return 0
+
+    if args.command == "run":
+        workload = make_workload(args.workload)
+        size = args.size if args.size else workload.default_size()
+        record = run_experiment(workload, size, args.processors)
+        meta = {
+            "workload": record.workload,
+            "size_bytes": record.size_bytes,
+            "n_processors": record.n_processors,
+        }
+        print(format_report(record.counters, record.per_cpu, metadata=meta))
+        return 0
+
+    if args.command == "campaign":
+        workload = make_workload(args.workload)
+        s0 = args.s0 if args.s0 else workload.default_size()
+        config = CampaignConfig(s0=s0, processor_counts=args.counts)
+        data = ScalToolCampaign(workload, config, progress=lambda m: print(f"  {m}")).run()
+        manifest = data.save(args.out)
+        print(f"wrote {len(data.records)} runs to {manifest.parent}")
+        return 0
+
+    if args.command == "analyze":
+        if args.from_dir:
+            campaign = CampaignData.load(args.from_dir)
+        else:
+            campaign, _ = _campaign_for(args)
+        analysis = ScalTool(campaign).analyze()
+        if args.markdown:
+            from .core.report import export_markdown
+
+            print(export_markdown(analysis))
+        else:
+            print(analysis.report())
+        return 0
+
+    if args.command == "segments":
+        from .core.segments import analyze_segments, phase_names
+
+        campaign, _ = _campaign_for(args)
+        analysis = ScalTool(campaign).analyze()
+        if args.group:
+            groups = {}
+            for spec in args.group:
+                name, _, pattern = spec.partition("=")
+                if not pattern:
+                    raise ReproError(f"bad --group {spec!r}; expected NAME=PATTERN")
+                groups[name] = pattern.strip("'\"")
+        else:
+            prefixes = sorted({name.split("_")[0] for name in phase_names(campaign)})
+            groups = {p: f"{p}*" for p in prefixes}
+        print(analyze_segments(analysis, campaign, groups).summary())
+        return 0
+
+    if args.command == "sharing":
+        from .core.sharing import analyze_sharing
+
+        campaign, _ = _campaign_for(args)
+        analysis = ScalTool(campaign).analyze()
+        sharing = analyze_sharing(analysis, campaign)
+        print(format_table(sharing.rows(), title="event-31 decomposition (Section 6 extension)"))
+        corrected = sharing.corrected_curves
+        rows = [
+            {
+                "n": n,
+                "Sync (raw)": analysis.curves.sync_cost[n],
+                "Sync (corrected)": corrected.sync_cost[n],
+                "Imb (raw)": analysis.curves.imb_cost[n],
+                "Imb (corrected)": corrected.imb_cost[n],
+            }
+            for n in analysis.curves.processor_counts
+        ]
+        print()
+        print(format_table(rows, title="sharing-corrected bottleneck costs"))
+        return 0
+
+    if args.command == "predict":
+        from .core.prediction import ScalabilityPredictor
+
+        campaign, _ = _campaign_for(args)
+        analysis = ScalTool(campaign).analyze()
+        predictor = ScalabilityPredictor(analysis)
+        rows = predictor.rows(list(predictor.measured_counts) + list(args.to))
+        print(format_table(rows, title=f"{analysis.workload}: measured + predicted scaling"))
+        print(f"\npredicted saturation at ~{predictor.saturation_count()} processors")
+        print(format_table(predictor.leave_one_out(), title="leave-one-out validation"))
+        return 0
+
+    if args.command == "balance":
+        from .core.balance import analyze_balance
+
+        campaign, _ = _campaign_for(args)
+        print(analyze_balance(campaign).summary())
+        return 0
+
+    if args.command == "topology":
+        from .machine.config import origin2000_scaled
+        from .machine.latency import topology_survey
+
+        points = topology_survey(
+            origin2000_scaled(n_processors=1),
+            processor_counts=args.counts,
+            topologies=tuple(args.topologies.split(",")),
+        )
+        print(format_table([p.row() for p in points], title="tm(n) by topology"))
+        return 0
+
+    if args.command == "validate":
+        campaign, _ = _campaign_for(args)
+        analysis = ScalTool(campaign).analyze()
+        print(validate_mp(analysis, campaign).summary())
+        return 0
+
+    if args.command == "whatif":
+        campaign, _ = _campaign_for(args)
+        analysis = ScalTool(campaign).analyze()
+        whatif = WhatIf(analysis, campaign)
+        if args.l2 is not None:
+            prediction = whatif.scale_l2(args.l2)
+        else:
+            prediction = whatif.scale_parameters(
+                cpi0_factor=args.cpi0, t2_factor=args.t2, tm_factor=args.tm, tsyn_factor=args.tsyn
+            )
+        print(format_table(prediction.rows(), title=prediction.label))
+        if prediction.note:
+            print(f"note: {prediction.note}")
+        return 0
+
+    if args.command == "plan":
+        rows = [
+            {"methodology": label, "runs": runs, "processors": procs, "files": files}
+            for label, runs, procs, files in table1_rows(args.n)
+        ]
+        print(format_table(rows, title=f"Table 1 (n = {args.n})"))
+        print()
+        counts = tuple(2**i for i in range(args.n))
+        print(table3_matrix(args.s0, counts).format())
+        return 0
+
+    raise ReproError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Scal-Tool: the paper's contribution.
+
+The empirical CPI-breakdown scalability model (Section 2):
+
+* :mod:`repro.core.model` — the CPI equations (Eq. 1, 5–8);
+* :mod:`repro.core.estimators` — cpi0 (biased + unbiased), t2/tm least
+  squares, tm(n) (Sections 2.2–2.3);
+* :mod:`repro.core.cache_analysis` — compulsory/coherence isolation and
+  the infinite-L2 hit-rate curves (Section 2.4.1, Figure 3);
+* :mod:`repro.core.sync_analysis` — cpi_sync, cpi_imb, tsyn, frac_syn,
+  frac_imb (Section 2.4.2, Eqs. 9–10);
+* :mod:`repro.core.bottlenecks` — the Base / −L2Lim / −Sync / −Imb cycle
+  curves (Figures 1–2, 6, 9, 12);
+* :mod:`repro.core.whatif` — machine-parameter experiments (Section 2.6);
+* :mod:`repro.core.sharing` — the true/false-sharing extension announced
+  in the paper's future work (Section 6);
+* :mod:`repro.core.runplan` — the Table 1 / Table 3 resource accounting;
+* :mod:`repro.core.scaltool` — the façade tying it all together;
+* :mod:`repro.core.validation` — MP estimate vs (simulated) speedshop.
+"""
+
+from .balance import analyze_balance
+from .bottlenecks import BottleneckCurves
+from .estimators import ParameterEstimates, estimate_parameters
+from .prediction import ScalabilityPredictor, predict_speedups
+from .scaltool import ScalTool, ScalToolAnalysis
+from .segments import analyze_segments
+from .sensitivity import analyze_sensitivity
+from .sharing import analyze_sharing
+from .validation import ValidationComparison, validate_mp
+from .whatif import WhatIf
+
+__all__ = [
+    "ScalTool",
+    "ScalToolAnalysis",
+    "BottleneckCurves",
+    "ParameterEstimates",
+    "estimate_parameters",
+    "WhatIf",
+    "ValidationComparison",
+    "validate_mp",
+    "analyze_segments",
+    "analyze_sharing",
+    "analyze_sensitivity",
+    "analyze_balance",
+    "ScalabilityPredictor",
+    "predict_speedups",
+]

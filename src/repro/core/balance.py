@@ -1,0 +1,127 @@
+"""Per-processor load-balance analysis (the Table 4 "Load Balance" column).
+
+The paper characterises each application's load balance qualitatively
+("good load balance", "large serial sections").  With per-processor
+counters available (perfex reports per-thread counts), the balance can be
+quantified directly:
+
+* the **work spread** — max/mean of per-cpu compute-side instructions,
+* the **imbalance coefficient of variation**,
+* and an Amdahl-style **balance efficiency** (mean/max), the fraction of
+  the machine doing useful work if everyone waited for the slowest.
+
+This consumes only the per-cpu ``CounterSet``s (hardware-visible); it is
+a measurement report, not a model estimate, and complements the model's
+``frac_imb``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import InsufficientDataError
+from ..runner.campaign import CampaignData
+
+__all__ = ["BalancePoint", "BalanceReport", "analyze_balance"]
+
+
+@dataclass(frozen=True)
+class BalancePoint:
+    """Load-balance metrics for one processor count."""
+
+    n_processors: int
+    mean_work: float
+    max_work: float
+    min_work: float
+    cv: float
+
+    @property
+    def spread(self) -> float:
+        """max/mean: 1.0 is perfect balance."""
+        return self.max_work / self.mean_work if self.mean_work else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        """mean/max: the share of the machine kept busy until the barrier."""
+        return self.mean_work / self.max_work if self.max_work else 1.0
+
+    def row(self) -> dict:
+        return {
+            "n": self.n_processors,
+            "mean stores": self.mean_work,
+            "max stores": self.max_work,
+            "min stores": self.min_work,
+            "spread (max/mean)": self.spread,
+            "efficiency": self.efficiency,
+            "cv": self.cv,
+        }
+
+
+@dataclass
+class BalanceReport:
+    """Balance metrics across a campaign's processor counts."""
+
+    workload: str
+    points: list[BalancePoint] = field(default_factory=list)
+
+    def at(self, n: int) -> BalancePoint:
+        for p in self.points:
+            if p.n_processors == n:
+                return p
+        raise InsufficientDataError(f"no balance point at n={n}")
+
+    def verdict(self) -> str:
+        """The Table 4-style qualitative call, from the largest count."""
+        worst = self.points[-1]
+        if worst.efficiency > 0.9:
+            return "good load balance"
+        if worst.efficiency > 0.7:
+            return "modest load imbalance"
+        return "significant load imbalance"
+
+    def rows(self) -> list[dict]:
+        return [p.row() for p in self.points]
+
+    def summary(self) -> str:
+        from ..viz.tables import format_table
+
+        return (
+            format_table(self.rows(), title=f"{self.workload}: per-processor load balance")
+            + f"\nverdict: {self.verdict()}"
+        )
+
+
+def analyze_balance(campaign: CampaignData) -> BalanceReport:
+    """Balance metrics from the base runs' per-cpu counters.
+
+    Raw instruction counts are useless for this: spinning *adds*
+    instructions to under-loaded processors, evening the counts out —
+    which is exactly why the paper needs a model to see imbalance at all.
+    The hardware-visible proxy used here is **graduated stores**: spin
+    loops issue loads and branches but essentially no stores (one fetchop
+    per barrier episode), so per-cpu store counts track real work.
+    """
+    base = campaign.base_runs()
+    if not base:
+        raise InsufficientDataError("campaign has no base runs")
+    report = BalanceReport(workload=campaign.workload)
+    for n in sorted(base):
+        rec = base[n]
+        if len(rec.per_cpu) != n:
+            raise InsufficientDataError(
+                f"base run at n={n} lacks per-cpu counters ({len(rec.per_cpu)})"
+            )
+        per_cpu = [c.graduated_stores for c in rec.per_cpu]
+        mean = sum(per_cpu) / n
+        var = sum((x - mean) ** 2 for x in per_cpu) / n
+        report.points.append(
+            BalancePoint(
+                n_processors=n,
+                mean_work=mean,
+                max_work=max(per_cpu),
+                min_work=min(per_cpu),
+                cv=math.sqrt(var) / mean if mean else 0.0,
+            )
+        )
+    return report

@@ -1,0 +1,198 @@
+"""Bottleneck-curve construction (Figures 1, 2, 6, 9, 12).
+
+For every processor count the analysis produces accumulated-cycle curves:
+
+* ``base``              — measured cycles (all processors summed);
+* ``base − L2Lim``      — conflicts removed: cpi∞(s0,n) · inst, with
+  cpi∞ from Eq. 8 under the infinite-L2 hit rate;
+* ``base − L2Lim − Sync`` and ``base − L2Lim − Imb`` — one multiprocessor
+  factor further removed (Eq. 9's terms);
+* ``base − L2Lim − MP`` — curve c of Figure 2:
+  cpi∞,∞(s0,n) · (1 − frac_syn − frac_imb) · inst.
+
+The removal order matches the paper's figures (caching space first, then
+MP factors); Section 2.1 notes the effects can be removed in any order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InsufficientDataError
+from ..runner.records import RunRecord
+from .cache_analysis import CacheSpaceAnalysis
+from .estimators import ParameterEstimates
+from .model import MemoryRates, cpi_from_rates
+from .sync_analysis import SyncAnalysis
+
+__all__ = [
+    "BottleneckCurves",
+    "build_curves",
+    "cpi_inf_by_n",
+    "cpi_infinf_by_n",
+    "BOTTLENECK_TAXONOMY",
+]
+
+#: Paper Table 2: the bottlenecks that affect application scalability and
+#: the machine-level effects through which each one shows up.  The model
+#: quantifies the first three; true/false sharing is the Section 6
+#: extension (implemented in :mod:`repro.core.sharing`).
+BOTTLENECK_TAXONOMY: list[dict] = [
+    {
+        "bottleneck": "Insufficient Caching Space",
+        "category": "",
+        "effects": "Conflict Misses",
+        "quantified_by": "core.cache_analysis (L2Lim)",
+    },
+    {
+        "bottleneck": "Synchronization",
+        "category": "Multiprocessor Factors",
+        "effects": "Coherence Misses + Extra Instructions",
+        "quantified_by": "core.sync_analysis (frac_syn, Eq. 10)",
+    },
+    {
+        "bottleneck": "Load Imbalance",
+        "category": "Multiprocessor Factors",
+        "effects": "Extra Instructions",
+        "quantified_by": "core.sync_analysis (frac_imb, Eq. 9)",
+    },
+    {
+        "bottleneck": "True Sharing",
+        "category": "Multiprocessor Factors",
+        "effects": "Coherence Misses",
+        "quantified_by": "core.sharing (Section 6 extension)",
+    },
+    {
+        "bottleneck": "False Sharing",
+        "category": "Multiprocessor Factors",
+        "effects": "Coherence Misses",
+        "quantified_by": "core.sharing (Section 6 extension)",
+    },
+]
+
+
+def cpi_inf_by_n(
+    base_runs: dict[int, RunRecord],
+    params: ParameterEstimates,
+    cache: CacheSpaceAnalysis,
+) -> dict[int, float]:
+    """cpi∞(s0, n): conflicts removed (Section 2.4.1).
+
+    L1hitr and m change negligibly with a bigger L2, so their *measured*
+    values at (s0, n) are kept; only L2hitr is replaced by L2hitr∞.
+    """
+    out = {}
+    for n, rec in base_runs.items():
+        measured = MemoryRates.from_counters(rec.counters)
+        rates = MemoryRates(measured.l1_hit_rate, cache.l2hitr_inf(n), measured.m_frac)
+        out[n] = cpi_from_rates(params.cpi0, params.t2, params.tm(n), rates)
+    return out
+
+
+def cpi_infinf_by_n(
+    base_runs: dict[int, RunRecord],
+    params: ParameterEstimates,
+    cache: CacheSpaceAnalysis,
+) -> dict[int, float]:
+    """cpi∞,∞(s0, n): conflicts *and* coherence removed (Section 2.4.2).
+
+    Here even L1hitr and m come from the fractional-data-set surrogate
+    (the uniprocessor run at s0/n), because the real run's values include
+    multiprocessor effects (spin loads etc.).
+    """
+    out = {}
+    for n in base_runs:
+        surrogate = cache.surrogate_rates_by_n[n]
+        rates = MemoryRates(surrogate.l1_hit_rate, cache.l2hitr_infinf, surrogate.m_frac)
+        out[n] = cpi_from_rates(params.cpi0, params.t2, params.tm(n), rates)
+    return out
+
+
+@dataclass
+class BottleneckCurves:
+    """The accumulated-cycle curves of one application's analysis."""
+
+    processor_counts: list[int]
+    base: dict[int, float] = field(default_factory=dict)
+    base_minus_l2lim: dict[int, float] = field(default_factory=dict)
+    base_minus_l2lim_sync: dict[int, float] = field(default_factory=dict)
+    base_minus_l2lim_imb: dict[int, float] = field(default_factory=dict)
+    base_minus_l2lim_mp: dict[int, float] = field(default_factory=dict)
+    l2lim_cost: dict[int, float] = field(default_factory=dict)
+    sync_cost: dict[int, float] = field(default_factory=dict)
+    imb_cost: dict[int, float] = field(default_factory=dict)
+    instructions: dict[int, float] = field(default_factory=dict)
+    wall_cycles: dict[int, float] = field(default_factory=dict)
+
+    def mp_cost(self, n: int) -> float:
+        """The estimated multiprocessor cost (Sync + Imb) at n."""
+        return self.sync_cost[n] + self.imb_cost[n]
+
+    def speedups(self) -> list[tuple[int, float]]:
+        """Wall-clock speedups vs the 1-processor run (Figures 5/8/11)."""
+        if 1 not in self.wall_cycles:
+            raise InsufficientDataError("no 1-processor run for speedups")
+        base = self.wall_cycles[1]
+        return [(n, base / self.wall_cycles[n]) for n in self.processor_counts]
+
+    def rows(self) -> list[dict]:
+        """Tabular view, one row per processor count."""
+        out = []
+        for n in self.processor_counts:
+            out.append(
+                {
+                    "n": n,
+                    "base": self.base[n],
+                    "base-L2Lim": self.base_minus_l2lim[n],
+                    "base-L2Lim-Sync": self.base_minus_l2lim_sync[n],
+                    "base-L2Lim-Imb": self.base_minus_l2lim_imb[n],
+                    "base-L2Lim-MP": self.base_minus_l2lim_mp[n],
+                    "L2Lim": self.l2lim_cost[n],
+                    "Sync": self.sync_cost[n],
+                    "Imb": self.imb_cost[n],
+                }
+            )
+        return out
+
+
+def build_curves(
+    base_runs: dict[int, RunRecord],
+    params: ParameterEstimates,
+    cache: CacheSpaceAnalysis,
+    sync: SyncAnalysis,
+) -> BottleneckCurves:
+    """Assemble every curve from the three analyses."""
+    counts = sorted(base_runs)
+    curves = BottleneckCurves(processor_counts=counts)
+    inf = cpi_inf_by_n(base_runs, params, cache)
+    infinf = cpi_infinf_by_n(base_runs, params, cache)
+
+    for n in counts:
+        rec = base_runs[n]
+        inst = rec.counters.graduated_instructions
+        base = rec.counters.cycles
+        b = inf[n] * inst
+        fs = sync.frac_syn(n)
+        fi = sync.frac_imb(n)
+        sync_cost = sync.cpi_sync(n) * fs * inst
+        imb_cost = sync.cpi_imb * fi * inst
+        c = infinf[n] * (1.0 - fs - fi) * inst
+
+        # The removed-conflicts curve can only sit below the measurement;
+        # estimation noise occasionally puts it epsilon above.
+        if b > base:
+            b = base
+        if c > b:
+            c = b
+
+        curves.base[n] = base
+        curves.base_minus_l2lim[n] = b
+        curves.base_minus_l2lim_sync[n] = max(0.0, b - sync_cost)
+        curves.base_minus_l2lim_imb[n] = max(0.0, b - imb_cost)
+        curves.base_minus_l2lim_mp[n] = c
+        curves.l2lim_cost[n] = base - b
+        curves.sync_cost[n] = sync_cost
+        curves.imb_cost[n] = imb_cost
+        curves.instructions[n] = inst
+        curves.wall_cycles[n] = rec.wall_cycles
+    return curves

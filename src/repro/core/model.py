@@ -1,0 +1,106 @@
+"""The CPI-breakdown equations of Section 2.
+
+The model's one structural assumption (Eq. 1):
+
+    cpi = cpi0 + h2 * t2 + hm * tm(n)
+
+with the frequencies rewritten in terms of the local hit rates and the
+memory-instruction fraction (Eqs. 6–8):
+
+    h2 = (1 - L1hitr) * L2hitr * m
+    hm = (1 - L1hitr) * (1 - L2hitr) * m
+    cpi = cpi0 + (1 - L1hitr) * m * [L2hitr * t2 + (1 - L2hitr) * tm(n)]
+
+All functions are pure so the estimators, the bottleneck isolation, and
+the what-if engine share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EstimationError
+from ..units import clamp
+
+__all__ = ["MemoryRates", "CpiParameters", "cpi_linear", "cpi_from_rates", "solve_tm", "rates_to_frequencies"]
+
+
+@dataclass(frozen=True)
+class MemoryRates:
+    """(L1hitr, L2hitr, m) — the hit-rate view of a run (Eq. 8 inputs)."""
+
+    l1_hit_rate: float
+    l2_hit_rate: float
+    m_frac: float
+
+    def __post_init__(self) -> None:
+        for name, v in (
+            ("l1_hit_rate", self.l1_hit_rate),
+            ("l2_hit_rate", self.l2_hit_rate),
+        ):
+            if not (-1e-9 <= v <= 1.0 + 1e-9):
+                raise EstimationError(f"{name} out of [0, 1]: {v}")
+        if not (0.0 <= self.m_frac <= 1.0 + 1e-9):
+            raise EstimationError(f"m_frac out of [0, 1]: {self.m_frac}")
+
+    def clamped(self) -> "MemoryRates":
+        return MemoryRates(
+            clamp(self.l1_hit_rate, 0.0, 1.0),
+            clamp(self.l2_hit_rate, 0.0, 1.0),
+            clamp(self.m_frac, 0.0, 1.0),
+        )
+
+    @classmethod
+    def from_counters(cls, counters) -> "MemoryRates":
+        """Extract the rates from a :class:`~repro.machine.counters.CounterSet`."""
+        return cls(
+            clamp(counters.l1_hit_rate, 0.0, 1.0),
+            clamp(counters.l2_local_hit_rate, 0.0, 1.0),
+            clamp(counters.m_frac, 0.0, 1.0),
+        )
+
+
+@dataclass
+class CpiParameters:
+    """The estimated model parameters (what Sections 2.2–2.3 produce)."""
+
+    cpi0: float
+    t2: float
+    tm_by_n: dict[int, float] = field(default_factory=dict)
+
+    def tm(self, n: int) -> float:
+        try:
+            return self.tm_by_n[n]
+        except KeyError:
+            raise EstimationError(f"tm not estimated for n={n}; have {sorted(self.tm_by_n)}") from None
+
+
+def cpi_linear(cpi0: float, h2: float, hm: float, t2: float, tm: float) -> float:
+    """Equation 1: cpi = cpi0 + h2 t2 + hm tm."""
+    return cpi0 + h2 * t2 + hm * tm
+
+
+def rates_to_frequencies(rates: MemoryRates) -> tuple[float, float]:
+    """Equations 6–7: (h2, hm) from the hit-rate view."""
+    miss1 = (1.0 - rates.l1_hit_rate) * rates.m_frac
+    h2 = miss1 * rates.l2_hit_rate
+    hm = miss1 * (1.0 - rates.l2_hit_rate)
+    return h2, hm
+
+
+def cpi_from_rates(cpi0: float, t2: float, tm: float, rates: MemoryRates) -> float:
+    """Equation 8: the CPI under a (possibly hypothetical) hit-rate triple."""
+    h2, hm = rates_to_frequencies(rates)
+    return cpi_linear(cpi0, h2, hm, t2, tm)
+
+
+def solve_tm(cpi: float, cpi0: float, h2: float, hm: float, t2: float) -> float:
+    """Invert Equation 1 for tm (Section 2.3's per-processor-count step).
+
+    Raises if the run has essentially no L2 misses — tm is then
+    unidentifiable, which the caller must handle (the paper only applies
+    this at the base size, which always misses).
+    """
+    if hm <= 1e-12:
+        raise EstimationError("cannot estimate tm from a run with no L2 misses (hm ~ 0)")
+    return (cpi - cpi0 - h2 * t2) / hm

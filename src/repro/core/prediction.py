@@ -1,0 +1,181 @@
+"""Scalability prediction at unmeasured processor counts.
+
+The paper's model isolates the per-count costs; this extension fits each
+isolated component's trend and extrapolates the whole decomposition —
+answering "what would 64 or 128 processors look like?" from the same 11
+runs, in the spirit of Section 2.6's hypothetical-machine experiments.
+
+Per component the fit is power-law (log-log linear):
+
+* **useful** (base − L2Lim − Sync − Imb): nearly flat, drifting up with
+  tm(n);
+* **L2Lim**: decays as partitions fit the aggregate cache; once a measured
+  count reaches zero, larger counts are pinned at zero;
+* **Sync**: grows superlinearly (n arrivals x n-deep fetchop queue);
+* **Imb**: grows with n (more processors waiting on the critical path).
+
+Accumulated cycles are the component sum; the wall-clock speedup uses the
+post-barrier identity wall(n) = accumulated(n) / n.  A leave-one-out
+validation quantifies the extrapolation error on the measured counts
+themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import InsufficientDataError
+from .bottlenecks import BottleneckCurves
+from .scaltool import ScalToolAnalysis
+
+__all__ = ["ComponentFit", "ScalabilityPredictor", "predict_speedups"]
+
+COMPONENTS = ("useful", "l2lim", "sync", "imb")
+
+
+@dataclass(frozen=True)
+class ComponentFit:
+    """A power-law fit value = exp(intercept) * n**slope."""
+
+    component: str
+    intercept: float
+    slope: float
+    zero_from: int | None = None  # counts >= this measured as zero
+
+    def value(self, n: int) -> float:
+        if self.zero_from is not None and n >= self.zero_from:
+            return 0.0
+        return math.exp(self.intercept) * n**self.slope
+
+
+def _component_points(curves: BottleneckCurves) -> dict[str, list[tuple[int, float]]]:
+    pts: dict[str, list[tuple[int, float]]] = {c: [] for c in COMPONENTS}
+    for n in curves.processor_counts:
+        pts["useful"].append((n, curves.base_minus_l2lim_mp[n]))
+        pts["l2lim"].append((n, curves.l2lim_cost[n]))
+        pts["sync"].append((n, curves.sync_cost[n]))
+        pts["imb"].append((n, curves.imb_cost[n]))
+    return pts
+
+
+def _fit(component: str, points: list[tuple[int, float]]) -> ComponentFit:
+    floor = max((v for _, v in points), default=0.0) * 1e-6
+    positive = [(n, v) for n, v in points if v > floor]
+    zero_from = None
+    if component == "l2lim":
+        zeros = [n for n, v in points if v <= floor]
+        if zeros:
+            zero_from = min(zeros)
+            positive = [(n, v) for n, v in positive if n < zero_from]
+    if not positive:
+        return ComponentFit(component, intercept=-math.inf, slope=0.0, zero_from=zero_from or 1)
+    if len(positive) == 1:
+        n0, v0 = positive[0]
+        return ComponentFit(component, intercept=math.log(v0), slope=0.0, zero_from=zero_from)
+    xs = np.log([n for n, _ in positive])
+    ys = np.log([v for _, v in positive])
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return ComponentFit(component, intercept=float(intercept), slope=float(slope), zero_from=zero_from)
+
+
+class ScalabilityPredictor:
+    """Fits the component trends of one analysis and extrapolates them."""
+
+    def __init__(self, analysis: ScalToolAnalysis) -> None:
+        self.analysis = analysis
+        counts = analysis.curves.processor_counts
+        if len(counts) < 3:
+            raise InsufficientDataError(
+                f"need >= 3 measured processor counts to fit trends, have {counts}"
+            )
+        self.measured_counts = counts
+        self.fits = {
+            name: _fit(name, pts) for name, pts in _component_points(analysis.curves).items()
+        }
+        self._wall1 = analysis.curves.wall_cycles[counts[0]] * counts[0]
+
+    # -- prediction ------------------------------------------------------------------
+
+    def predict_components(self, n: int) -> dict[str, float]:
+        if n < 1:
+            raise InsufficientDataError("n must be >= 1")
+        out = {name: max(0.0, fit.value(n)) for name, fit in self.fits.items()}
+        if n == 1:
+            out["sync"] = min(out["sync"], 0.02 * out["useful"])
+            out["imb"] = 0.0
+        return out
+
+    def predict_accumulated(self, n: int) -> float:
+        """Predicted accumulated cycles over all processors at ``n``."""
+        return sum(self.predict_components(n).values())
+
+    def predict_wall(self, n: int) -> float:
+        return self.predict_accumulated(n) / n
+
+    def predict_speedup(self, n: int) -> float:
+        """Predicted wall-clock speedup over the measured 1-processor run."""
+        base_n = self.measured_counts[0]
+        base_wall = self.analysis.curves.wall_cycles[base_n]
+        return base_wall / self.predict_wall(n)
+
+    def saturation_count(self, max_n: int = 4096) -> int:
+        """First power of two where adding processors stops helping."""
+        best_n, best = 1, self.predict_speedup(1)
+        n = 2
+        while n <= max_n:
+            s = self.predict_speedup(n)
+            if s <= best:
+                return best_n
+            best_n, best = n, s
+            n *= 2
+        return best_n
+
+    # -- validation -------------------------------------------------------------------
+
+    def leave_one_out(self) -> list[dict]:
+        """Refit without each interior measured count and predict it."""
+        rows = []
+        curves = self.analysis.curves
+        for held in self.measured_counts[1:-1]:
+            kept_pts = {
+                name: [(n, v) for n, v in pts if n != held]
+                for name, pts in _component_points(curves).items()
+            }
+            fits = {name: _fit(name, pts) for name, pts in kept_pts.items()}
+            predicted = sum(max(0.0, f.value(held)) for f in fits.values())
+            actual = curves.base[held]
+            rows.append(
+                {
+                    "n": held,
+                    "predicted": predicted,
+                    "actual": actual,
+                    "error": abs(predicted - actual) / actual,
+                }
+            )
+        return rows
+
+    def rows(self, counts: list[int]) -> list[dict]:
+        out = []
+        measured_speedups = dict(self.analysis.curves.speedups())
+        for n in counts:
+            comp = self.predict_components(n)
+            out.append(
+                {
+                    "n": n,
+                    "measured speedup": measured_speedups.get(n, ""),
+                    "predicted speedup": self.predict_speedup(n),
+                    "useful": comp["useful"],
+                    "L2Lim": comp["l2lim"],
+                    "Sync": comp["sync"],
+                    "Imb": comp["imb"],
+                }
+            )
+        return out
+
+
+def predict_speedups(analysis: ScalToolAnalysis, counts: list[int]) -> list[dict]:
+    """Convenience wrapper: fitted predictions for ``counts``."""
+    return ScalabilityPredictor(analysis).rows(counts)

@@ -1,0 +1,191 @@
+"""Analysis report formatting: the tool's terminal output.
+
+Combines the parameter estimates, the cache-space decomposition, the
+sync/imbalance fractions, and the bottleneck curves into one readable
+report, with an ASCII rendition of the Figure 6/9/12-style chart.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..units import format_count, format_size
+from ..viz.ascii_chart import ascii_chart
+from ..viz.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scaltool import ScalToolAnalysis
+
+__all__ = ["format_analysis", "curves_chart", "speedup_chart", "cost_bars", "export_markdown"]
+
+
+def curves_chart(analysis: "ScalToolAnalysis", width: int = 64, height: int = 14) -> str:
+    """ASCII version of the paper's bottleneck-breakdown figures."""
+    c = analysis.curves
+    series = {
+        "Base": [(n, c.base[n]) for n in c.processor_counts],
+        "-L2Lim": [(n, c.base_minus_l2lim[n]) for n in c.processor_counts],
+        "-L2Lim-Sync": [(n, c.base_minus_l2lim_sync[n]) for n in c.processor_counts],
+        "-L2Lim-Imb": [(n, c.base_minus_l2lim_imb[n]) for n in c.processor_counts],
+        "-L2Lim-MP": [(n, c.base_minus_l2lim_mp[n]) for n in c.processor_counts],
+    }
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        title=f"{analysis.workload}: accumulated cycles vs processors",
+        y_label="cycles",
+    )
+
+
+def speedup_chart(analysis: "ScalToolAnalysis", width: int = 48, height: int = 12) -> str:
+    """ASCII version of the speedup figures (5/8/11)."""
+    pts = analysis.curves.speedups()
+    ideal = [(n, float(n)) for n, _ in pts]
+    return ascii_chart(
+        {"speedup": pts, "ideal": ideal},
+        width=width,
+        height=height,
+        title=f"{analysis.workload}: speedup",
+        y_label="x",
+    )
+
+
+def cost_bars(analysis: "ScalToolAnalysis", width: int = 56) -> str:
+    """Figure-2-style stacked view: per n, useful / L2Lim / Sync / Imb."""
+    from ..viz.bars import stacked_bars
+
+    c = analysis.curves
+    rows = {}
+    for n in c.processor_counts:
+        rows[f"n={n}"] = {
+            "useful": c.base_minus_l2lim_mp[n],
+            "L2Lim": c.l2lim_cost[n],
+            "Sync": c.sync_cost[n],
+            "Imb": c.imb_cost[n],
+        }
+    return stacked_bars(rows, width=width, title=f"{analysis.workload}: cycle composition")
+
+
+def format_analysis(analysis: "ScalToolAnalysis") -> str:
+    """The full text report."""
+    parts = [
+        f"=== Scal-Tool analysis: {analysis.workload} "
+        f"(s0 = {format_size(analysis.s0)}) ===",
+        "",
+        "-- model parameters (Sections 2.2-2.3) --",
+        analysis.params.summary(),
+        "",
+        "-- caching space (Section 2.4.1) --",
+        analysis.cache.summary(),
+        "",
+        "-- synchronization & load imbalance (Section 2.4.2) --",
+        analysis.sync.summary(),
+        "",
+        "-- bottleneck curves (accumulated cycles) --",
+        format_table(
+            analysis.curves.rows(),
+            columns=[
+                "n",
+                "base",
+                "base-L2Lim",
+                "base-L2Lim-Sync",
+                "base-L2Lim-Imb",
+                "base-L2Lim-MP",
+            ],
+        ),
+        "",
+        curves_chart(analysis),
+        "",
+        cost_bars(analysis),
+        "",
+        "-- speedup --",
+        format_table(
+            [{"n": n, "speedup": s} for n, s in analysis.curves.speedups()],
+            columns=["n", "speedup"],
+        ),
+    ]
+    peak_n = analysis.curves.processor_counts[-1]
+    parts += [
+        "",
+        f"dominant bottleneck at n={peak_n}: {analysis.dominant_bottleneck(peak_n)} "
+        f"(MP = {format_count(analysis.curves.mp_cost(peak_n))} cycles, "
+        f"{analysis.mp_fraction(peak_n):.0%} of base)",
+    ]
+    if analysis.warnings:
+        parts += ["", "-- warnings --"] + [f"  {w}" for w in analysis.warnings]
+    return "\n".join(parts)
+
+
+def _md_table(rows: list[dict], columns: list[str]) -> str:
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return f"{v:,.0f}" if abs(v) >= 100 else f"{v:.4g}"
+        return str(v)
+
+    lines = ["| " + " | ".join(columns) + " |", "|" + "---|" * len(columns)]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def export_markdown(analysis: "ScalToolAnalysis") -> str:
+    """The analysis as a self-contained markdown document.
+
+    Suitable for dropping into a repository or issue: parameter table,
+    bottleneck-curve table, speedup table, per-count cost shares, and the
+    estimation warnings.
+    """
+    p = analysis.params
+    c = analysis.curves
+    doc = [
+        f"# Scal-Tool analysis: {analysis.workload}",
+        "",
+        f"Base data-set size s0 = {format_size(analysis.s0)}; processor counts "
+        f"{c.processor_counts}.",
+        "",
+        "## Model parameters (Sections 2.2–2.3)",
+        "",
+        _md_table(
+            [
+                {"parameter": "cpi0 (biased)", "value": p.cpi0_biased},
+                {"parameter": "cpi0 (unbiased, Eq. 2)", "value": p.cpi0},
+                {"parameter": "t2", "value": p.t2},
+                {"parameter": "tm(1)", "value": p.tm1},
+                {"parameter": "fit triplets", "value": p.n_triplets},
+                {"parameter": "compulsory miss rate", "value": analysis.cache.compulsory},
+            ],
+            ["parameter", "value"],
+        ),
+        "",
+        "## Bottleneck curves (accumulated cycles)",
+        "",
+        _md_table(
+            c.rows(),
+            ["n", "base", "base-L2Lim", "base-L2Lim-Sync", "base-L2Lim-Imb", "base-L2Lim-MP"],
+        ),
+        "",
+        "## Isolated costs and speedup",
+        "",
+        _md_table(
+            [
+                {
+                    "n": n,
+                    "L2Lim %": f"{c.l2lim_cost[n] / c.base[n]:.1%}",
+                    "Sync %": f"{c.sync_cost[n] / c.base[n]:.1%}",
+                    "Imb %": f"{c.imb_cost[n] / c.base[n]:.1%}",
+                    "speedup": f"{dict(c.speedups())[n]:.2f}",
+                }
+                for n in c.processor_counts
+            ],
+            ["n", "L2Lim %", "Sync %", "Imb %", "speedup"],
+        ),
+        "",
+        f"**Dominant bottleneck at n={c.processor_counts[-1]}:** "
+        f"{analysis.dominant_bottleneck(c.processor_counts[-1])}",
+    ]
+    if analysis.warnings:
+        doc += ["", "## Estimation warnings", ""]
+        doc += [f"- {w}" for w in analysis.warnings]
+    doc.append("")
+    return "\n".join(doc)

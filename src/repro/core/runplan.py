@@ -1,0 +1,82 @@
+"""Run-plan and resource accounting (paper Tables 1 and 3).
+
+Table 1 arithmetic lives in :mod:`repro.tools.cost`; this module adds the
+Table 3 run matrix (which (size, processor-count) points the campaign
+executes) and ties both to an actual :class:`CampaignConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..tools.cost import ToolCost, existing_tools_cost, scal_tool_cost, table1_rows
+from ..units import format_size, log2_int
+
+__all__ = ["Table3Matrix", "table3_matrix", "table1_rows", "campaign_resources"]
+
+
+@dataclass(frozen=True)
+class Table3Matrix:
+    """The Table 3 grid: rows are data-set sizes, columns processor counts."""
+
+    s0: int
+    processor_counts: tuple[int, ...]
+    sizes: tuple[int, ...]
+    cells: tuple[tuple[bool, ...], ...]  # cells[row][col]
+
+    def runs(self) -> int:
+        return sum(sum(row) for row in self.cells)
+
+    def processors(self) -> int:
+        total = 0
+        for row, size_row in zip(self.cells, self.sizes):
+            for marked, n in zip(row, self.processor_counts):
+                if marked:
+                    total += n
+        return total
+
+    def format(self) -> str:
+        header = "Data Set Size".ljust(16) + "".join(f"{n:>6d}" for n in self.processor_counts)
+        lines = [header, "-" * len(header)]
+        for size, row in zip(self.sizes, self.cells):
+            label = ("s0" if size == self.s0 else f"s0/{self.s0 // size}").ljust(10)
+            label += format_size(size).rjust(6)
+            lines.append(label + "".join(("     x" if m else "     .") for m in row))
+        lines.append(f"runs: {self.runs()}   processors: {self.processors()}")
+        return "\n".join(lines)
+
+
+def table3_matrix(s0: int, processor_counts: tuple[int, ...]) -> Table3Matrix:
+    """The paper's Table 3 for base size ``s0`` and the given counts.
+
+    Base size runs at every processor count; each fractional size s0/2^i
+    (down to s0/2^(k-1) for k counts) runs on the uniprocessor only.
+    """
+    if s0 < 1:
+        raise ConfigError("s0 must be positive")
+    for n in processor_counts:
+        log2_int(n)  # must be powers of two, as in the paper
+    k = len(processor_counts)
+    sizes = [s0 // (2**i) for i in range(k)]
+    cells = []
+    for i, _size in enumerate(sizes):
+        if i == 0:
+            cells.append(tuple(True for _ in processor_counts))
+        else:
+            cells.append(tuple(n == 1 for n in processor_counts))
+    return Table3Matrix(
+        s0=s0,
+        processor_counts=tuple(processor_counts),
+        sizes=tuple(sizes),
+        cells=tuple(cells),
+    )
+
+
+def campaign_resources(s0: int, processor_counts: tuple[int, ...]) -> dict[str, ToolCost]:
+    """Both methodologies' Table 1 costs for an actual campaign shape."""
+    n = len(processor_counts)
+    return {
+        "existing": existing_tools_cost(n),
+        "scal_tool": scal_tool_cost(n),
+    }

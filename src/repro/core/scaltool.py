@@ -1,0 +1,129 @@
+"""The Scal-Tool façade: counter files in, bottleneck analysis out.
+
+Usage::
+
+    campaign = ScalToolCampaign(T3dheat(), CampaignConfig(s0=...)).run()
+    analysis = ScalTool(campaign).analyze()
+    print(analysis.report())
+
+``ScalTool`` consumes only hardware-visible counters (the records'
+ground-truth fields are ignored), exactly matching the paper's claim that
+the model needs nothing but the event counter values from the Table 3
+runs plus the two micro-kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InsufficientDataError
+from ..runner.campaign import CampaignData
+from ..runner.records import RunRecord
+from .bottlenecks import BottleneckCurves, build_curves, cpi_inf_by_n, cpi_infinf_by_n
+from .cache_analysis import CacheSpaceAnalysis, analyze_cache_space
+from .estimators import ParameterEstimates, estimate_parameters
+from .sync_analysis import SyncAnalysis, analyze_sync
+
+__all__ = ["ScalTool", "ScalToolAnalysis"]
+
+
+@dataclass
+class ScalToolAnalysis:
+    """Everything one analysis produced."""
+
+    workload: str
+    s0: int
+    params: ParameterEstimates
+    cache: CacheSpaceAnalysis
+    sync: SyncAnalysis
+    curves: BottleneckCurves
+    warnings: list[str] = field(default_factory=list)
+
+    def report(self) -> str:
+        """Human-readable analysis report (the tool's terminal output)."""
+        from .report import format_analysis  # deferred: report imports this module's types
+
+        return format_analysis(self)
+
+    def mp_fraction(self, n: int) -> float:
+        """Estimated MP share of the accumulated cycles at n."""
+        return self.curves.mp_cost(n) / self.curves.base[n]
+
+    def dominant_bottleneck(self, n: int) -> str:
+        """Which isolated cost is largest at n (the tool's headline answer)."""
+        costs = {
+            "insufficient caching space": self.curves.l2lim_cost[n],
+            "synchronization": self.curves.sync_cost[n],
+            "load imbalance": self.curves.imb_cost[n],
+        }
+        return max(costs, key=costs.get)
+
+
+class ScalTool:
+    """Runs the Section 2 model over one campaign's counter files."""
+
+    def __init__(self, campaign: CampaignData) -> None:
+        self.campaign = campaign
+        self._machine = self._machine_summary(campaign)
+
+    @staticmethod
+    def _machine_summary(campaign: CampaignData) -> dict:
+        for rec in campaign.records:
+            if rec.machine:
+                return rec.machine
+        raise InsufficientDataError("campaign records carry no machine description")
+
+    @property
+    def l1_bytes(self) -> int:
+        return int(self._machine["l1_bytes"])
+
+    @property
+    def l2_bytes(self) -> int:
+        return int(self._machine["l2_bytes"])
+
+    def _counters_only(self, runs: dict[int, RunRecord]) -> dict[int, RunRecord]:
+        """Strip ground truth: the model must not see it."""
+        return {k: r.without_ground_truth() for k, r in runs.items()}
+
+    def analyze(self) -> ScalToolAnalysis:
+        campaign = self.campaign
+        base_runs = self._counters_only(campaign.require("base-size runs", campaign.base_runs()))
+        uniproc = self._counters_only(
+            campaign.require("uniprocessor runs", campaign.uniprocessor_runs())
+        )
+        sync_kernel = self._counters_only(campaign.sync_kernel_runs())
+        spin_kernel = self._counters_only(campaign.spin_kernel_runs())
+
+        tm_growth: dict[int, float] | None = None
+        if sync_kernel and spin_kernel:
+            # The sync kernel's tsyn(n) doubles as the interconnect-latency
+            # growth profile used as the tm(n) fallback floor.
+            from .sync_analysis import cpi_imb_estimate, tsyn_by_n
+
+            try:
+                tm_growth = tsyn_by_n(sync_kernel, cpi_imb_estimate(spin_kernel))
+            except InsufficientDataError:
+                tm_growth = None
+
+        params = estimate_parameters(
+            uniproc, base_runs, self.l1_bytes, self.l2_bytes, tm_growth=tm_growth
+        )
+        cache = analyze_cache_space(uniproc, base_runs, campaign.s0)
+        sync = analyze_sync(
+            base_runs,
+            sync_kernel,
+            spin_kernel,
+            params.cpi0,
+            cpi_inf_by_n(base_runs, params, cache),
+            cpi_infinf_by_n(base_runs, params, cache),
+        )
+        curves = build_curves(base_runs, params, cache, sync)
+        return ScalToolAnalysis(
+            workload=campaign.workload,
+            s0=campaign.s0,
+            params=params,
+            cache=cache,
+            sync=sync,
+            curves=curves,
+            warnings=list(params.warnings) + list(sync.warnings),
+        )

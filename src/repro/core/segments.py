@@ -1,0 +1,192 @@
+"""Segment-level analysis (paper Section 2.1).
+
+"Note that these plots can be obtained for the overall application or for
+a segment of the application that is considered particularly important."
+
+A *segment* is a named group of phases (matched by fnmatch patterns on
+phase names — e.g. ``spmv_*`` vs ``cg_*`` for T3dheat's SpMV and vector
+steps).  Per segment and processor count the analysis decomposes the
+measured cycles using the globally estimated parameters:
+
+* compute            — instructions x cpi0,
+* L2-hit stalls      — h2_segment x t2 x instructions,
+* memory stalls      — hm_segment x tm(n) x instructions,
+* synchronization    — the segment's event-31 count x (cpi0 + tsyn(n)),
+* residual           — everything else: load-imbalance spinning plus the
+  model's unexplained share (reported, never hidden).
+
+Segments are defined over per-phase counter deltas, which every run record
+carries (the same data the perfex multiplex emulation uses).
+
+Caveat inherited from the model: tm(n) is a *whole-run average*; segments
+whose miss latency differs from it (irregular gathers above, pure cold
+streams below) show the difference as residual — or, at high n where
+tm(n) has absorbed MP latency, as a memory term that can exceed the
+segment's own cycles.  The decomposition reports both faithfully rather
+than hiding them.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+from ..errors import InsufficientDataError
+from ..machine.counters import CounterSet
+from ..runner.campaign import CampaignData
+from .scaltool import ScalToolAnalysis
+
+__all__ = ["SegmentBreakdown", "SegmentAnalysis", "analyze_segments", "phase_names"]
+
+
+@dataclass(frozen=True)
+class SegmentBreakdown:
+    """One segment's cycle decomposition at one processor count."""
+
+    segment: str
+    n_processors: int
+    n_phases: int
+    cycles: float
+    instructions: float
+    compute_cycles: float
+    l2_hit_stall_cycles: float
+    memory_stall_cycles: float
+    sync_cycles: float
+    residual_cycles: float
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def modeled_cycles(self) -> float:
+        return (
+            self.compute_cycles
+            + self.l2_hit_stall_cycles
+            + self.memory_stall_cycles
+            + self.sync_cycles
+        )
+
+    @property
+    def residual_fraction(self) -> float:
+        return self.residual_cycles / self.cycles if self.cycles else 0.0
+
+    def row(self) -> dict:
+        return {
+            "segment": self.segment,
+            "n": self.n_processors,
+            "phases": self.n_phases,
+            "cycles": self.cycles,
+            "compute": self.compute_cycles,
+            "L2-hit stall": self.l2_hit_stall_cycles,
+            "memory stall": self.memory_stall_cycles,
+            "sync": self.sync_cycles,
+            "residual": self.residual_cycles,
+        }
+
+
+@dataclass
+class SegmentAnalysis:
+    """All segments across all processor counts."""
+
+    workload: str
+    groups: dict[str, str]
+    breakdowns: list[SegmentBreakdown] = field(default_factory=list)
+
+    def at(self, segment: str, n: int) -> SegmentBreakdown:
+        for b in self.breakdowns:
+            if b.segment == segment and b.n_processors == n:
+                return b
+        raise InsufficientDataError(f"no breakdown for segment {segment!r} at n={n}")
+
+    def segments(self) -> list[str]:
+        return list(self.groups)
+
+    def dominant_cost(self, segment: str, n: int) -> str:
+        b = self.at(segment, n)
+        costs = {
+            "compute": b.compute_cycles,
+            "L2-hit stalls": b.l2_hit_stall_cycles,
+            "memory stalls": b.memory_stall_cycles,
+            "synchronization": b.sync_cycles,
+            "residual (imbalance + unmodeled)": b.residual_cycles,
+        }
+        return max(costs, key=costs.get)
+
+    def rows(self) -> list[dict]:
+        return [b.row() for b in self.breakdowns]
+
+    def summary(self) -> str:
+        from ..viz.tables import format_table
+
+        return format_table(self.rows(), title=f"{self.workload}: segment-level breakdown")
+
+
+def phase_names(campaign: CampaignData, n: int = 1) -> list[str]:
+    """Phase names recorded for the base run at ``n`` (segment-pattern aid)."""
+    base = campaign.base_runs()
+    if n not in base:
+        raise InsufficientDataError(f"no base run at n={n}")
+    return [name for name, _ in base[n].phase_counters]
+
+
+def analyze_segments(
+    analysis: ScalToolAnalysis,
+    campaign: CampaignData,
+    groups: dict[str, str],
+    processor_counts: list[int] | None = None,
+) -> SegmentAnalysis:
+    """Decompose each phase group's cycles at each processor count.
+
+    ``groups`` maps segment names to fnmatch patterns over phase names,
+    e.g. ``{"spmv": "spmv_*", "vector steps": "cg_*"}``.  Phases matching
+    no pattern are ignored; a pattern matching no phase raises.
+    """
+    if not groups:
+        raise InsufficientDataError("no segment groups given")
+    base_runs = campaign.base_runs()
+    counts = processor_counts or sorted(base_runs)
+    result = SegmentAnalysis(workload=analysis.workload, groups=dict(groups))
+
+    for n in counts:
+        if n not in base_runs:
+            raise InsufficientDataError(f"no base run at n={n}")
+        rec = base_runs[n]
+        if not rec.phase_counters:
+            raise InsufficientDataError(
+                "run records carry no per-phase counters (campaign ran with keep_phases=False)"
+            )
+        tm = analysis.params.tm(n)
+        tsyn = analysis.sync.tsyn_by_n.get(n, 0.0)
+        for segment, pattern in groups.items():
+            matched = [
+                delta for name, delta in rec.phase_counters if fnmatch.fnmatch(name, pattern)
+            ]
+            if not matched:
+                raise InsufficientDataError(
+                    f"segment {segment!r}: pattern {pattern!r} matched no phase "
+                    f"(have: {[name for name, _ in rec.phase_counters][:8]}...)"
+                )
+            total = CounterSet.total(matched)
+            inst = total.graduated_instructions
+            compute = inst * analysis.params.cpi0
+            l2_stall = total.h2 * analysis.params.t2 * inst
+            mem_stall = total.hm * tm * inst
+            sync = total.store_exclusive_to_shared * (analysis.params.cpi0 + tsyn)
+            modeled = compute + l2_stall + mem_stall + sync
+            residual = max(0.0, total.cycles - modeled)
+            result.breakdowns.append(
+                SegmentBreakdown(
+                    segment=segment,
+                    n_processors=n,
+                    n_phases=len(matched),
+                    cycles=total.cycles,
+                    instructions=inst,
+                    compute_cycles=compute,
+                    l2_hit_stall_cycles=l2_stall,
+                    memory_stall_cycles=mem_stall,
+                    sync_cycles=sync,
+                    residual_cycles=residual,
+                )
+            )
+    return result

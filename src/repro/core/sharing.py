@@ -1,0 +1,148 @@
+"""True/false-sharing extension (the paper's Section 6 future work).
+
+The paper's frac_syn method assumes event 31 counts only synchronization
+operations; Swim's data sharing breaks that and causes the 14% validation
+divergence at 32 processors.  The announced extension — "extending
+Scal-Tool to incorporate the effect of true and false sharing. This
+extension should make the tool more accurate for some applications" — is
+implemented here using the paper's *other* frac_syn method (Section
+2.4.2, method 1): instrument the application to count barriers at run
+time.  With the barrier count known,
+
+* the synchronization share of ntsyn is exactly one fetchop per barrier
+  arrival (plus two per lock acquire), so
+* the remainder of event 31 is data sharing (upgrades), and
+* the sharing cost itself is estimated from the coherence miss rate the
+  cache analysis already isolated: Coh(s0, n) misses at tm(n) each, plus
+  the upgrade cost of the excess event-31 operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InsufficientDataError
+from ..runner.campaign import CampaignData
+from ..units import clamp, safe_div
+from .bottlenecks import BottleneckCurves, build_curves
+from .scaltool import ScalToolAnalysis
+from .sync_analysis import SyncAnalysis
+
+__all__ = ["SharingAnalysis", "analyze_sharing"]
+
+
+@dataclass
+class SharingAnalysis:
+    """Sharing-corrected synchronization estimate."""
+
+    workload: str
+    sync_ops_by_n: dict[int, float] = field(default_factory=dict)
+    sharing_ops_by_n: dict[int, float] = field(default_factory=dict)
+    sharing_miss_cycles_by_n: dict[int, float] = field(default_factory=dict)
+    corrected_sync: SyncAnalysis | None = None
+    corrected_curves: BottleneckCurves | None = None
+
+    def contamination(self, n: int) -> float:
+        """Fraction of event-31 counts that were *not* synchronization."""
+        total = self.sync_ops_by_n[n] + self.sharing_ops_by_n[n]
+        return safe_div(self.sharing_ops_by_n[n], total)
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "n": n,
+                "sync ops": self.sync_ops_by_n[n],
+                "sharing ops": self.sharing_ops_by_n[n],
+                "contamination": self.contamination(n),
+                "sharing miss cycles": self.sharing_miss_cycles_by_n.get(n, 0.0),
+            }
+            for n in sorted(self.sync_ops_by_n)
+        ]
+
+
+def instrumented_sync_ops(campaign: CampaignData) -> dict[int, float]:
+    """Barrier/lock fetchop counts from run-time instrumentation.
+
+    This is the paper's method 1: "instrument the application to count, at
+    run time, the number of barriers that the processors go through".  The
+    simulator's barrier/lock tallies stand in for that source-level
+    instrumentation (they are software-countable, unlike the cycle
+    attribution, which stays off-limits to the tool).
+    """
+    out: dict[int, float] = {}
+    for n, rec in campaign.base_runs().items():
+        if rec.ground_truth is None:
+            raise InsufficientDataError(
+                f"base run at n={n} carries no instrumentation counts"
+            )
+        out[n] = rec.ground_truth.barriers + 2.0 * rec.ground_truth.lock_acquires
+    return out
+
+
+def analyze_sharing(
+    analysis: ScalToolAnalysis,
+    campaign: CampaignData,
+) -> SharingAnalysis:
+    """Split event 31 into sync vs sharing and rebuild the curves.
+
+    Returns the corrected analysis; comparing its validation divergence
+    against the uncorrected one quantifies the extension's benefit (the
+    Swim experiment).
+    """
+    base_runs = campaign.base_runs()
+    sync_ops = instrumented_sync_ops(campaign)
+    result = SharingAnalysis(workload=analysis.workload)
+
+    corrected = SyncAnalysis(
+        cpi_sync_by_n=dict(analysis.sync.cpi_sync_by_n),
+        cpi_imb=analysis.sync.cpi_imb,
+        tsyn_by_n=dict(analysis.sync.tsyn_by_n),
+    )
+
+    p = analysis.params
+    for n in sorted(base_runs):
+        rec = base_runs[n]
+        c = rec.counters
+        ntsyn = c.store_exclusive_to_shared
+        ops_sync = min(float(sync_ops[n]), ntsyn)
+        ops_share = max(0.0, ntsyn - ops_sync)
+        result.sync_ops_by_n[n] = ops_sync
+        result.sharing_ops_by_n[n] = ops_share
+
+        # Sharing cost: the isolated coherence misses at tm(n), plus the
+        # upgrade operations at roughly one memory access each.
+        coh = analysis.cache.coherence(n)
+        miss_freq = (1.0 - c.l1_hit_rate) * c.m_frac * coh
+        tsyn = analysis.sync.tsyn_by_n.get(n, 0.0)
+        result.sharing_miss_cycles_by_n[n] = (
+            miss_freq * c.graduated_instructions * p.tm(n) + ops_share * tsyn
+        )
+
+        # Corrected Eq. 10 with the decontaminated operation count.
+        cpi_sync = corrected.cpi_sync_by_n.get(n, corrected.cpi_imb)
+        cost_syn = ops_sync * (p.cpi0 + tsyn)
+        inst = c.graduated_instructions
+        frac_syn = clamp(safe_div(cost_syn, cpi_sync * inst), 0.0, 1.0)
+
+        cpi_inf = analysis.curves.base_minus_l2lim[n] / inst
+        cpi_infinf_times = analysis.curves.base_minus_l2lim_mp[n]
+        fs_old = analysis.sync.frac_syn(n)
+        fi_old = analysis.sync.frac_imb(n)
+        share_old = 1.0 - fs_old - fi_old
+        cpi_infinf = cpi_infinf_times / (share_old * inst) if share_old > 1e-9 else cpi_inf
+
+        denom = corrected.cpi_imb - cpi_infinf
+        if abs(denom) < 1e-9 or n == 1:
+            frac_imb = 0.0
+        else:
+            frac_imb = (cpi_inf - cpi_infinf * (1.0 - frac_syn) - cpi_sync * frac_syn) / denom
+            frac_imb = clamp(frac_imb, 0.0, 1.0 - frac_syn)
+
+        corrected.cost_syn_by_n[n] = cost_syn
+        corrected.frac_syn_by_n[n] = frac_syn
+        corrected.frac_imb_by_n[n] = frac_imb
+
+    stripped = {n: r.without_ground_truth() for n, r in base_runs.items()}
+    result.corrected_sync = corrected
+    result.corrected_curves = build_curves(stripped, p, analysis.cache, corrected)
+    return result

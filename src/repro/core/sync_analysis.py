@@ -1,0 +1,190 @@
+"""Synchronization and load-imbalance isolation (Section 2.4.2, Eqs. 9–10).
+
+The unknowns of Equation 9 and how each is obtained:
+
+* ``cpi_sync(n)`` — measured CPI of the synchronization micro-kernel
+  ("a loop where processors come in and out of barriers"); a function of
+  n because of fetchop serialization at the sync variable's home;
+* ``cpi_imb`` — measured CPI of the spin micro-kernel's idle processors
+  (cached-flag spinning, close to 1);
+* ``tsyn(n)`` — the fetchop access latency, extracted from the sync
+  kernel the way tm is extracted from application runs: the kernel's
+  cycles beyond its instructions-at-base-CPI, divided by its fetchop
+  count;
+* ``frac_syn`` — from the event-31 counter ``ntsyn`` via Eq. 10:
+  ``cost_syn = ntsyn (cpi0 + tsyn)`` and
+  ``frac_syn = cost_syn / (cpi_sync · inst)``;
+* ``frac_imb`` — the only remaining unknown of Eq. 9.
+
+The paper notes frac_syn's weakness explicitly: event 31 also counts
+stores to shared *data* lines, so applications with true sharing (Swim)
+overestimate synchronization — reproduced here and quantified by the
+sharing ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InsufficientDataError
+from ..runner.records import RunRecord
+from ..units import clamp, safe_div
+
+__all__ = ["SyncAnalysis", "analyze_sync", "cpi_sync_by_n", "cpi_imb_estimate", "tsyn_by_n"]
+
+
+def cpi_sync_by_n(sync_kernel_runs: dict[int, RunRecord]) -> dict[int, float]:
+    """Measured CPI of the barrier kernel at every processor count."""
+    if not sync_kernel_runs:
+        raise InsufficientDataError("no synchronization-kernel runs")
+    return {n: sync_kernel_runs[n].counters.cpi for n in sorted(sync_kernel_runs)}
+
+
+def cpi_imb_estimate(spin_kernel_runs: dict[int, RunRecord]) -> float:
+    """CPI of idle spinning, from the spin kernel's non-working processors.
+
+    Processor 0 does the kernel's work; every other processor's counters
+    are almost entirely spin loop.  The estimate pools all idle processors
+    across the multi-processor kernel runs.
+    """
+    cycles = 0.0
+    instructions = 0.0
+    for n, rec in spin_kernel_runs.items():
+        if n < 2 or len(rec.per_cpu) < n:
+            continue
+        for cpu in range(1, n):
+            cycles += rec.per_cpu[cpu].cycles
+            instructions += rec.per_cpu[cpu].graduated_instructions
+    if instructions <= 0:
+        raise InsufficientDataError(
+            "spin kernel needs at least one multi-processor run with per-cpu counters"
+        )
+    return cycles / instructions
+
+
+def tsyn_by_n(
+    sync_kernel_runs: dict[int, RunRecord],
+    base_cpi: float,
+) -> dict[int, float]:
+    """Fetchop latency per synchronization operation at each n.
+
+    From the sync kernel:  cycles ≈ inst · base_cpi + ntsyn · tsyn(n),
+    where ``base_cpi`` prices the kernel's non-fetchop instructions (the
+    idle-loop CPI is the natural choice — barrier bookkeeping and polls
+    are simple integer code).
+    """
+    out: dict[int, float] = {}
+    for n in sorted(sync_kernel_runs):
+        c = sync_kernel_runs[n].counters
+        ntsyn = c.store_exclusive_to_shared
+        if ntsyn <= 0:
+            raise InsufficientDataError(f"sync kernel at n={n} recorded no fetchops")
+        tsyn = (c.cycles - c.graduated_instructions * base_cpi) / ntsyn
+        out[n] = max(0.0, tsyn)
+    return out
+
+
+@dataclass
+class SyncAnalysis:
+    """Per-processor-count sync/imbalance fractions and CPIs."""
+
+    cpi_sync_by_n: dict[int, float] = field(default_factory=dict)
+    cpi_imb: float = 1.0
+    tsyn_by_n: dict[int, float] = field(default_factory=dict)
+    frac_syn_by_n: dict[int, float] = field(default_factory=dict)
+    frac_imb_by_n: dict[int, float] = field(default_factory=dict)
+    cost_syn_by_n: dict[int, float] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    def cpi_sync(self, n: int) -> float:
+        return self._at(self.cpi_sync_by_n, n, "cpi_sync")
+
+    def tsyn(self, n: int) -> float:
+        return self._at(self.tsyn_by_n, n, "tsyn")
+
+    def frac_syn(self, n: int) -> float:
+        return self._at(self.frac_syn_by_n, n, "frac_syn")
+
+    def frac_imb(self, n: int) -> float:
+        return self._at(self.frac_imb_by_n, n, "frac_imb")
+
+    @staticmethod
+    def _at(table: dict[int, float], n: int, what: str) -> float:
+        try:
+            return table[n]
+        except KeyError:
+            raise InsufficientDataError(f"{what} not available for n={n}") from None
+
+    def summary(self) -> str:
+        lines = [f"cpi_imb: {self.cpi_imb:.3f}"]
+        for n in sorted(self.cpi_sync_by_n):
+            lines.append(
+                f"n={n:3d}: cpi_sync={self.cpi_sync_by_n[n]:8.2f} "
+                f"tsyn={self.tsyn_by_n.get(n, float('nan')):8.1f} "
+                f"frac_syn={self.frac_syn_by_n.get(n, float('nan')):.5f} "
+                f"frac_imb={self.frac_imb_by_n.get(n, float('nan')):.5f}"
+            )
+        for w in self.warnings:
+            lines.append(f"warning: {w}")
+        return "\n".join(lines)
+
+
+def analyze_sync(
+    base_runs: dict[int, RunRecord],
+    sync_kernel_runs: dict[int, RunRecord],
+    spin_kernel_runs: dict[int, RunRecord],
+    cpi0: float,
+    cpi_inf_by_n: dict[int, float],
+    cpi_infinf_by_n: dict[int, float],
+) -> SyncAnalysis:
+    """Solve Eqs. 9–10 at every processor count.
+
+    ``cpi_inf_by_n`` / ``cpi_infinf_by_n`` come from the cache-space
+    analysis (curves b and c of Figure 2).
+    """
+    analysis = SyncAnalysis(
+        cpi_sync_by_n=cpi_sync_by_n(sync_kernel_runs),
+        cpi_imb=cpi_imb_estimate(spin_kernel_runs),
+    )
+    analysis.tsyn_by_n = tsyn_by_n(sync_kernel_runs, analysis.cpi_imb)
+
+    for n in sorted(base_runs):
+        c = base_runs[n].counters
+        inst = c.graduated_instructions
+        ntsyn = c.store_exclusive_to_shared
+        cpi_sync = analysis.cpi_sync_by_n.get(n)
+        tsyn = analysis.tsyn_by_n.get(n)
+        if cpi_sync is None or tsyn is None:
+            analysis.warnings.append(f"no sync kernel at n={n}; frac_syn set to 0")
+            cpi_sync, tsyn = analysis.cpi_imb, 0.0
+
+        # Equation 10: the spin-free synchronization cost in cycles.
+        cost_syn = ntsyn * (cpi0 + tsyn)
+        frac_syn = clamp(safe_div(cost_syn, cpi_sync * inst), 0.0, 1.0)
+
+        # Equation 9, solved for frac_imb.
+        cpi_inf = cpi_inf_by_n[n]
+        cpi_infinf = cpi_infinf_by_n[n]
+        denom = analysis.cpi_imb - cpi_infinf
+        if abs(denom) < 1e-9:
+            analysis.warnings.append(
+                f"n={n}: cpi_imb ~ cpi_infinf; frac_imb unidentifiable, set to 0"
+            )
+            frac_imb = 0.0
+        else:
+            frac_imb = (cpi_inf - cpi_infinf * (1.0 - frac_syn) - cpi_sync * frac_syn) / denom
+        raw = frac_imb
+        frac_imb = clamp(frac_imb, 0.0, 1.0 - frac_syn)
+        if n == 1:
+            # One processor cannot be imbalanced against itself.
+            frac_imb = 0.0
+        elif raw < -0.01:
+            analysis.warnings.append(
+                f"n={n}: Eq. 9 gave frac_imb={raw:.4f} < 0 (clamped); "
+                "model residuals exceed the imbalance signal"
+            )
+
+        analysis.cost_syn_by_n[n] = cost_syn
+        analysis.frac_syn_by_n[n] = frac_syn
+        analysis.frac_imb_by_n[n] = frac_imb
+    return analysis

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the Scal-Tool reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  The hierarchy mirrors the package layout: machine-model
+errors, workload errors, measurement/estimation errors, and I/O errors for
+the counter-file formats.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid machine, cache, or workload configuration.
+
+    Raised eagerly at construction time (e.g. a cache whose size is not a
+    multiple of ``line_size * associativity``, or a processor count that the
+    interconnect topology cannot host).
+    """
+
+
+class SimulationError(ReproError):
+    """The machine simulator reached an inconsistent state.
+
+    This indicates a bug in the substrate (e.g. a directory entry claiming an
+    owner that does not hold the line) and is checked by internal assertions
+    that are kept on in production because the simulator is the ground-truth
+    oracle for all validation experiments.
+    """
+
+
+class TraceError(ReproError):
+    """A workload produced an ill-formed access trace."""
+
+
+class WorkloadError(ReproError):
+    """A workload cannot be instantiated with the requested parameters.
+
+    For example, a data-set size too small to slice across the requested
+    processor count.
+    """
+
+
+class EstimationError(ReproError):
+    """A model parameter could not be estimated from the supplied runs.
+
+    Typical causes: fewer triplets than unknowns in the (t2, tm) regression,
+    no uniprocessor run small enough to estimate cpi0, or a singular design
+    matrix.
+    """
+
+
+class InsufficientDataError(EstimationError):
+    """The campaign did not provide the runs an analysis step needs."""
+
+
+class CounterFormatError(ReproError):
+    """A counter report file could not be parsed."""
+
+
+class ValidationError(ReproError):
+    """A validation comparison was requested on mismatched runs."""

@@ -1,0 +1,50 @@
+"""DSM multiprocessor substrate.
+
+This subpackage is the machine the paper ran on: a cache-coherent NUMA
+multiprocessor in the style of the SGI Origin 2000, reduced to the features
+Scal-Tool's empirical model observes through hardware event counters:
+
+* per-processor two-level write-back caches (:mod:`repro.machine.cache`,
+  :mod:`repro.machine.hierarchy`),
+* a bit-vector directory MESI protocol (:mod:`repro.machine.coherence`,
+  :mod:`repro.machine.directory`),
+* a NUMA interconnect whose latency grows with machine size
+  (:mod:`repro.machine.interconnect`),
+* page-granular memory placement (:mod:`repro.machine.memory`),
+* fetchop-style synchronization with spin-waiting
+  (:mod:`repro.machine.sync`),
+* R10000-style event counters (:mod:`repro.machine.counters`), and
+* the trace-driven timing model that ties them together
+  (:mod:`repro.machine.processor`, :mod:`repro.machine.system`).
+
+The simulator additionally keeps a *ground-truth ledger* (cycle and miss
+attribution the real hardware could never report) which the validation
+experiments use exactly the way the paper uses speedshop.
+"""
+
+from .config import (
+    CacheConfig,
+    InterconnectConfig,
+    MachineConfig,
+    MemoryConfig,
+    TimingConfig,
+    origin2000_full,
+    origin2000_scaled,
+)
+from .counters import CounterSet, EVENT_CATALOG, GroundTruth
+from .system import DsmMachine, RunResult
+
+__all__ = [
+    "CacheConfig",
+    "InterconnectConfig",
+    "MachineConfig",
+    "MemoryConfig",
+    "TimingConfig",
+    "origin2000_full",
+    "origin2000_scaled",
+    "CounterSet",
+    "GroundTruth",
+    "EVENT_CATALOG",
+    "DsmMachine",
+    "RunResult",
+]

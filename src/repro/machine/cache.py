@@ -1,0 +1,197 @@
+"""Block-granular set-associative cache with MESI line states.
+
+Addresses are *block ids* (byte address >> log2(line size)); the set index
+is the low bits of the block id.  The cache tracks, per resident line, one
+of the MESI states (Illinois protocol, as on the Origin 2000):
+
+* ``MODIFIED`` — dirty, this cache is the only holder;
+* ``EXCLUSIVE`` — clean, this cache is the only holder;
+* ``SHARED`` — clean, possibly multiple holders;
+* absent — invalid.
+
+The cache knows nothing about the protocol; it only stores state and applies
+its replacement policy.  The directory controller in
+:mod:`repro.machine.coherence` drives the state transitions.
+
+Performance: the per-access hot path is two dict lookups and an O(assoc)
+list move, which keeps a pure-Python trace simulation around a microsecond
+per reference (see the HPC guide note on avoiding attribute lookups in hot
+loops — the system layer binds these methods to locals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .config import CacheConfig
+from .replacement import make_policy
+
+__all__ = [
+    "SHARED",
+    "EXCLUSIVE",
+    "MODIFIED",
+    "Eviction",
+    "SetAssociativeCache",
+]
+
+# Line states.  INVALID is represented by absence from the state map.
+SHARED = 1
+EXCLUSIVE = 2
+MODIFIED = 3
+
+_STATE_NAMES = {SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line pushed out by a replacement decision."""
+
+    block: int
+    state: int
+
+    @property
+    def dirty(self) -> bool:
+        return self.state == MODIFIED
+
+
+class SetAssociativeCache:
+    """One physical cache (an L1 or an L2 slice of one node)."""
+
+    __slots__ = ("cfg", "_state", "_sets", "_set_mask", "_policy", "_inserts", "_evictions")
+
+    def __init__(self, cfg: CacheConfig, seed: int = 0) -> None:
+        self.cfg = cfg
+        self._state: dict[int, int] = {}
+        self._sets: list[list[int]] = [[] for _ in range(cfg.n_sets)]
+        self._set_mask = cfg.n_sets - 1
+        self._policy = make_policy(cfg.replacement, cfg.associativity, seed)
+        self._inserts = 0
+        self._evictions = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def set_index(self, block: int) -> int:
+        """Set an address maps to."""
+        return block & self._set_mask
+
+    def state_of(self, block: int) -> int:
+        """MESI state of ``block`` (0 if not resident)."""
+        return self._state.get(block, 0)
+
+    def contains(self, block: int) -> bool:
+        return block in self._state
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of lines currently valid."""
+        return len(self._state) / self.cfg.n_lines
+
+    @property
+    def n_inserts(self) -> int:
+        return self._inserts
+
+    @property
+    def n_evictions(self) -> int:
+        return self._evictions
+
+    def resident_blocks(self) -> list[int]:
+        """All valid block ids (unordered)."""
+        return list(self._state)
+
+    def set_contents(self, set_index: int) -> list[int]:
+        """Blocks in one set, in policy order (head = next LRU victim for LRU)."""
+        return list(self._sets[set_index])
+
+    # -- mutations ---------------------------------------------------------
+
+    def touch(self, block: int) -> bool:
+        """Apply the replacement policy's hit update; returns False on miss."""
+        if block not in self._state:
+            return False
+        idx = self.set_index(block)
+        order = self._sets[idx]
+        self._policy.on_hit(idx, order, order.index(block))
+        return True
+
+    def insert(self, block: int, state: int) -> Eviction | None:
+        """Install ``block`` with ``state``, evicting if the set is full.
+
+        Returns the eviction (block id + its state at eviction time) or
+        ``None`` if the set had room.  Inserting an already-resident block
+        is a simulator bug and raises :class:`SimulationError`.
+        """
+        if block in self._state:
+            raise SimulationError(
+                f"{self.cfg.name}: insert of resident block {block} "
+                f"(state {_STATE_NAMES.get(self._state[block], '?')})"
+            )
+        idx = self.set_index(block)
+        order = self._sets[idx]
+        evicted: Eviction | None = None
+        if len(order) >= self.cfg.associativity:
+            victim_way = self._policy.victim_index(idx, order)
+            victim = order[victim_way]
+            evicted = Eviction(victim, self._state.pop(victim))
+            self._policy.on_remove(idx, order, victim_way)
+            self._evictions += 1
+        self._policy.on_insert(idx, order, block)
+        self._state[block] = state
+        self._inserts += 1
+        return evicted
+
+    def set_state(self, block: int, state: int) -> None:
+        """Change the MESI state of a resident line."""
+        if block not in self._state:
+            raise SimulationError(f"{self.cfg.name}: set_state on absent block {block}")
+        if state not in _STATE_NAMES:
+            raise SimulationError(f"{self.cfg.name}: invalid state {state}")
+        self._state[block] = state
+
+    def invalidate(self, block: int) -> int:
+        """Remove ``block``; returns its prior state (0 if it was absent)."""
+        state = self._state.pop(block, 0)
+        if state:
+            idx = self.set_index(block)
+            order = self._sets[idx]
+            self._policy.on_remove(idx, order, order.index(block))
+        return state
+
+    def downgrade(self, block: int) -> bool:
+        """Force a resident line to SHARED; returns True if it was dirty."""
+        prior = self._state.get(block, 0)
+        if not prior:
+            raise SimulationError(f"{self.cfg.name}: downgrade on absent block {block}")
+        self._state[block] = SHARED
+        return prior == MODIFIED
+
+    def flush(self) -> None:
+        """Drop every line (used between independent runs on one machine)."""
+        self._state.clear()
+        for s in self._sets:
+            s.clear()
+        self._policy.reset()
+
+    # -- invariants (exercised by property tests) --------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SimulationError` if internal structures disagree."""
+        total = 0
+        for idx, order in enumerate(self._sets):
+            if len(order) > self.cfg.associativity:
+                raise SimulationError(f"{self.cfg.name}: set {idx} over-full ({len(order)})")
+            if len(set(order)) != len(order):
+                raise SimulationError(f"{self.cfg.name}: duplicate block in set {idx}")
+            for block in order:
+                if self.set_index(block) != idx:
+                    raise SimulationError(f"{self.cfg.name}: block {block} in wrong set {idx}")
+                if block not in self._state:
+                    raise SimulationError(f"{self.cfg.name}: block {block} in set list but stateless")
+            total += len(order)
+        if total != len(self._state):
+            raise SimulationError(
+                f"{self.cfg.name}: state map ({len(self._state)}) and sets ({total}) disagree"
+            )

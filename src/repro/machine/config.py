@@ -1,0 +1,337 @@
+"""Machine configuration dataclasses and Origin 2000 presets.
+
+All sizes are bytes, all latencies are processor cycles.  Configurations are
+validated eagerly so that an inconsistent machine fails at construction, not
+mid-simulation.
+
+Two presets are provided:
+
+``origin2000_full``
+    The machine of the paper (Section 3): 250 MHz R10000, 32 KB L1 data
+    cache, 4 MB unified L2, directory CC-NUMA over a bristled hypercube.
+    Usable for analytic what-if computations; too large to trace-simulate
+    with realistic data sets in pure Python.
+
+``origin2000_scaled``
+    The same machine shrunk by a constant factor (default 64x) in every
+    capacity while preserving the ratios the model depends on.  This is the
+    default substrate for all experiments (see DESIGN.md section 6).  At the
+    default scale the paper's working-set arithmetic carries over exactly:
+    T3dheat's 40 MB footprint becomes 640 KB against 64 KB L2s, so the
+    caching-space knee still falls at ~10 processors (40 MB / 4 MB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from ..units import MB, KB, is_power_of_two, parse_size
+
+__all__ = [
+    "CacheConfig",
+    "TimingConfig",
+    "InterconnectConfig",
+    "MemoryConfig",
+    "MachineConfig",
+    "origin2000_full",
+    "origin2000_scaled",
+    "REPLACEMENT_POLICIES",
+    "TOPOLOGIES",
+    "PLACEMENTS",
+]
+
+REPLACEMENT_POLICIES = ("lru", "fifo", "random", "plru")
+TOPOLOGIES = ("hypercube", "mesh", "ring", "crossbar")
+PLACEMENTS = ("first_touch", "round_robin", "block")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one set-associative cache.
+
+    Parameters
+    ----------
+    size:
+        Total capacity in bytes (or a string like ``"32KB"``).
+    line_size:
+        Cache line (block) size in bytes; all caches in a machine must share
+        one line size so block identities are level-independent.
+    associativity:
+        Ways per set.  ``size / (line_size * associativity)`` must be a
+        positive power of two.
+    replacement:
+        One of ``"lru"``, ``"fifo"``, ``"random"``, ``"plru"``.
+    name:
+        Label used in reports (``"L1D"``, ``"L2"``).
+    """
+
+    size: int
+    line_size: int = 32
+    associativity: int = 2
+    replacement: str = "lru"
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "size", parse_size(self.size))
+        if self.line_size <= 0 or not is_power_of_two(self.line_size):
+            raise ConfigError(f"{self.name}: line_size must be a power of two, got {self.line_size}")
+        if self.associativity <= 0:
+            raise ConfigError(f"{self.name}: associativity must be positive")
+        if self.replacement not in REPLACEMENT_POLICIES:
+            raise ConfigError(
+                f"{self.name}: unknown replacement {self.replacement!r}; "
+                f"expected one of {REPLACEMENT_POLICIES}"
+            )
+        if self.size % (self.line_size * self.associativity) != 0:
+            raise ConfigError(
+                f"{self.name}: size {self.size} not divisible by "
+                f"line_size*associativity = {self.line_size * self.associativity}"
+            )
+        if not is_power_of_two(self.n_sets):
+            raise ConfigError(f"{self.name}: number of sets {self.n_sets} must be a power of two")
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.size // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.n_lines // self.associativity
+
+    def scaled(self, factor: int) -> "CacheConfig":
+        """Return a copy with ``size`` divided by ``factor`` (capacity scaling)."""
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        new_size = self.size // factor
+        min_size = self.line_size * self.associativity
+        if new_size < min_size:
+            new_size = min_size
+        return replace(self, size=new_size)
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Latency parameters of the machine, in processor cycles.
+
+    These are the machine's *true* values; Scal-Tool never sees them and must
+    recover their observable combinations (t2, tm(n), tsyn) from counters.
+
+    Attributes
+    ----------
+    t_l2_hit:
+        Extra cycles for a load/store that misses L1 and hits L2 (the
+        paper's ``t2``).
+    t_mem:
+        Base memory service time for an L2 miss satisfied by the local
+        memory (directory lookup included); the paper's ``tm`` at n=1.
+    t_hop:
+        Network latency per router-to-router hop, charged twice (request +
+        reply) for remote accesses.
+    t_dirty_remote:
+        Extra cycles when an L2 miss must be serviced by a remote cache
+        holding the line dirty (cache-to-cache intervention).
+    t_upgrade:
+        Cycles for a store that hits a Shared line and must invalidate other
+        sharers (beyond the L2 hit cost).
+    t_writeback:
+        Cycles charged to the evicting processor for writing back a dirty
+        victim.  This is deliberately *outside* the paper's model: it is one
+        of the second-order effects that make the empirical fit inexact,
+        like on real hardware.
+    t_fetchop:
+        Uncontended round-trip of a fetch-and-op to its home memory
+        (the Origin's fetchop facility); distance costs are added on top.
+    t_fetchop_service:
+        Serialization time of the fetchop ALU at the home memory; concurrent
+        barrier arrivals queue at this rate, making cpi_sync grow with n.
+    spin_cpi:
+        CPI of the idle spin loop (the paper's cpi_imb): spin instructions
+        are cached-flag loads, so this is close to 1.
+    barrier_instructions:
+        Non-fetchop instructions each processor executes per barrier episode
+        (entry/exit bookkeeping), charged at the workload's cpi0.
+    t_prefetch_factor:
+        Fraction of the miss latency actually exposed when the miss is part
+        of a detected sequential stream.  MIPSpro at -O3 software-prefetches
+        unit-stride loops (all three SPECFP applications of the paper), so
+        streaming misses overlap with compute; random/gather misses pay the
+        full latency.  Set to 1.0 to disable prefetching.
+    t_tlb_miss:
+        Software-refill cost of a data-TLB miss (only charged when
+        ``MachineConfig.tlb_entries`` > 0).  TLB misses sit outside the
+        paper's Equation 1 — perfex reports them, but the model ignores
+        them — so enabling the TLB adds a realistic unmodeled residual.
+    """
+
+    t_l2_hit: float = 10.0
+    t_mem: float = 60.0
+    t_hop: float = 8.0
+    t_dirty_remote: float = 30.0
+    t_upgrade: float = 25.0
+    t_writeback: float = 4.0
+    t_fetchop: float = 70.0
+    t_fetchop_service: float = 12.0
+    spin_cpi: float = 1.1
+    barrier_instructions: int = 24
+    t_prefetch_factor: float = 0.3
+    t_tlb_miss: float = 25.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "t_l2_hit",
+            "t_mem",
+            "t_hop",
+            "t_dirty_remote",
+            "t_upgrade",
+            "t_writeback",
+            "t_fetchop",
+            "t_fetchop_service",
+            "spin_cpi",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"timing parameter {name} must be non-negative")
+        if self.spin_cpi <= 0:
+            raise ConfigError("spin_cpi must be positive")
+        if not (0.0 < self.t_prefetch_factor <= 1.0):
+            raise ConfigError("t_prefetch_factor must be in (0, 1]")
+        if self.barrier_instructions < 1:
+            raise ConfigError("barrier_instructions must be >= 1")
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Network topology parameters.
+
+    ``bristle`` processors share one router (the Origin 2000 attaches two
+    nodes per router of its hypercube — "bristled hypercube").
+    """
+
+    topology: str = "hypercube"
+    bristle: int = 2
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ConfigError(f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}")
+        if self.bristle < 1:
+            raise ConfigError("bristle must be >= 1")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """NUMA memory organisation.
+
+    ``page_size`` is in bytes; homes are assigned per page by ``placement``:
+
+    * ``first_touch`` — the first processor to reference any block of the
+      page becomes its home (the Origin / IRIX default policy);
+    * ``round_robin`` — pages are interleaved across nodes;
+    * ``block`` — contiguous page ranges are split evenly across nodes.
+    """
+
+    page_size: int = 512
+    placement: str = "first_touch"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "page_size", parse_size(self.page_size))
+        if self.page_size <= 0 or not is_power_of_two(self.page_size):
+            raise ConfigError("page_size must be a positive power of two")
+        if self.placement not in PLACEMENTS:
+            raise ConfigError(f"unknown placement {self.placement!r}; expected one of {PLACEMENTS}")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete DSM machine description."""
+
+    n_processors: int = 1
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(size=1 * KB, associativity=2, name="L1D"))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(size=32 * KB, associativity=2, name="L2"))
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    seed: int = 0
+    interleave_chunk: int = 32
+    model_instruction_misses: bool = False
+    #: Coherence protocol: "mesi" (Illinois, as on the Origin 2000) or
+    #: "msi" (no Exclusive state: every store to a Shared line — even a
+    #: sole copy — is an upgrade, inflating event 31).
+    protocol: str = "mesi"
+    #: Data-TLB entries per processor (0 disables the TLB model).
+    tlb_entries: int = 0
+    #: Victim-buffer entries behind each L2 (0 disables it).  A small
+    #: fully-associative buffer that catches just-evicted lines turns many
+    #: conflict misses into cheap refills — a hardware counterpoint to the
+    #: paper's "insufficient caching space" bottleneck.
+    victim_entries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ConfigError("n_processors must be >= 1")
+        if self.protocol not in ("mesi", "msi"):
+            raise ConfigError(f"unknown protocol {self.protocol!r}; expected 'mesi' or 'msi'")
+        if self.tlb_entries < 0:
+            raise ConfigError("tlb_entries must be >= 0")
+        if self.victim_entries < 0:
+            raise ConfigError("victim_entries must be >= 0")
+        if self.l1.line_size != self.l2.line_size:
+            raise ConfigError(
+                f"L1 and L2 must share one line size (got {self.l1.line_size} vs {self.l2.line_size})"
+            )
+        if self.l1.size > self.l2.size:
+            raise ConfigError("inclusive hierarchy requires L1 size <= L2 size")
+        if self.interleave_chunk < 1:
+            raise ConfigError("interleave_chunk must be >= 1")
+
+    @property
+    def line_size(self) -> int:
+        """Block size shared by both cache levels."""
+        return self.l1.line_size
+
+    def with_processors(self, n: int) -> "MachineConfig":
+        """Same machine at a different processor count."""
+        return replace(self, n_processors=n)
+
+    def with_l2_size(self, size: int) -> "MachineConfig":
+        """Same machine with a different L2 capacity (what-if support)."""
+        return replace(self, l2=replace(self.l2, size=parse_size(size)))
+
+    def aggregate_l2_bytes(self) -> int:
+        """Total L2 capacity across the machine — the paper's "caching space"."""
+        return self.l2.size * self.n_processors
+
+
+def origin2000_full(n_processors: int = 32) -> MachineConfig:
+    """The paper's machine at full scale (Section 3): for analytic use only."""
+    return MachineConfig(
+        n_processors=n_processors,
+        l1=CacheConfig(size=32 * KB, line_size=32, associativity=2, name="L1D"),
+        l2=CacheConfig(size=4 * MB, line_size=32, associativity=2, name="L2"),
+        timing=TimingConfig(),
+        interconnect=InterconnectConfig(topology="hypercube", bristle=2),
+        memory=MemoryConfig(page_size=16 * KB, placement="first_touch"),
+    )
+
+
+def origin2000_scaled(n_processors: int = 1, scale: int = 64, seed: int = 0) -> MachineConfig:
+    """The default experimental substrate: Origin 2000 shrunk by ``scale``.
+
+    Capacities (caches, pages) shrink by ``scale``; latencies, topology, and
+    associativities are unchanged, so hit-rate/latency *ratios* match the
+    full machine when data sets are shrunk by the same factor.
+    """
+    if scale <= 0:
+        raise ConfigError("scale must be positive")
+    full = origin2000_full(n_processors)
+    page = max(128, (16 * KB) // scale)
+    return MachineConfig(
+        n_processors=n_processors,
+        l1=full.l1.scaled(scale),
+        l2=full.l2.scaled(scale),
+        timing=full.timing,
+        interconnect=full.interconnect,
+        memory=MemoryConfig(page_size=page, placement="first_touch"),
+        seed=seed,
+    )

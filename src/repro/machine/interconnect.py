@@ -1,0 +1,106 @@
+"""NUMA interconnect topologies and distance model.
+
+The Origin 2000 connects pairs of nodes ("bristles") to routers arranged in
+a hypercube; remote memory latency grows with the router-hop distance, which
+is what makes the paper's ``tm(n)`` increase with the processor count.  We
+implement the bristled hypercube plus three alternatives (2-D mesh, ring,
+crossbar) so experiments can vary the latency-growth law.
+
+Distances are symmetric, zero on the same router, and satisfy the triangle
+inequality for every built-in topology (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from ..errors import ConfigError
+from .config import InterconnectConfig
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """Distance oracle for one machine instance."""
+
+    def __init__(self, cfg: InterconnectConfig, n_processors: int) -> None:
+        if n_processors < 1:
+            raise ConfigError("n_processors must be >= 1")
+        self.cfg = cfg
+        self.n_processors = n_processors
+        self.n_routers = (n_processors + cfg.bristle - 1) // cfg.bristle
+        self._router = [cpu // cfg.bristle for cpu in range(n_processors)]
+        if cfg.topology == "mesh":
+            self._mesh_w = max(1, math.isqrt(self.n_routers))
+            if self._mesh_w * self._mesh_w < self.n_routers:
+                self._mesh_w += 1
+        dispatch = {
+            "hypercube": self._hops_hypercube,
+            "mesh": self._hops_mesh,
+            "ring": self._hops_ring,
+            "crossbar": self._hops_crossbar,
+        }
+        self._router_hops = dispatch[cfg.topology]
+        # Precompute the cpu->cpu distance table: n is at most a few dozen,
+        # and the per-access hot path then reduces to one indexed load.
+        self.table = [
+            [self._router_hops(self._router[a], self._router[b]) for b in range(n_processors)]
+            for a in range(n_processors)
+        ]
+
+    # -- per-topology router distances --------------------------------------
+
+    @staticmethod
+    def _hops_hypercube(a: int, b: int) -> int:
+        return (a ^ b).bit_count()
+
+    def _hops_mesh(self, a: int, b: int) -> int:
+        w = self._mesh_w
+        ax, ay = a % w, a // w
+        bx, by = b % w, b // w
+        return abs(ax - bx) + abs(ay - by)
+
+    def _hops_ring(self, a: int, b: int) -> int:
+        d = abs(a - b)
+        return min(d, self.n_routers - d)
+
+    @staticmethod
+    def _hops_crossbar(a: int, b: int) -> int:
+        return 0 if a == b else 1
+
+    # -- public API ----------------------------------------------------------
+
+    def router_of(self, cpu: int) -> int:
+        """Router a processor is attached to."""
+        return self._router[cpu]
+
+    def hops(self, cpu_a: int, cpu_b: int) -> int:
+        """Router-hop distance between two processors."""
+        return self.table[cpu_a][cpu_b]
+
+    def is_local(self, cpu: int, home: int) -> bool:
+        """True when ``home`` is the processor's own node (no network)."""
+        return cpu == home
+
+    @lru_cache(maxsize=None)
+    def diameter(self) -> int:
+        """Maximum hop distance in the machine."""
+        return max(max(row) for row in self.table)
+
+    @lru_cache(maxsize=None)
+    def mean_distance(self) -> float:
+        """Mean cpu-to-cpu hop distance over all ordered pairs (incl. self).
+
+        This is the expected distance of a uniformly-placed remote access
+        and is the analytic knob behind the ``tm(n)`` growth curve.
+        """
+        n = self.n_processors
+        return sum(sum(row) for row in self.table) / (n * n)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.cfg.topology} ({self.n_routers} routers x {self.cfg.bristle} cpus, "
+            f"diameter {self.diameter()}, mean distance {self.mean_distance():.2f})"
+        )

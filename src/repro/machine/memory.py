@@ -1,0 +1,179 @@
+"""NUMA memory: block allocation and page-granular home assignment.
+
+Workloads allocate named *regions* (their arrays) through the
+:class:`Allocator`; every cache block then belongs to exactly one page, and
+every page has a *home node* whose memory services directory lookups and
+L2-miss fills.  Three placement policies are supported:
+
+* ``first_touch`` — the home is the first processor that references the
+  page (IRIX's default, assumed by the paper's applications);
+* ``round_robin`` — pages interleave across nodes;
+* ``block`` — each allocated region is split into contiguous per-node
+  chunks (what a tuned explicit placement would do).
+
+Homes are resolved lazily through :meth:`NumaMemory.home_of`, which the
+coherence controller calls on every L2 miss.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..errors import ConfigError, SimulationError
+from ..units import log2_int
+from .config import MemoryConfig
+
+__all__ = ["Region", "Allocator", "NumaMemory"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous allocation of blocks (one application array)."""
+
+    name: str
+    base_block: int
+    n_blocks: int
+
+    @property
+    def end_block(self) -> int:
+        """One past the last block."""
+        return self.base_block + self.n_blocks
+
+    def block_range(self) -> range:
+        return range(self.base_block, self.end_block)
+
+    def slice_for(self, part: int, n_parts: int) -> range:
+        """Blocks of the ``part``-th of ``n_parts`` equal contiguous chunks.
+
+        Used both by ``block`` placement and by workloads partitioning their
+        arrays across processors; the last part absorbs the remainder.
+        """
+        if not (0 <= part < n_parts):
+            raise ConfigError(f"part {part} out of range for {n_parts} parts")
+        per = self.n_blocks // n_parts
+        lo = self.base_block + part * per
+        hi = self.base_block + (part + 1) * per if part < n_parts - 1 else self.end_block
+        return range(lo, hi)
+
+
+class Allocator:
+    """Hands out page-aligned block ranges from a flat address space.
+
+    With ``color=True`` (default) each region's base gets an extra
+    name-hashed page offset ("page coloring"): on real machines, distinct
+    arrays land on unrelated physical pages, so their cache-set footprints
+    are decorrelated.  Without coloring, power-of-two-strided region bases
+    alias the same L2 sets and thrash pathologically — an artifact of the
+    synthetic flat address space, not of the modelled applications.
+    """
+
+    #: Colors are drawn modulo a prime number of pages so that regions with
+    #: related sizes still land on unrelated cache sets.
+    COLOR_PAGES = 61
+
+    def __init__(self, blocks_per_page: int, color: bool = True) -> None:
+        if blocks_per_page < 1:
+            raise ConfigError("blocks_per_page must be >= 1")
+        self.blocks_per_page = blocks_per_page
+        self.color = color
+        self._next_block = 0
+        self._regions: dict[str, Region] = {}
+
+    def alloc(self, name: str, n_blocks: int) -> Region:
+        """Allocate ``n_blocks`` page-aligned blocks under ``name``."""
+        if n_blocks < 1:
+            raise ConfigError(f"region {name!r}: n_blocks must be >= 1")
+        if name in self._regions:
+            raise ConfigError(f"region {name!r} already allocated")
+        bpp = self.blocks_per_page
+        base = self._next_block
+        if self.color:
+            base += (zlib.crc32(name.encode()) % self.COLOR_PAGES) * bpp
+        region = Region(name, base, n_blocks)
+        # Advance to the next page boundary so regions never share a page
+        # (sharing a page would entangle their homes).
+        self._next_block = ((base + n_blocks + bpp - 1) // bpp) * bpp
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise ConfigError(f"unknown region {name!r}") from None
+
+    def regions(self) -> list[Region]:
+        return list(self._regions.values())
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks allocated so far (including alignment padding)."""
+        return self._next_block
+
+
+class NumaMemory:
+    """Page-to-home mapping for one machine instance."""
+
+    def __init__(self, cfg: MemoryConfig, n_nodes: int, line_size: int) -> None:
+        if n_nodes < 1:
+            raise ConfigError("n_nodes must be >= 1")
+        if cfg.page_size < line_size:
+            raise ConfigError("page_size must be at least one cache line")
+        self.cfg = cfg
+        self.n_nodes = n_nodes
+        self.line_size = line_size
+        self.blocks_per_page = cfg.page_size // line_size
+        self._page_shift = log2_int(self.blocks_per_page)
+        self._page_home: dict[int, int] = {}
+        self.allocator = Allocator(self.blocks_per_page)
+
+    def page_of(self, block: int) -> int:
+        return block >> self._page_shift
+
+    def home_of(self, block: int, toucher: int) -> int:
+        """Home node of ``block``; assigns it on first touch if needed.
+
+        ``toucher`` is the processor making the access (used only by the
+        first-touch policy, but always required so call sites cannot forget
+        it).
+        """
+        page = block >> self._page_shift
+        home = self._page_home.get(page)
+        if home is None:
+            home = self._place(page, toucher)
+            self._page_home[page] = home
+        return home
+
+    def _place(self, page: int, toucher: int) -> int:
+        policy = self.cfg.placement
+        if policy == "first_touch":
+            return toucher
+        if policy == "round_robin":
+            return page % self.n_nodes
+        if policy == "block":
+            # Contiguous split of the region owning this page; pages outside
+            # any region (padding) fall back to round-robin.
+            for region in self.allocator.regions():
+                first_page = region.base_block >> self._page_shift
+                last_page = (region.end_block - 1) >> self._page_shift
+                if first_page <= page <= last_page:
+                    span = last_page - first_page + 1
+                    return min(self.n_nodes - 1, (page - first_page) * self.n_nodes // span)
+            return page % self.n_nodes
+        raise SimulationError(f"unknown placement {policy!r}")
+
+    def assigned_pages(self) -> dict[int, int]:
+        """Pages whose home has been decided so far (page -> node)."""
+        return dict(self._page_home)
+
+    def home_histogram(self) -> list[int]:
+        """Number of assigned pages homed at each node."""
+        counts = [0] * self.n_nodes
+        for home in self._page_home.values():
+            counts[home] += 1
+        return counts
+
+    def reset_homes(self) -> None:
+        """Forget first-touch decisions (between independent runs)."""
+        self._page_home.clear()

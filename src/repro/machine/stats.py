@@ -1,0 +1,57 @@
+"""Diagnostic snapshots of machine state (occupancy, directory, placement).
+
+These are debugging/inspection aids, not part of the measured interface:
+Scal-Tool never sees them.  They power the examples' "machine report" and
+several integration tests (e.g. checking that first-touch placement really
+homes each partition at its sweeping processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .system import DsmMachine
+
+__all__ = ["MachineSnapshot", "snapshot"]
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Point-in-time summary of one machine's caches, directory, and memory."""
+
+    n_processors: int
+    l1_occupancy: list[float]
+    l2_occupancy: list[float]
+    directory_entries: int
+    pages_assigned: int
+    home_histogram: list[int]
+    mean_network_distance: float
+    diameter: int
+
+    def describe(self) -> str:
+        lines = [
+            f"processors            : {self.n_processors}",
+            f"directory entries     : {self.directory_entries}",
+            f"pages assigned        : {self.pages_assigned}",
+            f"home histogram        : {self.home_histogram}",
+            f"mean network distance : {self.mean_network_distance:.2f} hops",
+            f"network diameter      : {self.diameter} hops",
+        ]
+        for cpu, (o1, o2) in enumerate(zip(self.l1_occupancy, self.l2_occupancy)):
+            lines.append(f"cpu {cpu:2d} occupancy      : L1 {o1:6.1%}  L2 {o2:6.1%}")
+        return "\n".join(lines)
+
+
+def snapshot(machine: DsmMachine) -> MachineSnapshot:
+    """Capture the current state of ``machine``."""
+    homes = machine.memory.home_histogram()
+    return MachineSnapshot(
+        n_processors=machine.n_processors,
+        l1_occupancy=[h.l1.occupancy for h in machine.hierarchies],
+        l2_occupancy=[h.l2.occupancy for h in machine.hierarchies],
+        directory_entries=machine.controller.directory.n_entries(),
+        pages_assigned=len(machine.memory.assigned_pages()),
+        home_histogram=homes,
+        mean_network_distance=machine.interconnect.mean_distance(),
+        diameter=machine.interconnect.diameter(),
+    )

@@ -1,0 +1,260 @@
+"""Fetchop-style synchronization: barriers, locks, and spin-waiting.
+
+The Origin 2000 implements synchronization with *fetchop*, uncached atomic
+fetch-and-op operations serviced by the memory controller of the
+synchronization variable's home node (Section 2.4.2 of the paper cites the
+fetchop man pages and notes "every acquire to a synchronization variable
+involves one full memory access").  We model exactly that:
+
+* each barrier arrival / lock acquire issues one fetchop whose latency is a
+  round trip to the variable's home (``t_fetchop`` + hop costs) plus
+  *serialization* at the home's fetchop ALU (``t_fetchop_service`` per
+  request) — this queueing is what makes the measured cpi_sync grow with
+  the processor count, as the paper observes;
+* processors that arrive early *spin* on a cached flag; spinning burns
+  instructions at ``spin_cpi`` (the paper's cpi_imb ≈ 1 — cached loads),
+  which inflates the graduated-instruction counter exactly the way load
+  imbalance does on the real machine;
+* every fetchop increments the event-31 counter
+  (store/prefetch-exclusive-to-shared), so the paper's ``ntsyn``
+  measurement works unchanged — and is contaminated by true-sharing
+  upgrades exactly as discussed for Swim.
+
+Cycle attribution: protocol work (bookkeeping instructions + fetchop
+latency + queueing) goes to ``sync_cycles``; waiting goes to
+``spin_cycles``.  This is the ground-truth split the simulated speedshop
+reports (barrier routines vs wait routines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, SimulationError
+from .config import MachineConfig
+from .counters import CounterSet, GroundTruth
+from .interconnect import Interconnect
+from .memory import NumaMemory
+
+__all__ = ["SyncVariable", "SyncEngine", "BarrierOutcome"]
+
+
+@dataclass(frozen=True)
+class SyncVariable:
+    """One fetchop location (a barrier counter or a lock word)."""
+
+    name: str
+    block: int
+    home: int
+
+
+@dataclass
+class BarrierOutcome:
+    """Timing record of one barrier episode (used by tests and speedshop)."""
+
+    release_time: float
+    arrivals: list[float]
+    fetchop_done: list[float]
+    spin_cycles: list[float]
+
+
+class SyncEngine:
+    """Executes barrier and lock episodes against per-cpu clocks."""
+
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        interconnect: Interconnect,
+        memory: NumaMemory,
+        counters: list[CounterSet],
+        ground_truth: list[GroundTruth],
+    ) -> None:
+        self.cfg = cfg
+        self.interconnect = interconnect
+        self.memory = memory
+        self.counters = counters
+        self.gt = ground_truth
+        self._n_vars = 0
+        t = cfg.timing
+        self._t_fetchop = t.t_fetchop
+        self._t_service = t.t_fetchop_service
+        self._t_hop = t.t_hop
+        self._spin_cpi = t.spin_cpi
+        self._pre_instr = t.barrier_instructions
+
+    def allocate_variable(self, name: str) -> SyncVariable:
+        """Allocate one sync variable; its page is homed by first touch of cpu 0.
+
+        Real codes initialise barriers on the master thread, so the variable
+        lands on node 0's memory — a hotspot whose distance from the other
+        processors grows with machine size, driving tsyn(n).
+        """
+        region = self.memory.allocator.alloc(f"__sync_{self._n_vars}_{name}", 1)
+        self._n_vars += 1
+        home = self.memory.home_of(region.base_block, 0)
+        return SyncVariable(name, region.base_block, home)
+
+    # -- fetchop timing --------------------------------------------------------------
+
+    def _transit(self, cpu: int, home: int) -> float:
+        """Round-trip network latency of one fetchop from ``cpu`` to ``home``."""
+        return self._t_fetchop + 2.0 * self.interconnect.table[cpu][home] * self._t_hop
+
+    def _serialize(self, requests: list[tuple[float, int]], home: int) -> dict[int, float]:
+        """Serialize fetchop requests at the home ALU.
+
+        ``requests`` is (issue_time, cpu); returns cpu -> completion time at
+        the issuing processor.
+        """
+        done: dict[int, float] = {}
+        queue = sorted(
+            (issue + self._transit(cpu, home) / 2.0, cpu, issue) for issue, cpu in requests
+        )
+        alu_free = 0.0
+        for arrive_home, cpu, issue in queue:
+            start = arrive_home if arrive_home > alu_free else alu_free
+            alu_free = start + self._t_service
+            done[cpu] = alu_free + self._transit(cpu, home) / 2.0
+        return done
+
+    # -- barrier ------------------------------------------------------------------------
+
+    def barrier(
+        self,
+        var: SyncVariable,
+        clocks: list[float],
+        cpi0: float,
+        participants: list[int] | None = None,
+    ) -> BarrierOutcome:
+        """Run one barrier episode; advances every participant's clock.
+
+        Each participant executes ``barrier_instructions`` bookkeeping
+        instructions at ``cpi0``, one fetchop (serialized at the home), then
+        spins until the last fetchop completes and the release propagates.
+        """
+        cpus = list(range(len(clocks))) if participants is None else list(participants)
+        if not cpus:
+            raise ConfigError("barrier with no participants")
+        if len(set(cpus)) != len(cpus):
+            raise SimulationError("duplicate barrier participant")
+
+        pre_cost = self._pre_instr * cpi0
+        issue = {cpu: clocks[cpu] + pre_cost for cpu in cpus}
+        last_arrival = max(issue.values())
+        done = self._serialize([(issue[c], c) for c in cpus], var.home)
+        release_at_home = max(done[c] - self._transit(c, var.home) / 2.0 for c in cpus)
+
+        arrivals, fetchop_done, spins = [], [], []
+        release_times = {}
+        for cpu in cpus:
+            # Release propagates by invalidating the spun flag: one one-way
+            # trip from the home to the spinner.
+            release = release_at_home + self.interconnect.table[cpu][var.home] * self._t_hop
+            if release < done[cpu]:
+                release = done[cpu]
+            # Attribution: the share of this episode caused by arriving
+            # before the last processor is *load imbalance*; everything
+            # else (bookkeeping instructions, the fetchop round trip, and
+            # the serialization queue at the home ALU) is *synchronization*.
+            # This matches both speedshop's bucketing (time inside
+            # mp_barrier vs time in the wait-for-work routines) and what
+            # the sync micro-kernel measures: its barriers have the same
+            # serialization but no arrival spread.
+            advance = release - clocks[cpu]
+            imbalance_wait = last_arrival - issue[cpu]
+            if imbalance_wait > advance:
+                imbalance_wait = advance
+            sync_cycles = advance - imbalance_wait
+
+            # Instruction accounting mirrors the two different spin loops of
+            # the MP/PCF runtime: imbalance waits spin on a *cached* flag
+            # (many instructions at ~1 CPI — the paper's "extra instructions
+            # induced by idle thread spinning"), whereas waits inside the
+            # barrier itself poll the *uncached* fetchop variable (each poll
+            # is one load taking a full memory round trip, so few
+            # instructions at a large, n-dependent CPI — which is why the
+            # paper finds cpi_sync to be a function of n).
+            transit = self._transit(cpu, var.home)
+            spin_instr = imbalance_wait / self._spin_cpi
+            poll_wait = sync_cycles - pre_cost - transit
+            polls = poll_wait / transit if poll_wait > 0.0 else 0.0
+
+            counters = self.counters[cpu]
+            gt = self.gt[cpu]
+            counters.graduated_instructions += self._pre_instr + 1 + polls + spin_instr
+            counters.graduated_stores += 1  # the fetchop
+            counters.graduated_loads += polls + spin_instr / 2.0
+            counters.store_exclusive_to_shared += 1  # event 31 == ntsyn source
+            gt.sync_cycles += sync_cycles
+            gt.sync_instructions += self._pre_instr + 1 + polls
+            gt.spin_cycles += imbalance_wait
+            gt.spin_instructions += spin_instr
+            gt.barriers += 1
+
+            clocks[cpu] = release
+            arrivals.append(issue[cpu])
+            fetchop_done.append(done[cpu])
+            spins.append(release - done[cpu])
+            release_times[cpu] = release
+
+        return BarrierOutcome(
+            release_time=max(release_times.values()),
+            arrivals=arrivals,
+            fetchop_done=fetchop_done,
+            spin_cycles=spins,
+        )
+
+    # -- lock / critical section -----------------------------------------------------------
+
+    def lock_section(
+        self,
+        var: SyncVariable,
+        clocks: list[float],
+        cpi0: float,
+        cs_instructions: int,
+        participants: list[int] | None = None,
+    ) -> None:
+        """Every participant passes through one critical section, serialized.
+
+        Acquire = fetchop (serialized at the home); the critical section
+        runs ``cs_instructions`` at ``cpi0``; release = second fetchop.
+        Waiting processors spin.  Used by lock-based workloads and the
+        synchronization micro-kernels.
+        """
+        cpus = list(range(len(clocks))) if participants is None else list(participants)
+        if not cpus:
+            raise ConfigError("lock_section with no participants")
+        if cs_instructions < 0:
+            raise ConfigError("cs_instructions must be >= 0")
+
+        order = sorted(cpus, key=lambda c: clocks[c])
+        lock_free = 0.0
+        for cpu in order:
+            counters = self.counters[cpu]
+            gt = self.gt[cpu]
+            arrive = clocks[cpu]
+            transit = self._transit(cpu, var.home)
+            acquire_latency = transit + self._t_service
+            earliest_hold = arrive + acquire_latency
+            start_hold = earliest_hold if earliest_hold > lock_free else lock_free
+            wait_cycles = start_hold - earliest_hold
+            cs_cycles = cs_instructions * cpi0
+            release_latency = transit + self._t_service
+            end = start_hold + cs_cycles + release_latency
+            lock_free = end
+
+            # Lock waiting polls the uncached fetchop word (mp_lock_try is
+            # one of the paper's *synchronization* routines), so contention
+            # is booked as sync, not load imbalance.
+            polls = wait_cycles / transit if transit > 0 else 0.0
+            counters.graduated_instructions += 2 + cs_instructions + polls
+            counters.graduated_stores += 2  # acquire + release fetchops
+            counters.graduated_loads += polls
+            counters.store_exclusive_to_shared += 2
+            gt.sync_cycles += acquire_latency + release_latency + wait_cycles
+            gt.sync_instructions += 2 + polls
+            gt.compute_cycles += cs_cycles
+            gt.compute_instructions += cs_instructions
+            gt.lock_acquires += 1
+
+            clocks[cpu] = end

@@ -1,0 +1,223 @@
+"""The DSM machine: ties caches, directory, network, memory, and sync together.
+
+:class:`DsmMachine` is the substrate every experiment runs on.  A *run*
+executes one workload at one data-set size on the configured processor
+count and yields a :class:`RunResult` holding
+
+* the hardware-visible :class:`~repro.machine.counters.CounterSet` per
+  processor (all Scal-Tool may consume),
+* the :class:`~repro.machine.counters.GroundTruth` ledger per processor
+  (used only by the validation tools, in the role speedshop plays in the
+  paper),
+* per-phase counter deltas (used by the perfex multiplexing emulation),
+* the wall-clock cycle count.
+
+The machine self-checks after every run: the ground-truth cycle ledger must
+reconcile with the cycle counter, and the coherence invariants must hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import SimulationError, WorkloadError
+from .coherence import CoherenceController
+from .config import MachineConfig
+from .counters import CounterSet, GroundTruth
+from .hierarchy import CacheHierarchy
+from .interconnect import Interconnect
+from .memory import NumaMemory
+from .processor import PhaseRunner
+from .sync import BarrierOutcome, SyncEngine, SyncVariable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..workloads.base import Workload
+
+__all__ = ["DsmMachine", "RunResult"]
+
+# Instruction-fetch model constants (enabled by
+# MachineConfig.model_instruction_misses): a small resident code footprint
+# whose cold misses and steady-state L1I miss rate reproduce the slight
+# hit-rate droop at tiny data sets in the paper's Figure 3-(a).
+_CODE_BLOCKS = 32
+_L1I_MISS_RATE = 2.0e-4
+
+
+@dataclass
+class RunResult:
+    """Everything one run produced."""
+
+    workload_name: str
+    size_bytes: int
+    n_processors: int
+    config: MachineConfig
+    per_cpu_counters: list[CounterSet]
+    per_cpu_ground_truth: list[GroundTruth]
+    phase_counters: list[tuple[str, CounterSet]]
+    wall_cycles: float
+    barrier_log: list[BarrierOutcome] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def counters(self) -> CounterSet:
+        """All processors accumulated — what the paper's figures plot."""
+        return CounterSet.total(self.per_cpu_counters)
+
+    @property
+    def ground_truth(self) -> GroundTruth:
+        return GroundTruth.total(self.per_cpu_ground_truth)
+
+    @property
+    def total_cycles(self) -> float:
+        """Accumulated cycles over all processors (paper Figures 6/9/12)."""
+        return self.counters.cycles
+
+    def speedup_over(self, uniprocessor: "RunResult") -> float:
+        """Wall-clock speedup relative to a 1-processor run."""
+        if uniprocessor.wall_cycles <= 0:
+            raise SimulationError("uniprocessor run has no cycles")
+        return uniprocessor.wall_cycles / self.wall_cycles
+
+
+class DsmMachine:
+    """One configured DSM multiprocessor instance."""
+
+    def __init__(self, cfg: MachineConfig, directory_kind: str = "bitvector") -> None:
+        self.cfg = cfg
+        self.interconnect = Interconnect(cfg.interconnect, cfg.n_processors)
+        self._directory_kind = directory_kind
+        self._build_state()
+
+    def _build_state(self) -> None:
+        cfg = self.cfg
+        self.memory = NumaMemory(cfg.memory, cfg.n_processors, cfg.line_size)
+        self.hierarchies = [
+            CacheHierarchy(node, cfg.l1, cfg.l2, seed=cfg.seed) for node in range(cfg.n_processors)
+        ]
+        self.counters = [CounterSet() for _ in range(cfg.n_processors)]
+        self.ground_truth = [GroundTruth() for _ in range(cfg.n_processors)]
+        self.controller = CoherenceController(
+            cfg,
+            self.hierarchies,
+            self.memory,
+            self.interconnect,
+            self.counters,
+            self.ground_truth,
+            directory_kind=self._directory_kind,
+        )
+        self.sync = SyncEngine(cfg, self.interconnect, self.memory, self.counters, self.ground_truth)
+        self.runner = PhaseRunner(
+            self.controller, self.counters, self.ground_truth, cfg.interleave_chunk
+        )
+        self.clocks = [0.0] * cfg.n_processors
+        self._code_warm = [False] * cfg.n_processors
+        self.barrier_var: SyncVariable = self.sync.allocate_variable("global_barrier")
+
+    # -- conveniences used by workloads -----------------------------------------
+
+    @property
+    def n_processors(self) -> int:
+        return self.cfg.n_processors
+
+    @property
+    def line_size(self) -> int:
+        return self.cfg.line_size
+
+    @property
+    def allocator(self):
+        return self.memory.allocator
+
+    def reset(self) -> None:
+        """Return to a pristine state (fresh caches, homes, counters, clocks)."""
+        self._build_state()
+
+    # -- the run loop -------------------------------------------------------------
+
+    def run(self, workload: "Workload", size_bytes: int, check: bool = True) -> RunResult:
+        """Execute ``workload`` at data-set size ``size_bytes``; fresh machine state."""
+        self.reset()
+        cfg = self.cfg
+        phases = workload.build(self, size_bytes)
+        phase_counters: list[tuple[str, CounterSet]] = []
+        barrier_log: list[BarrierOutcome] = []
+        before = CounterSet()
+
+        n_phases = 0
+        for phase in phases:
+            if phase.n_processors != cfg.n_processors:
+                raise WorkloadError(
+                    f"phase {phase.name!r} sized for {phase.n_processors} cpus "
+                    f"on a {cfg.n_processors}-cpu machine"
+                )
+            cpi0 = phase.cpi0_override if phase.cpi0_override is not None else workload.cpi0
+            self.runner.run_phase(phase, cpi0, self.clocks)
+            if cfg.model_instruction_misses:
+                self._charge_instruction_misses(phase)
+            if phase.barrier:
+                barrier_log.append(self.sync.barrier(self.barrier_var, self.clocks, cpi0))
+            for cpu in range(cfg.n_processors):
+                self.counters[cpu].cycles = self.clocks[cpu]
+            snapshot = CounterSet.total(self.counters)
+            delta = snapshot + before.scaled(-1.0)
+            phase_counters.append((phase.name, delta))
+            before = snapshot
+            n_phases += 1
+
+        if n_phases == 0:
+            raise WorkloadError(f"workload {workload.name!r} produced no phases")
+
+        for cpu in range(cfg.n_processors):
+            self.counters[cpu].cycles = self.clocks[cpu]
+
+        if check:
+            self._self_check()
+
+        return RunResult(
+            workload_name=workload.name,
+            size_bytes=size_bytes,
+            n_processors=cfg.n_processors,
+            config=cfg,
+            per_cpu_counters=[c for c in self.counters],
+            per_cpu_ground_truth=[g for g in self.ground_truth],
+            phase_counters=phase_counters,
+            wall_cycles=max(self.clocks),
+            barrier_log=barrier_log,
+            metadata={"workload_params": workload.describe_params(), "n_phases": n_phases},
+        )
+
+    def _charge_instruction_misses(self, phase) -> None:
+        t = self.cfg.timing
+        for cpu, seg in enumerate(phase.segments):
+            if seg is None:
+                continue
+            counters = self.counters[cpu]
+            gt = self.gt_of(cpu)
+            stall = 0.0
+            steady = seg.n_instructions * _L1I_MISS_RATE
+            counters.l1_instruction_misses += steady
+            stall += steady * t.t_l2_hit
+            gt.l2_hit_stall_cycles += steady * t.t_l2_hit
+            if not self._code_warm[cpu]:
+                counters.l1_instruction_misses += _CODE_BLOCKS
+                counters.l2_misses += _CODE_BLOCKS  # unified L2: code cold misses
+                stall += _CODE_BLOCKS * t.t_mem
+                gt.memory_stall_cycles += _CODE_BLOCKS * t.t_mem
+                gt.cold_misses += _CODE_BLOCKS
+                gt.local_misses += _CODE_BLOCKS
+                self._code_warm[cpu] = True
+            self.clocks[cpu] += stall
+
+    def gt_of(self, cpu: int) -> GroundTruth:
+        return self.ground_truth[cpu]
+
+    def _self_check(self) -> None:
+        """Post-run consistency: ledger reconciles, coherence invariants hold."""
+        for cpu in range(self.cfg.n_processors):
+            ledger = self.ground_truth[cpu].total_cycles
+            clock = self.clocks[cpu]
+            if abs(ledger - clock) > max(1.0, 1e-6 * clock):
+                raise SimulationError(
+                    f"cpu {cpu}: ground-truth ledger {ledger:.1f} != clock {clock:.1f}"
+                )
+        self.controller.check_invariants()

@@ -1,0 +1,82 @@
+"""On-disk memoisation of campaigns.
+
+Campaigns are deterministic (seeded simulator, seeded workloads), so a
+campaign is fully identified by its inputs.  The cache keys on a hash of
+(workload name + parameters, machine summary, campaign plan) and stores
+the JSONL manifest, letting benchmarks and examples re-run instantly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from .campaign import CampaignConfig, CampaignData, ScalToolCampaign
+from .experiment import MachineFactory, default_machine_factory
+from .records import load_records, save_records
+from ..workloads.base import Workload
+
+__all__ = ["campaign_cache_dir", "cached_campaign"]
+
+_ENV_VAR = "SCALTOOL_CACHE_DIR"
+
+
+def campaign_cache_dir() -> Path:
+    """Cache root: $SCALTOOL_CACHE_DIR or .scaltool_cache in the cwd."""
+    return Path(os.environ.get(_ENV_VAR, ".scaltool_cache"))
+
+
+def _campaign_key(workload: Workload, config: CampaignConfig, machine_summary: dict) -> str:
+    ident = {
+        "workload": workload.name,
+        "params": workload.describe_params(),
+        "machine": machine_summary,
+        "s0": config.s0,
+        "counts": list(config.processor_counts),
+        "min_fraction_bytes": config.min_fraction_bytes,
+        "sync_kernel_barriers": config.sync_kernel_barriers,
+        "spin_kernel_episodes": config.spin_kernel_episodes,
+        "run_kernels": config.run_kernels,
+        "format": 3,
+    }
+    return hashlib.sha256(json.dumps(ident, sort_keys=True).encode()).hexdigest()[:20]
+
+
+def _machine_summary(factory: MachineFactory) -> dict:
+    cfg = factory(1)
+    return {
+        "l1": cfg.l1.size,
+        "l2": cfg.l2.size,
+        "line": cfg.line_size,
+        "assoc": (cfg.l1.associativity, cfg.l2.associativity),
+        "topology": cfg.interconnect.topology,
+        "timing": cfg.timing.__dict__,
+        "page": cfg.memory.page_size,
+        "placement": cfg.memory.placement,
+        "seed": cfg.seed,
+    }
+
+
+def cached_campaign(
+    workload: Workload,
+    config: CampaignConfig,
+    machine_factory: MachineFactory | None = None,
+    cache_dir: str | Path | None = None,
+    refresh: bool = False,
+) -> CampaignData:
+    """Run (or reload) the campaign for ``workload`` under ``config``."""
+    factory = machine_factory or default_machine_factory()
+    key = _campaign_key(workload, config, _machine_summary(factory))
+    root = Path(cache_dir) if cache_dir else campaign_cache_dir()
+    manifest = root / f"{workload.name}_{key}.jsonl"
+
+    if manifest.exists() and not refresh:
+        records = load_records(manifest)
+        if records:
+            return CampaignData(workload=workload.name, s0=config.s0, records=records)
+
+    data = ScalToolCampaign(workload, config, machine_factory=factory).run()
+    save_records(data.records, manifest)
+    return data

@@ -1,0 +1,43 @@
+"""Single-experiment execution: one workload at one (size, n) point."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..machine.config import MachineConfig, origin2000_scaled
+from ..machine.system import DsmMachine, RunResult
+from ..workloads.base import Workload
+from .records import ROLE_APP_BASE, RunRecord
+
+__all__ = ["run_experiment", "default_machine_factory"]
+
+MachineFactory = Callable[[int], MachineConfig]
+
+
+def default_machine_factory(scale: int = 64, seed: int = 0) -> MachineFactory:
+    """The standard substrate: the scaled Origin 2000 at any processor count."""
+
+    def factory(n_processors: int) -> MachineConfig:
+        return origin2000_scaled(n_processors=n_processors, scale=scale, seed=seed)
+
+    return factory
+
+
+def run_experiment(
+    workload: Workload,
+    size_bytes: int,
+    n_processors: int,
+    machine_factory: MachineFactory | None = None,
+    role: str = ROLE_APP_BASE,
+    keep_ground_truth: bool = True,
+) -> RunRecord:
+    """Run ``workload`` once and return its measurement record.
+
+    A fresh machine is built per run (cold caches, unassigned page homes),
+    exactly as each row of the paper's Table 3 is an independent program
+    execution.
+    """
+    factory = machine_factory or default_machine_factory()
+    machine = DsmMachine(factory(n_processors))
+    result: RunResult = machine.run(workload, size_bytes)
+    return RunRecord.from_result(result, role=role, keep_ground_truth=keep_ground_truth)

@@ -1,0 +1,88 @@
+"""Parameter-sweep orchestration.
+
+Ablations keep re-running the same pattern: a grid of workload and/or
+machine variations, one run each, gathered into a tidy table.  This module
+provides that harness with deterministic caching-friendly structure.
+
+Example::
+
+    grid = ParameterSweep(
+        base_workload=lambda **p: Swim(**p),
+        workload_grid={"halo_blocks": [0, 1, 2]},
+        machine_grid={"protocol": ["mesi", "msi"]},
+        n_processors=8,
+        size=Swim().default_size(),
+    )
+    rows = grid.run(metrics={
+        "event31": lambda res: res.counters.store_exclusive_to_shared,
+    })
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..errors import ConfigError
+from ..machine.config import MachineConfig, origin2000_scaled
+from ..machine.system import DsmMachine, RunResult
+
+__all__ = ["ParameterSweep", "sweep_grid"]
+
+Metric = Callable[[RunResult], float]
+
+
+def sweep_grid(**axes) -> list[dict]:
+    """Cartesian product of named value lists as a list of dicts."""
+    if not axes:
+        return [{}]
+    names = list(axes)
+    for name, values in axes.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ConfigError(f"axis {name!r} must be a non-empty list")
+    return [dict(zip(names, combo)) for combo in itertools.product(*axes.values())]
+
+
+@dataclass
+class ParameterSweep:
+    """A (workload params) x (machine params) grid of single runs."""
+
+    base_workload: Callable[..., object]
+    size: int
+    n_processors: int = 8
+    workload_grid: dict = field(default_factory=dict)
+    machine_grid: dict = field(default_factory=dict)
+    base_machine: MachineConfig | None = None
+
+    def points(self) -> list[tuple[dict, dict]]:
+        return [
+            (wp, mp)
+            for wp in sweep_grid(**self.workload_grid)
+            for mp in sweep_grid(**self.machine_grid)
+        ]
+
+    def _machine_config(self, machine_params: dict) -> MachineConfig:
+        cfg = self.base_machine or origin2000_scaled(n_processors=self.n_processors)
+        cfg = cfg.with_processors(self.n_processors)
+        if machine_params:
+            try:
+                cfg = replace(cfg, **machine_params)
+            except TypeError as exc:
+                raise ConfigError(f"bad machine parameter: {exc}") from exc
+        return cfg
+
+    def run(self, metrics: dict[str, Metric]) -> list[dict]:
+        """Execute the grid; one row per point with the requested metrics."""
+        if not metrics:
+            raise ConfigError("at least one metric is required")
+        rows = []
+        for workload_params, machine_params in self.points():
+            workload = self.base_workload(**workload_params)
+            machine = DsmMachine(self._machine_config(machine_params))
+            result = machine.run(workload, self.size)
+            row: dict = {**workload_params, **machine_params}
+            for name, fn in metrics.items():
+                row[name] = fn(result)
+            rows.append(row)
+        return rows

@@ -1,0 +1,32 @@
+"""Simulated equivalents of the SGI tool suite the paper uses.
+
+* :mod:`repro.tools.perfex` — the hardware-counter tool: formats and
+  parses counter reports (including 2-counter multiplexing emulation);
+* :mod:`repro.tools.speedshop` — PC-sampling profiler: buckets cycles
+  into compute / barrier routines / wait routines, used *only* for
+  validation (Figures 7, 10, 13);
+* :mod:`repro.tools.ssusage` — maximum resident data-set size;
+* :mod:`repro.tools.timetool` — wall-clock execution time;
+* :mod:`repro.tools.cost` — the Table 1 resource accounting for the
+  existing-tools methodology vs Scal-Tool.
+"""
+
+from .perfex import format_report, multiplex_counters, parse_report
+from .speedshop import SpeedshopProfile, profile_record, profile_run
+from .ssusage import data_set_size
+from .timetool import execution_seconds
+from .cost import existing_tools_cost, scal_tool_cost, table1_rows
+
+__all__ = [
+    "format_report",
+    "parse_report",
+    "multiplex_counters",
+    "SpeedshopProfile",
+    "profile_run",
+    "profile_record",
+    "data_set_size",
+    "execution_seconds",
+    "existing_tools_cost",
+    "scal_tool_cost",
+    "table1_rows",
+]

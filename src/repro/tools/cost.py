@@ -1,0 +1,86 @@
+"""Tool-cost accounting (paper Table 1).
+
+For the motivating example — measure execution time and the fraction of
+cycles in synchronization/spinning for processor counts 1, 2, 4, ...,
+2^(n-1) — the paper counts runs, total processors, and output files for
+the existing-tools methodology (``time`` + ``speedshop``) versus
+Scal-Tool's run plan (Table 3).  These closed forms regenerate Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["ToolCost", "existing_tools_cost", "scal_tool_cost", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class ToolCost:
+    """Resources one methodology needs for the n-point scaling study."""
+
+    label: str
+    runs: int
+    processors: int
+    files: int
+
+    def row(self) -> tuple[str, int, int, int]:
+        return (self.label, self.runs, self.processors, self.files)
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ConfigError("n must be >= 1 (processor counts 1 .. 2^(n-1))")
+
+
+def time_cost(n: int) -> ToolCost:
+    """``time``: one run per processor count."""
+    _check_n(n)
+    return ToolCost("Execution Time: (time)", n, 2**n - 1, n)
+
+
+def speedshop_cost(n: int) -> ToolCost:
+    """``speedshop``: one (intrusive) profiled run per processor count."""
+    _check_n(n)
+    return ToolCost("Synch+Spin Fraction: (speedshop)", n, 2**n - 1, n)
+
+
+def existing_tools_cost(n: int) -> ToolCost:
+    """Paper Table 1 "Total with Existing Tools": 2n runs, 2^(n+1)-2, 2n."""
+    t, s = time_cost(n), speedshop_cost(n)
+    return ToolCost(
+        "Total with Existing Tools",
+        t.runs + s.runs,
+        t.processors + s.processors,
+        t.files + s.files,
+    )
+
+
+def scal_tool_cost(n: int) -> ToolCost:
+    """Paper Table 1 "Total with Scal-Tool": 2n-1 runs, 2^n+n-2, 2n-1.
+
+    n multiprocessor runs at the base size (1, 2, ..., 2^(n-1) processors)
+    plus n-1 uniprocessor runs at fractional sizes, one file each.
+    """
+    _check_n(n)
+    return ToolCost("Total with Scal-Tool", 2 * n - 1, 2**n + n - 2, 2 * n - 1)
+
+
+def table1_rows(n: int) -> list[tuple[str, int, int, int]]:
+    """All four rows of Table 1 for the given n."""
+    return [
+        time_cost(n).row(),
+        speedshop_cost(n).row(),
+        existing_tools_cost(n).row(),
+        scal_tool_cost(n).row(),
+    ]
+
+
+def processor_savings(n: int) -> float:
+    """Scal-Tool's processor usage relative to the existing tools.
+
+    The paper: "for runs up to 32 processors (n = 6), Scal-Tool needs only
+    about 50% of the processors".
+    """
+    return scal_tool_cost(n).processors / existing_tools_cost(n).processors

@@ -1,0 +1,208 @@
+"""perfex emulation: counter report formatting, parsing, and multiplexing.
+
+The real ``perfex`` wraps a program run and prints the R10000 event
+counters.  Two modes matter here:
+
+* *direct* mode counts two chosen events exactly;
+* ``perfex -a`` multiplexes all 32 events over the run in time slices and
+  scales each count by the inverse of its sampling fraction — cheap but
+  approximate.  :func:`multiplex_counters` reproduces that approximation
+  from a run's per-phase counter deltas, so experiments can quantify the
+  counter-fidelity error the paper's methodology tolerates.
+
+The text format is the library's on-disk interchange format for counter
+measurements ("one output file per run", as the paper counts resources);
+:func:`parse_report` round-trips it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import CounterFormatError
+from ..machine.counters import CounterSet, R10K_EVENTS
+
+__all__ = ["format_report", "parse_report", "multiplex_counters", "multiplex_campaign"]
+
+_HEADER = "# perfex report"
+_META_PREFIX = "# meta: "
+
+
+def format_report(
+    counters: CounterSet,
+    per_cpu: list[CounterSet] | None = None,
+    metadata: dict | None = None,
+) -> str:
+    """Render a perfex-style text report.
+
+    ``metadata`` (workload name, data-set size, processor count, parameters)
+    is embedded as a JSON comment so a report file is self-describing.
+    """
+    lines = [_HEADER]
+    if metadata:
+        lines.append(_META_PREFIX + json.dumps(metadata, sort_keys=True))
+    lines.append("")
+    lines.append("Summary of all processors:")
+    lines.extend(_event_lines(counters))
+    if per_cpu:
+        for cpu, c in enumerate(per_cpu):
+            lines.append("")
+            lines.append(f"Processor {cpu}:")
+            lines.extend(_event_lines(c))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _event_lines(counters: CounterSet) -> list[str]:
+    rounded = counters.rounded()
+    out = []
+    for event in sorted(R10K_EVENTS):
+        desc, field = R10K_EVENTS[event]
+        value = int(getattr(rounded, field))
+        out.append(f"{event:3d} {desc:.<55s} {value:>16d}")
+    return out
+
+
+def parse_report(text: str) -> tuple[dict, CounterSet, list[CounterSet]]:
+    """Parse a report produced by :func:`format_report`.
+
+    Returns ``(metadata, totals, per_cpu)``; ``per_cpu`` is empty when the
+    report only carried the summary.
+    """
+    head = [line.strip() for line in text.splitlines()[:10]]
+    if _HEADER not in head:
+        raise CounterFormatError("not a perfex report (missing header)")
+    metadata: dict = {}
+    totals: CounterSet | None = None
+    per_cpu: list[CounterSet] = []
+    current: CounterSet | None = None
+
+    field_of_event = {event: field for event, (_, field) in R10K_EVENTS.items()}
+
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith(_META_PREFIX):
+            try:
+                metadata = json.loads(line[len(_META_PREFIX):])
+            except json.JSONDecodeError as exc:
+                raise CounterFormatError(f"bad metadata JSON: {exc}") from exc
+            continue
+        if line.startswith("#"):
+            continue
+        if line.startswith("Summary"):
+            totals = CounterSet()
+            current = totals
+            continue
+        if line.startswith("Processor"):
+            current = CounterSet()
+            per_cpu.append(current)
+            continue
+        # Event line: "<num> <desc dots> <value>"
+        parts = line.split()
+        if len(parts) < 3:
+            raise CounterFormatError(f"unparseable line: {line!r}")
+        try:
+            event = int(parts[0])
+            value = float(parts[-1])
+        except ValueError as exc:
+            raise CounterFormatError(f"unparseable line: {line!r}") from exc
+        if event not in field_of_event:
+            raise CounterFormatError(f"unknown event number {event}")
+        if current is None:
+            raise CounterFormatError("event line before any section header")
+        setattr(current, field_of_event[event], value)
+
+    if totals is None:
+        raise CounterFormatError("report has no summary section")
+    return metadata, totals, per_cpu
+
+
+def multiplex_counters(
+    phase_counters: list[tuple[str, CounterSet]],
+    events_per_slice: int = 2,
+    seed: int = 0,
+) -> CounterSet:
+    """Emulate ``perfex -a``: 2 hardware counters time-multiplexed.
+
+    The run's phases play the role of time slices.  Events are grouped
+    into ``ceil(n_events / events_per_slice)`` groups; slice *i* counts
+    only group ``i mod n_groups``, and each event's total is scaled by
+    ``n_slices / n_slices_counted`` — exactly the estimate the real tool
+    reports.  The error vs the exact counts shrinks as phases get more
+    homogeneous; the cpi0-estimation ablation uses this to show the model
+    tolerates multiplexed inputs.
+
+    ``seed`` rotates which group goes first, modelling the arbitrary
+    alignment of slices to program phases.
+    """
+    if events_per_slice < 1:
+        raise CounterFormatError("events_per_slice must be >= 1")
+    if not phase_counters:
+        raise CounterFormatError("no phase counters to multiplex")
+
+    fields = [field for _, (_, field) in sorted(R10K_EVENTS.items())]
+    n_groups = -(-len(fields) // events_per_slice)
+    groups = [fields[i * events_per_slice : (i + 1) * events_per_slice] for i in range(n_groups)]
+
+    n_slices = len(phase_counters)
+    counted = CounterSet()
+    slices_per_field: dict[str, int] = {f: 0 for f in fields}
+    for i, (_, delta) in enumerate(phase_counters):
+        group = groups[(i + seed) % n_groups]
+        for f in group:
+            setattr(counted, f, getattr(counted, f) + getattr(delta, f))
+            slices_per_field[f] += 1
+
+    out = CounterSet()
+    for f in fields:
+        seen = slices_per_field[f]
+        if seen == 0:
+            # Fewer slices than groups: report the unscaled total of zero,
+            # as the real tool would (the event was never scheduled).
+            continue
+        setattr(out, f, getattr(counted, f) * (n_slices / seen))
+    return out
+
+
+def multiplex_campaign(campaign, events_per_slice: int = 2, seed: int = 0):
+    """Degrade every record of a campaign to ``perfex -a`` fidelity.
+
+    Returns a new :class:`~repro.runner.campaign.CampaignData` whose total
+    counters are the multiplexed estimates (per-cpu counters are dropped:
+    a multiplexed session reports only totals, and per-cpu multiplexing
+    would pretend to more fidelity than the mode has).  Records without
+    per-phase deltas are kept exact.  Used by the counter-fidelity
+    ablation: how well does Scal-Tool hold up on approximate counters?
+    """
+    from ..runner.campaign import CampaignData
+    from ..runner.records import RunRecord
+
+    degraded = []
+    for i, rec in enumerate(campaign.records):
+        if not rec.role.startswith("app") or not rec.phase_counters:
+            # Micro-kernels are tiny: direct (exact) counting is free, so a
+            # real methodology would never multiplex them — and the spin
+            # kernel's per-cpu counters are required by cpi_imb.
+            degraded.append(rec)
+            continue
+        counters = multiplex_counters(
+            rec.phase_counters, events_per_slice=events_per_slice, seed=seed + i
+        )
+        degraded.append(
+            RunRecord(
+                workload=rec.workload,
+                params=rec.params,
+                size_bytes=rec.size_bytes,
+                n_processors=rec.n_processors,
+                role=rec.role,
+                machine=rec.machine,
+                counters=counters,
+                per_cpu=[],
+                wall_cycles=rec.wall_cycles,
+                phase_counters=[],
+                ground_truth=rec.ground_truth,
+            )
+        )
+    return CampaignData(workload=campaign.workload, s0=campaign.s0, records=degraded)

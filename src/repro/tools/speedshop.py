@@ -1,0 +1,145 @@
+"""speedshop emulation: PC-sampling attribution of cycles to routines.
+
+The paper validates Scal-Tool's MP (= Sync + Imb) estimate against
+speedshop PC sampling of the barrier-related functions (``mp_barrier()``,
+``__nthreads()``, ``mp_lock_try()``) and the load-imbalance functions
+(``mp_slave_wait_for_work()``, ``mp_master_wait_for_slaves()``)
+(Section 4.1).  Our simulator keeps the equivalent ground-truth cycle
+ledger, and this module presents it the way speedshop would: as sampled
+cycle counts per routine bucket, with multinomial sampling noise at a
+configurable sampling period.
+
+This is the *only* consumer of the simulator's ground truth on the
+measurement side; Scal-Tool itself never sees it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..machine.system import RunResult
+
+__all__ = ["SpeedshopProfile", "profile_run", "profile_record", "ROUTINE_BUCKETS"]
+
+#: Routine names reported per bucket, mirroring the functions the paper
+#: lists for the MP measurement.
+ROUTINE_BUCKETS: dict[str, list[str]] = {
+    "compute": ["user_code"],
+    "sync": ["mp_barrier", "__nthreads", "mp_lock_try"],
+    "imbalance": ["mp_slave_wait_for_work", "mp_master_wait_for_slaves"],
+}
+
+
+@dataclass(frozen=True)
+class SpeedshopProfile:
+    """Sampled cycle attribution for one run."""
+
+    total_cycles: float
+    compute_cycles: float
+    sync_cycles: float
+    imbalance_cycles: float
+    sampling_period: int
+    n_samples: int
+
+    @property
+    def mp_cycles(self) -> float:
+        """The paper's MP = Sync + Imb measurement."""
+        return self.sync_cycles + self.imbalance_cycles
+
+    @property
+    def mp_fraction(self) -> float:
+        return self.mp_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    def routine_table(self) -> list[tuple[str, float]]:
+        """Per-routine cycle counts, speedshop-report style.
+
+        Bucket cycles are split evenly across the bucket's routines; the
+        real tool reports individual functions, but only bucket sums are
+        meaningful for validation.
+        """
+        rows: list[tuple[str, float]] = []
+        for bucket, cycles in (
+            ("compute", self.compute_cycles),
+            ("sync", self.sync_cycles),
+            ("imbalance", self.imbalance_cycles),
+        ):
+            names = ROUTINE_BUCKETS[bucket]
+            for name in names:
+                rows.append((name, cycles / len(names)))
+        rows.sort(key=lambda r: -r[1])
+        return rows
+
+    def format(self) -> str:
+        lines = [
+            "speedshop PC-sampling profile",
+            f"  samples: {self.n_samples} (period {self.sampling_period} cycles)",
+            f"  total cycles: {self.total_cycles:,.0f}",
+        ]
+        for name, cycles in self.routine_table():
+            lines.append(f"  {name:<28s} {cycles:>16,.0f} ({cycles / max(self.total_cycles, 1):6.1%})")
+        return "\n".join(lines)
+
+
+def profile_record(
+    record,
+    sampling_period: int = 10000,
+    seed: int = 0,
+    exact: bool = False,
+) -> SpeedshopProfile:
+    """PC-sample a stored :class:`~repro.runner.records.RunRecord`.
+
+    The record must carry ground truth (a profiled run); records handed to
+    Scal-Tool have it stripped, keeping the measurement/estimation
+    separation honest.
+    """
+    if record.ground_truth is None:
+        raise ValidationError(
+            "record has no ground truth: speedshop can only profile an instrumented run"
+        )
+    return _profile(record.ground_truth, record.counters.cycles, sampling_period, seed, exact)
+
+
+def profile_run(
+    result: RunResult,
+    sampling_period: int = 10000,
+    seed: int = 0,
+    exact: bool = False,
+) -> SpeedshopProfile:
+    """PC-sample one run's cycle ledger.
+
+    ``exact=True`` skips the sampling noise (infinite sampling rate);
+    otherwise buckets are drawn from a multinomial with
+    ``total / sampling_period`` samples, which is the statistical error a
+    real PC-sampling profile carries.
+    """
+    return _profile(result.ground_truth, result.counters.cycles, sampling_period, seed, exact)
+
+
+def _profile(gt, total: float, sampling_period: int, seed: int, exact: bool) -> SpeedshopProfile:
+    if total <= 0:
+        raise ValidationError("run has no cycles to profile")
+    compute = total - gt.sync_cycles - gt.spin_cycles
+    buckets = np.array([compute, gt.sync_cycles, gt.spin_cycles], dtype=float)
+    buckets = np.clip(buckets, 0.0, None)
+
+    if exact or sampling_period <= 0:
+        sampled = buckets
+        n_samples = 0
+    else:
+        n_samples = max(1, int(total / sampling_period))
+        p = buckets / buckets.sum()
+        rng = np.random.default_rng(seed)
+        counts = rng.multinomial(n_samples, p)
+        sampled = counts / n_samples * total
+
+    return SpeedshopProfile(
+        total_cycles=total,
+        compute_cycles=float(sampled[0]),
+        sync_cycles=float(sampled[1]),
+        imbalance_cycles=float(sampled[2]),
+        sampling_period=sampling_period,
+        n_samples=n_samples,
+    )

@@ -1,0 +1,45 @@
+"""ssusage emulation: the maximum resident data-set size of a run.
+
+The paper uses ``ssusage`` to validate the L2Lim predictions by dividing
+the measured data-set size by the aggregate L2 capacity (e.g. T3dheat's
+40 MB / 4 MB -> caching space suffices at ~10 processors).  Our equivalent
+reports the bytes actually allocated by the workload during a run.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..machine.system import DsmMachine, RunResult
+
+__all__ = ["data_set_size", "caching_space_processors"]
+
+
+def data_set_size(machine: DsmMachine) -> int:
+    """Bytes allocated on ``machine`` by the last run (regions x line size).
+
+    Synchronization variables are excluded, as they are runtime overhead
+    rather than application data (and are below page granularity anyway).
+    """
+    total_blocks = sum(
+        r.n_blocks for r in machine.allocator.regions() if not r.name.startswith("__sync_")
+    )
+    return total_blocks * machine.line_size
+
+
+def caching_space_processors(result, data_bytes: int | None = None) -> float:
+    """Processors needed for the aggregate L2 to hold the data set.
+
+    This is the paper's validation arithmetic: "given that the L2 cache
+    sizes are 4 Mbytes ... there will be enough caching space with 10
+    processors (40 Mbytes / 4 Mbytes)".  Accepts a live
+    :class:`~repro.machine.system.RunResult` or a stored
+    :class:`~repro.runner.records.RunRecord`.
+    """
+    if hasattr(result, "config"):
+        l2 = result.config.l2.size
+    else:
+        l2 = int(result.machine.get("l2_bytes", 0))
+    if l2 <= 0:
+        raise ValidationError("machine has no L2")
+    size = data_bytes if data_bytes is not None else result.size_bytes
+    return size / l2

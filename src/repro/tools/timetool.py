@@ -1,0 +1,34 @@
+"""time(1) emulation: wall-clock execution time of a run.
+
+The paper's Table 1 example measures execution time with ``time``; our
+equivalent converts a run's wall cycles at the Origin 2000's 250 MHz.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..machine.system import RunResult
+
+__all__ = ["CLOCK_HZ", "execution_seconds", "speedup_series"]
+
+#: The paper's machine: 250 MHz MIPS R10000 (Section 3).
+CLOCK_HZ = 250_000_000
+
+
+def execution_seconds(result: RunResult, clock_hz: int = CLOCK_HZ) -> float:
+    """Wall-clock seconds of one run."""
+    if clock_hz <= 0:
+        raise ValidationError("clock_hz must be positive")
+    return result.wall_cycles / clock_hz
+
+
+def speedup_series(results: list[RunResult]) -> list[tuple[int, float]]:
+    """(n, speedup) pairs relative to the 1-processor run in ``results``.
+
+    This is how Figures 5, 8, and 11 are produced.
+    """
+    by_n = {r.n_processors: r for r in results}
+    if 1 not in by_n:
+        raise ValidationError("speedup series needs a 1-processor run")
+    base = by_n[1].wall_cycles
+    return [(n, base / by_n[n].wall_cycles) for n in sorted(by_n)]

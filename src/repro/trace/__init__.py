@@ -1,0 +1,41 @@
+"""Address-trace representation and generators.
+
+Workloads produce :class:`~repro.trace.events.Phase` objects: per-processor
+:class:`~repro.trace.events.Segment` access streams separated by barriers.
+Generators in :mod:`repro.trace.generators` build the streams vectorised
+with NumPy (sweeps, strides, stencils, gathers, pointer chases);
+:mod:`repro.trace.synth` composes them.
+"""
+
+from .events import Phase, Segment, make_segment
+from .generators import (
+    gather_sweep,
+    pointer_chase,
+    random_access,
+    stencil_sweep,
+    strided_sweep,
+    sweep,
+    sweep_array,
+)
+from .recorder import RecordedTrace, TraceReplayWorkload, record_workload
+from .synth import concat_traces, interleave_traces, repeat_trace, split_trace
+
+__all__ = [
+    "Phase",
+    "Segment",
+    "make_segment",
+    "sweep",
+    "sweep_array",
+    "strided_sweep",
+    "random_access",
+    "stencil_sweep",
+    "gather_sweep",
+    "pointer_chase",
+    "concat_traces",
+    "interleave_traces",
+    "repeat_trace",
+    "split_trace",
+    "RecordedTrace",
+    "TraceReplayWorkload",
+    "record_workload",
+]

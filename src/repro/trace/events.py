@@ -1,0 +1,124 @@
+"""Trace event containers: segments and phases.
+
+A :class:`Segment` is one processor's work inside one parallel phase: a
+block-granular address stream plus the total instruction count it embodies
+(memory references / ``m_frac``).  A :class:`Phase` is the per-processor
+segments of one parallel region; phases are separated by barriers unless
+marked otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["Segment", "Phase", "make_segment"]
+
+
+@dataclass
+class Segment:
+    """One processor's access stream within a phase.
+
+    Attributes
+    ----------
+    addrs:
+        Block ids, int64.
+    writes:
+        Boolean array parallel to ``addrs``.
+    n_instructions:
+        Total instructions this segment represents (>= ``len(addrs)``);
+        the excess are non-memory instructions charged at cpi0.
+    """
+
+    addrs: np.ndarray
+    writes: np.ndarray
+    n_instructions: int
+
+    def __post_init__(self) -> None:
+        self.addrs = np.ascontiguousarray(self.addrs, dtype=np.int64)
+        self.writes = np.ascontiguousarray(self.writes, dtype=bool)
+        if self.addrs.ndim != 1 or self.writes.ndim != 1:
+            raise TraceError("segment arrays must be one-dimensional")
+        if len(self.addrs) != len(self.writes):
+            raise TraceError(
+                f"addrs ({len(self.addrs)}) and writes ({len(self.writes)}) lengths differ"
+            )
+        if self.n_instructions < len(self.addrs):
+            raise TraceError(
+                f"n_instructions ({self.n_instructions}) < memory references ({len(self.addrs)})"
+            )
+        if len(self.addrs) and self.addrs.min() < 0:
+            raise TraceError("negative block id in trace")
+
+    @property
+    def n_refs(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def m_frac(self) -> float:
+        """Memory-instruction fraction this segment embodies."""
+        return self.n_refs / self.n_instructions if self.n_instructions else 0.0
+
+    def footprint_blocks(self) -> int:
+        """Distinct blocks referenced."""
+        if not len(self.addrs):
+            return 0
+        return int(np.unique(self.addrs).size)
+
+
+@dataclass
+class Phase:
+    """One parallel region: per-processor segments, then (optionally) a barrier.
+
+    ``segments[cpu] is None`` means the processor does nothing in this phase
+    and goes straight to the barrier (how serial sections appear to the
+    machine — everyone else spins, which the model books as load imbalance,
+    matching the paper's discussion of Hydro2d's large serial sections).
+    """
+
+    name: str
+    segments: list[Segment | None]
+    barrier: bool = True
+    cpi0_override: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise TraceError(f"phase {self.name!r} has no processor slots")
+        if all(s is None for s in self.segments) and not self.barrier:
+            raise TraceError(f"phase {self.name!r} does nothing")
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.segments)
+
+    @property
+    def total_refs(self) -> int:
+        return sum(s.n_refs for s in self.segments if s is not None)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(s.n_instructions for s in self.segments if s is not None)
+
+
+def make_segment(
+    addrs: np.ndarray,
+    writes: np.ndarray,
+    m_frac: float = 0.35,
+    extra_instructions: int = 0,
+) -> Segment:
+    """Build a segment, deriving the instruction count from ``m_frac``.
+
+    ``m_frac`` is the fraction of instructions that are memory references
+    (the paper's m(s, n)); scientific FP codes sit around 0.3–0.4.
+    """
+    if not (0.0 < m_frac <= 1.0):
+        raise TraceError(f"m_frac must be in (0, 1], got {m_frac}")
+    n_refs = len(addrs)
+    n_instr = int(round(n_refs / m_frac)) + extra_instructions
+    if n_instr < n_refs:
+        n_instr = n_refs
+    return Segment(addrs=addrs, writes=writes, n_instructions=n_instr)

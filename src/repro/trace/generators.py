@@ -1,0 +1,229 @@
+"""Vectorised address-trace generators.
+
+Every generator returns ``(addrs, writes)`` as NumPy arrays of block ids
+and write flags.  They are the building blocks workloads compose into
+phases; all are deterministic given the supplied ``numpy.random.Generator``.
+
+The generators express the access patterns the paper's applications have:
+
+* :func:`sweep` — unit-stride array traversal with intra-line reuse, the
+  backbone of Swim/Hydro2d-style finite-difference codes.  A sweep larger
+  than the cache is the canonical LRU-hostile pattern producing the
+  "insufficient caching space" conflict misses of Section 2.4.1.
+* :func:`strided_sweep` — non-unit stride (column order, red-black).
+* :func:`stencil_sweep` — partition sweep plus neighbour-boundary reads,
+  the source of (small) true sharing.
+* :func:`gather_sweep` — row sweep plus randomly indexed gathers, the
+  sparse-matrix-vector pattern of a conjugate-gradient solver (T3dheat).
+* :func:`random_access` — uniform random references.
+* :func:`pointer_chase` — dependent-chain traversal of a random
+  permutation; with a footprint chosen to defeat the cache every access
+  misses, which is how the memory-latency micro-kernel isolates tm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = [
+    "sweep",
+    "sweep_array",
+    "strided_sweep",
+    "random_access",
+    "stencil_sweep",
+    "gather_sweep",
+    "pointer_chase",
+]
+
+
+def _check_range(blocks: range, what: str) -> None:
+    if len(blocks) == 0:
+        raise TraceError(f"{what}: empty block range")
+    if blocks.start < 0:
+        raise TraceError(f"{what}: negative block ids")
+
+
+def _writes_for(n: int, write_frac: float, rng: np.random.Generator) -> np.ndarray:
+    if not (0.0 <= write_frac <= 1.0):
+        raise TraceError(f"write_frac must be in [0, 1], got {write_frac}")
+    if write_frac == 0.0:
+        return np.zeros(n, dtype=bool)
+    if write_frac == 1.0:
+        return np.ones(n, dtype=bool)
+    return rng.random(n) < write_frac
+
+
+def sweep(
+    blocks: range,
+    refs_per_block: int = 4,
+    write_frac: float = 0.3,
+    reps: int = 1,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unit-stride traversal: ``refs_per_block`` back-to-back touches per block.
+
+    The back-to-back touches model word-granular spatial locality inside a
+    cache line (first touch may miss, the rest hit L1), so
+    ``refs_per_block`` directly controls the workload's L1 hit rate.
+    """
+    _check_range(blocks, "sweep")
+    if refs_per_block < 1:
+        raise TraceError("refs_per_block must be >= 1")
+    if reps < 1:
+        raise TraceError("reps must be >= 1")
+    base = np.arange(blocks.start, blocks.stop, blocks.step, dtype=np.int64)
+    addrs = np.tile(np.repeat(base, refs_per_block), reps)
+    rng = rng or np.random.default_rng(0)
+    return addrs, _writes_for(len(addrs), write_frac, rng)
+
+
+def sweep_array(
+    blocks: np.ndarray,
+    refs_per_block: int = 4,
+    write_frac: float = 0.3,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Like :func:`sweep` but over an explicit block-id array.
+
+    Used for misaligned/rotated partitions (DOACROSS loops whose bounds do
+    not line up with the first-touch partitioning), where the visited
+    blocks are not a contiguous range.
+    """
+    if blocks.ndim != 1:
+        raise TraceError("sweep_array: blocks must be one-dimensional")
+    if len(blocks) == 0:
+        raise TraceError("sweep_array: empty block array")
+    if refs_per_block < 1:
+        raise TraceError("refs_per_block must be >= 1")
+    addrs = np.repeat(np.ascontiguousarray(blocks, dtype=np.int64), refs_per_block)
+    rng = rng or np.random.default_rng(0)
+    return addrs, _writes_for(len(addrs), write_frac, rng)
+
+
+def strided_sweep(
+    blocks: range,
+    stride: int,
+    refs_per_block: int = 2,
+    write_frac: float = 0.3,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Traversal at ``stride`` blocks, covering the range in stride passes.
+
+    Visits every block exactly once per pass but in column-major-like order
+    (block 0, s, 2s, ..., 1, s+1, ...), which thrashes a set-associative
+    cache when the stride aliases its set indexing.
+    """
+    _check_range(blocks, "strided_sweep")
+    if stride < 1:
+        raise TraceError("stride must be >= 1")
+    base = np.arange(blocks.start, blocks.stop, blocks.step, dtype=np.int64)
+    n = len(base)
+    order = np.concatenate([np.arange(off, n, stride) for off in range(min(stride, n))])
+    addrs = np.repeat(base[order], refs_per_block)
+    rng = rng or np.random.default_rng(0)
+    return addrs, _writes_for(len(addrs), write_frac, rng)
+
+
+def random_access(
+    blocks: range,
+    n_refs: int,
+    write_frac: float = 0.3,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n_refs`` uniformly random references over the range."""
+    _check_range(blocks, "random_access")
+    if n_refs < 0:
+        raise TraceError("n_refs must be >= 0")
+    rng = rng or np.random.default_rng(0)
+    base = np.arange(blocks.start, blocks.stop, blocks.step, dtype=np.int64)
+    addrs = base[rng.integers(0, len(base), size=n_refs)]
+    return addrs, _writes_for(n_refs, write_frac, rng)
+
+
+def stencil_sweep(
+    own: range,
+    halo_lo: range | None = None,
+    halo_hi: range | None = None,
+    refs_per_block: int = 4,
+    write_frac: float = 0.35,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sweep of a partition plus read-only halo rows of the neighbours.
+
+    ``halo_lo``/``halo_hi`` are the neighbour boundary blocks read (never
+    written) before the owned sweep — the nearest-neighbour exchange of a
+    finite-difference code, and the machine's source of true sharing.
+    """
+    _check_range(own, "stencil_sweep")
+    rng = rng or np.random.default_rng(0)
+    parts_a: list[np.ndarray] = []
+    parts_w: list[np.ndarray] = []
+    for halo in (halo_lo, halo_hi):
+        if halo is not None and len(halo):
+            h = np.arange(halo.start, halo.stop, halo.step, dtype=np.int64)
+            ha = np.repeat(h, max(1, refs_per_block // 2))
+            parts_a.append(ha)
+            parts_w.append(np.zeros(len(ha), dtype=bool))
+    a, w = sweep(own, refs_per_block=refs_per_block, write_frac=write_frac, rng=rng)
+    parts_a.append(a)
+    parts_w.append(w)
+    return np.concatenate(parts_a), np.concatenate(parts_w)
+
+
+def gather_sweep(
+    rows: range,
+    table: range,
+    gathers_per_row: int = 2,
+    refs_per_block: int = 3,
+    write_frac: float = 0.3,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sequential row sweep interleaved with random gathers from ``table``.
+
+    The sparse matrix-vector product at the core of a conjugate-gradient
+    solver: unit-stride over the matrix rows, indexed loads into the vector.
+    """
+    _check_range(rows, "gather_sweep")
+    _check_range(table, "gather_sweep table")
+    if gathers_per_row < 0:
+        raise TraceError("gathers_per_row must be >= 0")
+    rng = rng or np.random.default_rng(0)
+    row_ids = np.arange(rows.start, rows.stop, rows.step, dtype=np.int64)
+    n_rows = len(row_ids)
+    table_ids = np.arange(table.start, table.stop, table.step, dtype=np.int64)
+    # Layout per row: [row block x refs_per_block, gathers...]
+    row_part = np.repeat(row_ids, refs_per_block).reshape(n_rows, refs_per_block)
+    gathers = table_ids[rng.integers(0, len(table_ids), size=(n_rows, gathers_per_row))]
+    addrs = np.concatenate([row_part, gathers], axis=1).ravel()
+    writes = _writes_for(len(addrs), 0.0, rng)
+    # Only row blocks are written (the accumulation), never the gathered table.
+    per_row = refs_per_block + gathers_per_row
+    mask = np.zeros(per_row, dtype=bool)
+    n_writes = max(1, int(round(write_frac * refs_per_block)))
+    mask[refs_per_block - n_writes : refs_per_block] = True
+    writes = np.tile(mask, n_rows)
+    return addrs, writes
+
+
+def pointer_chase(
+    blocks: range,
+    n_refs: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Traverse a random Hamiltonian cycle over the range for ``n_refs`` steps.
+
+    Every step visits a different block in random order; with a footprint
+    larger than the cache this yields a ~100% miss rate, the classic
+    latency-measurement kernel (used to estimate tm and tsyn).
+    """
+    _check_range(blocks, "pointer_chase")
+    if n_refs < 0:
+        raise TraceError("n_refs must be >= 0")
+    rng = rng or np.random.default_rng(0)
+    base = np.arange(blocks.start, blocks.stop, blocks.step, dtype=np.int64)
+    perm = rng.permutation(base)
+    reps = -(-n_refs // len(perm)) if len(perm) else 0
+    addrs = np.tile(perm, max(1, reps))[:n_refs]
+    return addrs, np.zeros(len(addrs), dtype=bool)

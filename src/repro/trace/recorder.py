@@ -1,0 +1,189 @@
+"""Trace recording and replay.
+
+Workloads are generative (phases built on demand), but trace-driven
+methodology often wants the *same* reference stream re-run under different
+machines — protocol ablations, topology studies, cache-size sweeps — or
+archived alongside the measurements.  This module captures a workload's
+phase stream into a single ``.npz`` file and replays it as a workload.
+
+Fidelity contract: block ids are recorded absolutely, so a replay is
+faithful on any machine with the same line size and page size (the
+allocator lays regions out identically); cache sizes, latencies, topology,
+protocol, and processor-count-*independent* parameters may all vary.  The
+processor count is baked into the recorded phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..errors import TraceError
+from .events import Phase, Segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.config import MachineConfig
+    from ..workloads.base import Workload
+
+__all__ = ["RecordedTrace", "record_workload", "TraceReplayWorkload"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class RecordedTrace:
+    """A workload's complete phase stream, ready to save or replay."""
+
+    workload_name: str
+    size_bytes: int
+    n_processors: int
+    cpi0: float
+    phases: list[Phase] = field(default_factory=list)
+
+    @property
+    def total_refs(self) -> int:
+        return sum(p.total_refs for p in self.phases)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(p.total_instructions for p in self.phases)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as one compressed ``.npz`` archive."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {
+            "__version": np.array([_FORMAT_VERSION]),
+            "__meta_n": np.array([self.n_processors]),
+            "__meta_size": np.array([self.size_bytes]),
+            "__meta_cpi0": np.array([self.cpi0]),
+            "__meta_name": np.array([self.workload_name]),
+            "__phase_names": np.array([p.name for p in self.phases]),
+            "__phase_barriers": np.array([p.barrier for p in self.phases]),
+        }
+        for i, phase in enumerate(self.phases):
+            for cpu, seg in enumerate(phase.segments):
+                if seg is None:
+                    continue
+                arrays[f"p{i}_c{cpu}_a"] = seg.addrs
+                arrays[f"p{i}_c{cpu}_w"] = seg.writes
+                arrays[f"p{i}_c{cpu}_i"] = np.array([seg.n_instructions])
+        np.savez_compressed(path, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RecordedTrace":
+        """Reload a trace saved by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise TraceError(f"no recorded trace at {path}")
+        try:
+            archive = np.load(path, allow_pickle=False)
+        except Exception as exc:
+            raise TraceError(f"corrupt trace archive {path}: {exc}") from exc
+        with archive as data:
+            if int(data["__version"][0]) != _FORMAT_VERSION:
+                raise TraceError(
+                    f"trace format {int(data['__version'][0])} unsupported "
+                    f"(expected {_FORMAT_VERSION})"
+                )
+            n = int(data["__meta_n"][0])
+            names = [str(x) for x in data["__phase_names"]]
+            barriers = [bool(x) for x in data["__phase_barriers"]]
+            trace = cls(
+                workload_name=str(data["__meta_name"][0]),
+                size_bytes=int(data["__meta_size"][0]),
+                n_processors=n,
+                cpi0=float(data["__meta_cpi0"][0]),
+            )
+            for i, (name, barrier) in enumerate(zip(names, barriers)):
+                segments: list[Segment | None] = []
+                for cpu in range(n):
+                    key = f"p{i}_c{cpu}_a"
+                    if key in data:
+                        segments.append(
+                            Segment(
+                                data[key],
+                                data[f"p{i}_c{cpu}_w"],
+                                int(data[f"p{i}_c{cpu}_i"][0]),
+                            )
+                        )
+                    else:
+                        segments.append(None)
+                trace.phases.append(Phase(name=name, segments=segments, barrier=barrier))
+        if not trace.phases:
+            raise TraceError(f"recorded trace {path} contains no phases")
+        return trace
+
+
+def record_workload(
+    workload: "Workload", machine_cfg: "MachineConfig", size_bytes: int
+) -> RecordedTrace:
+    """Capture the phase stream ``workload`` would run on ``machine_cfg``.
+
+    A throwaway machine provides the allocator; nothing is simulated.
+    Workloads that interact with the machine between phases (lock-based
+    codes) cannot be captured faithfully and are rejected.
+    """
+    from ..machine.system import DsmMachine
+
+    machine = DsmMachine(machine_cfg)
+    before = machine.clocks[:]
+    trace = RecordedTrace(
+        workload_name=workload.name,
+        size_bytes=size_bytes,
+        n_processors=machine_cfg.n_processors,
+        cpi0=workload.cpi0,
+    )
+    for phase in workload.build(machine, size_bytes):
+        if machine.clocks != before:
+            raise TraceError(
+                f"workload {workload.name!r} drives the machine between phases "
+                "(locks); it cannot be trace-recorded"
+            )
+        trace.phases.append(phase)
+    if not trace.phases:
+        raise TraceError(f"workload {workload.name!r} produced no phases")
+    return trace
+
+
+class TraceReplayWorkload:
+    """A workload that replays a :class:`RecordedTrace` verbatim.
+
+    Satisfies the :class:`~repro.workloads.base.Workload` protocol the
+    machine consumes (name, cpi0, describe_params, build).
+    """
+
+    def __init__(self, trace: RecordedTrace) -> None:
+        self.trace = trace
+        self.name = f"replay:{trace.workload_name}"
+        self.cpi0 = trace.cpi0
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TraceReplayWorkload":
+        return cls(RecordedTrace.load(path))
+
+    def describe_params(self) -> dict:
+        return {
+            "recorded_workload": self.trace.workload_name,
+            "recorded_size": self.trace.size_bytes,
+            "recorded_n": self.trace.n_processors,
+        }
+
+    def build(self, machine, size_bytes: int) -> Iterator[Phase]:
+        if machine.n_processors != self.trace.n_processors:
+            raise TraceError(
+                f"trace recorded for {self.trace.n_processors} processors, "
+                f"machine has {machine.n_processors}"
+            )
+        if size_bytes != self.trace.size_bytes:
+            raise TraceError(
+                f"trace recorded at {self.trace.size_bytes} bytes, asked to run "
+                f"{size_bytes}; replay cannot rescale a trace"
+            )
+        yield from self.trace.phases

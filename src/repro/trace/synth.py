@@ -1,0 +1,90 @@
+"""Composition helpers for trace fragments.
+
+Generators return ``(addrs, writes)`` pairs; these helpers stitch pairs
+into longer streams so workloads can express loop nests ("sweep array A,
+then B, repeated k times, with B's blocks interleaved between A's").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["concat_traces", "interleave_traces", "repeat_trace", "empty_trace", "split_trace"]
+
+Trace = tuple[np.ndarray, np.ndarray]
+
+
+def empty_trace() -> Trace:
+    """A zero-length trace fragment."""
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+
+
+def concat_traces(*traces: Trace) -> Trace:
+    """Sequential composition: run each fragment after the previous one."""
+    if not traces:
+        return empty_trace()
+    addrs = np.concatenate([t[0] for t in traces])
+    writes = np.concatenate([t[1] for t in traces])
+    return addrs, writes
+
+
+def repeat_trace(trace: Trace, reps: int) -> Trace:
+    """Run a fragment ``reps`` times back to back (an iteration loop)."""
+    if reps < 0:
+        raise TraceError("reps must be >= 0")
+    if reps == 0:
+        return empty_trace()
+    return np.tile(trace[0], reps), np.tile(trace[1], reps)
+
+
+def split_trace(trace: Trace, parts: int) -> list[Trace]:
+    """Cut a fragment into ``parts`` consecutive chunks (one per parallel loop).
+
+    PCF/MP codes put a barrier after every parallel loop; splitting a
+    phase's trace lets a workload express "this sweep is really ``parts``
+    barrier-separated loops" without changing its references.  Chunks may
+    be empty when the fragment is shorter than ``parts``.
+    """
+    if parts < 1:
+        raise TraceError("parts must be >= 1")
+    addrs, writes = trace
+    n = len(addrs)
+    out = []
+    for i in range(parts):
+        lo = (n * i) // parts
+        hi = (n * (i + 1)) // parts
+        out.append((addrs[lo:hi], writes[lo:hi]))
+    return out
+
+
+def interleave_traces(*traces: Trace, granularity: int = 1) -> Trace:
+    """Fine-grained interleave: ``granularity`` refs from each in turn.
+
+    Models loop bodies touching several arrays per iteration (``a[i] =
+    b[i] + c[i]``), which is what makes multiple arrays contend for the
+    same cache sets.
+    """
+    if granularity < 1:
+        raise TraceError("granularity must be >= 1")
+    traces = tuple(t for t in traces if len(t[0]))
+    if not traces:
+        return empty_trace()
+    if len(traces) == 1:
+        return traces[0]
+    chunks_a: list[np.ndarray] = []
+    chunks_w: list[np.ndarray] = []
+    positions = [0] * len(traces)
+    remaining = sum(len(t[0]) for t in traces)
+    while remaining:
+        for i, (addrs, writes) in enumerate(traces):
+            pos = positions[i]
+            if pos >= len(addrs):
+                continue
+            end = min(pos + granularity, len(addrs))
+            chunks_a.append(addrs[pos:end])
+            chunks_w.append(writes[pos:end])
+            remaining -= end - pos
+            positions[i] = end
+    return np.concatenate(chunks_a), np.concatenate(chunks_w)

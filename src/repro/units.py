@@ -1,0 +1,146 @@
+"""Size and unit helpers shared across the library.
+
+The paper works in bytes (data-set and cache sizes), cycles, and
+instructions.  This module centralises parsing and pretty-printing of byte
+sizes (``"4MB"``, ``"32KB"``) and a couple of numeric helpers used by the
+estimators.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import ConfigError
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "parse_size",
+    "format_size",
+    "format_count",
+    "is_power_of_two",
+    "log2_int",
+    "geometric_sizes",
+]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+_SIZE_RE = re.compile(
+    r"""^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMG]?i?B?)\s*$""",
+    re.IGNORECASE,
+)
+
+_UNIT_FACTOR = {
+    "": 1,
+    "B": 1,
+    "K": KB,
+    "KB": KB,
+    "KIB": KB,
+    "M": MB,
+    "MB": MB,
+    "MIB": MB,
+    "G": GB,
+    "GB": GB,
+    "GIB": GB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable byte size into an integer byte count.
+
+    Accepts plain integers/floats (returned as ``int``) and strings such as
+    ``"32KB"``, ``"4 MiB"``, ``"10.3MB"``.  Units are powers of two, matching
+    the paper's usage (the Origin 2000's "4-Mbyte" L2 is 4 * 2**20 bytes).
+
+    Raises
+    ------
+    ConfigError
+        If the string cannot be parsed or the size is negative.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigError(f"negative size: {text!r}")
+        return int(text)
+    m = _SIZE_RE.match(text)
+    if m is None:
+        raise ConfigError(f"unparseable size: {text!r}")
+    unit = m.group("unit").upper()
+    if unit not in _UNIT_FACTOR:
+        raise ConfigError(f"unknown size unit in {text!r}")
+    return int(float(m.group("num")) * _UNIT_FACTOR[unit])
+
+
+def format_size(nbytes: int | float) -> str:
+    """Render a byte count with a binary-unit suffix (``"4.0MB"``)."""
+    nbytes = float(nbytes)
+    for factor, suffix in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(nbytes) >= factor:
+            value = nbytes / factor
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+    if nbytes == int(nbytes):
+        return f"{int(nbytes)}B"
+    return f"{nbytes:.1f}B"
+
+
+def format_count(n: int | float) -> str:
+    """Render a large count with thousands separators (``"1,234,567"``)."""
+    if isinstance(n, float) and not n.is_integer():
+        return f"{n:,.2f}"
+    return f"{int(n):,}"
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Exact integer log2; raises :class:`ConfigError` on non-powers of two."""
+    if not is_power_of_two(n):
+        raise ConfigError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def geometric_sizes(base: int, count: int, ratio: float = 0.5) -> list[int]:
+    """Return ``count`` sizes starting at ``base`` shrinking by ``ratio``.
+
+    Used to build the fractional-data-set schedule of Table 3
+    (s0, s0/2, s0/4, ...).  Sizes are floored to at least one byte.
+    """
+    if count < 1:
+        raise ConfigError("count must be >= 1")
+    if not (0.0 < ratio < 1.0):
+        raise ConfigError("ratio must be in (0, 1)")
+    out = []
+    s = float(base)
+    for _ in range(count):
+        out.append(max(1, int(s)))
+        s *= ratio
+    return out
+
+
+def harmonic_mean(values: list[float]) -> float:
+    """Harmonic mean, used to combine per-processor rates."""
+    if not values:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def clamp(x: float, lo: float, hi: float) -> float:
+    """Clamp ``x`` into ``[lo, hi]``."""
+    return lo if x < lo else hi if x > hi else x
+
+
+def safe_div(num: float, den: float, default: float = 0.0) -> float:
+    """Division that maps a zero/NaN denominator to ``default``."""
+    if den == 0 or math.isnan(den):
+        return default
+    return num / den

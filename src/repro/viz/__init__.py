@@ -1,0 +1,7 @@
+"""Terminal-friendly rendering: ASCII line charts and aligned tables."""
+
+from .ascii_chart import ascii_chart
+from .bars import stacked_bars
+from .tables import format_table
+
+__all__ = ["ascii_chart", "stacked_bars", "format_table"]

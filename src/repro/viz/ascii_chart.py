@@ -1,0 +1,72 @@
+"""Minimal ASCII line charts for the figure-regeneration benches.
+
+Renders one or more named series over a shared x axis into a fixed-size
+character grid — enough to eyeball the curve shapes the paper's figures
+show (knees, crossovers, saturation) straight from a terminal.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a text chart.
+
+    Series are drawn in insertion order with distinct marks; a legend maps
+    marks to names.  X positions are scaled linearly between the global
+    min and max.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(empty chart)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{y_hi:.3g}"
+    bottom = f"{y_lo:.3g}"
+    label_w = max(len(top), len(bottom), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top.rjust(label_w)
+        elif i == height - 1:
+            prefix = bottom.rjust(label_w)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + "-" * (width + 2))
+    lines.append(
+        " " * label_w + f" {x_lo:.3g}".ljust(width // 2) + f"{x_hi:.3g}".rjust(width // 2)
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_w + " " + legend)
+    return "\n".join(lines)

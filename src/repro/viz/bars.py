@@ -1,0 +1,55 @@
+"""Stacked horizontal bar charts in plain text.
+
+Used by the analysis report to show, per processor count, how the
+accumulated cycles split into useful work / L2Lim / Sync / Imb — the
+textual cousin of the shaded areas in the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+__all__ = ["stacked_bars"]
+
+_FILL = "#=+x*o%@"
+
+
+def stacked_bars(
+    rows: dict[str, dict[str, float]],
+    width: int = 56,
+    title: str = "",
+) -> str:
+    """Render ``{row_label: {part_name: value}}`` as stacked bars.
+
+    All rows share one scale (the largest row total spans ``width``
+    characters); parts are drawn in insertion order of the first row with
+    a legend mapping fill characters to part names.  Zero/negative parts
+    are skipped.
+    """
+    if not rows:
+        return "(no bars)"
+    parts_order: list[str] = []
+    for parts in rows.values():
+        for name in parts:
+            if name not in parts_order:
+                parts_order.append(name)
+    max_total = max(sum(max(0.0, v) for v in parts.values()) for parts in rows.values())
+    if max_total <= 0:
+        return "(no bars)"
+
+    label_w = max(len(str(label)) for label in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, parts in rows.items():
+        bar = ""
+        shown_total = 0.0
+        for i, name in enumerate(parts_order):
+            value = max(0.0, parts.get(name, 0.0))
+            n_chars = int(round(value / max_total * width))
+            bar += _FILL[i % len(_FILL)] * n_chars
+            shown_total += value
+        lines.append(f"{str(label).rjust(label_w)} |{bar.ljust(width)}| {shown_total:,.0f}")
+    legend = "   ".join(
+        f"{_FILL[i % len(_FILL)]} {name}" for i, name in enumerate(parts_order)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Aligned text tables for reports and bench output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: list[dict],
+    columns: list[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render a list of row dicts as an aligned ASCII table.
+
+    Column order follows ``columns`` (default: the first row's key order);
+    missing cells render empty.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = columns or list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(c.rjust(w) for c, w in zip(cols, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Workloads: the applications and micro-kernels the paper analyses.
+
+The three applications of Table 4 — T3dheat (PCF conjugate-gradient PDE
+solver), Hydro2d and Swim (SPECFP95) — are modelled as parameterised phase
+generators reproducing the published characteristics Scal-Tool keys on
+(working-set size, barrier structure, serial sections, load balance, and
+sharing).  The micro-kernels of Section 2.4.2 (synchronization, spin, and
+memory-latency kernels) are used to estimate cpi_sync, cpi_imb, tsyn, and
+tm on the same machine.
+"""
+
+from .base import Workload
+from .contention import FalseSharingWorkload, LockedRegions
+from .hydro2d import Hydro2d
+from .kernels import CacheFitKernel, MemoryLatencyKernel, SpinKernel, SyncKernel
+from .registry import available_workloads, make_workload
+from .swim import Swim
+from .synthetic import SyntheticWorkload
+from .t3dheat import T3dheat
+
+__all__ = [
+    "Workload",
+    "T3dheat",
+    "Hydro2d",
+    "Swim",
+    "SyntheticWorkload",
+    "LockedRegions",
+    "FalseSharingWorkload",
+    "SyncKernel",
+    "SpinKernel",
+    "MemoryLatencyKernel",
+    "CacheFitKernel",
+    "make_workload",
+    "available_workloads",
+]

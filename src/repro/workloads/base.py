@@ -1,0 +1,105 @@
+"""Workload abstraction.
+
+A workload turns ``(machine, data-set size)`` into a stream of
+:class:`~repro.trace.events.Phase` objects.  The contract mirrors how the
+paper's applications behave on the Origin 2000:
+
+* the data set is *sliced* across processors (block scheduling), so running
+  the same workload at size ``s0/n`` on one processor exercises the same
+  per-processor working set as an n-processor run at ``s0`` — the
+  fractional-data-set surrogate at the heart of Section 2.4.1;
+* every workload starts with an *initialisation phase* in which each
+  processor touches its own partition (parallel first touch, the IRIX
+  placement idiom), then runs ``iters`` compute iterations;
+* ``cpi0`` is the workload's intrinsic compute CPI (what the paper
+  estimates in Section 2.2) and ``m_frac`` its memory-instruction fraction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..trace.events import Phase
+from ..units import parse_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.system import DsmMachine
+
+__all__ = ["Workload"]
+
+
+class Workload(ABC):
+    """Base class for every application and kernel."""
+
+    #: Registry name; subclasses must override.
+    name: str = "abstract"
+    #: Intrinsic compute CPI (cycles per instruction with all hits).
+    cpi0: float = 1.2
+    #: Fraction of instructions that reference memory.
+    m_frac: float = 0.35
+    #: Paper data-set size at full machine scale (bytes); scaled by the
+    #: campaign to match the machine's scaling factor.
+    paper_footprint_bytes: int = 0
+    #: Model of parallelism, as in Table 4 ("PCF", "MP").
+    parallel_model: str = "MP directives with DOACROSS"
+    #: Source attribution, as in Table 4.
+    source: str = "synthetic"
+    #: One-line description, as in Table 4's "What It Does".
+    what_it_does: str = ""
+
+    def __init__(self, iters: int = 5, seed: int = 1234) -> None:
+        if iters < 1:
+            raise WorkloadError("iters must be >= 1")
+        self.iters = iters
+        self.seed = seed
+
+    # -- sizing -----------------------------------------------------------------
+
+    def blocks_for(self, machine: "DsmMachine", size_bytes: int | str) -> int:
+        """Data-set size in cache blocks on ``machine``."""
+        size = parse_size(size_bytes)
+        nb = size // machine.line_size
+        if nb < machine.n_processors:
+            raise WorkloadError(
+                f"{self.name}: {size} bytes is fewer than one block per processor"
+            )
+        return nb
+
+    def default_size(self, scale: int = 64) -> int:
+        """The paper's base data-set size s0 shrunk by the machine scale."""
+        if self.paper_footprint_bytes <= 0:
+            raise WorkloadError(f"{self.name} has no paper footprint defined")
+        return max(1, self.paper_footprint_bytes // scale)
+
+    def min_size(self, machine: "DsmMachine") -> int:
+        """Smallest meaningful data-set size on ``machine``."""
+        return machine.line_size * machine.n_processors * 4
+
+    # -- parameters ---------------------------------------------------------------
+
+    def describe_params(self) -> dict:
+        """Parameters recorded in run files (for reproducibility)."""
+        return {"iters": self.iters, "seed": self.seed}
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    # -- the phase stream -----------------------------------------------------------
+
+    @abstractmethod
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        """Yield the phases of one run at ``size_bytes`` on ``machine``."""
+
+    # -- helpers shared by the applications --------------------------------------------
+
+    @staticmethod
+    def empty_segments(n: int) -> list:
+        """A phase slot list where nobody works (serial-section scaffolding)."""
+        return [None] * n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe_params()}>"

@@ -1,0 +1,181 @@
+"""Contention-oriented workloads: lock-based regions and false sharing.
+
+The paper's applications synchronise with barriers; its method section
+nevertheless covers lock-based codes ("If the application has locks, we
+need to separately compute the cpi_syn of a kernel of locks and count at
+run-time the number of locks executed") and its future work covers
+true/false sharing.  These two workloads exercise those paths:
+
+* :class:`LockedRegions` — parallel sweeps punctuated by critical
+  sections protected by fetchop locks (a shared reduction / task-queue
+  idiom).  Every acquire/release is a fetchop, so event 31 keeps working
+  as the ntsyn source, and lock *contention* shows up as synchronization
+  cycles (mp_lock_try is in the paper's sync-routine list).
+* :class:`FalseSharingWorkload` — processors repeatedly write interleaved
+  elements of a shared region such that every cache line ping-pongs
+  between owners.  At block granularity this is exactly the
+  line-level effect of false sharing: heavy invalidation traffic and a
+  badly contaminated event 31 — the stress test for the Section 6
+  extension.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..trace.events import Phase, Segment, make_segment
+from ..trace.generators import sweep
+from ..units import MB
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.system import DsmMachine
+
+__all__ = ["LockedRegions", "FalseSharingWorkload"]
+
+
+class LockedRegions(Workload):
+    """Parallel sweeps plus lock-protected critical sections."""
+
+    name = "locked_regions"
+    cpi0 = 1.2
+    m_frac = 0.35
+    paper_footprint_bytes = 8 * MB
+    parallel_model = "MP directives with critical sections"
+    what_it_does = "Parallel sweeps with a lock-protected shared reduction"
+
+    def __init__(
+        self,
+        iters: int = 4,
+        locks_per_iter: int = 2,
+        cs_instructions: int = 400,
+        refs_per_block: int = 6,
+        seed: int = 1234,
+    ) -> None:
+        super().__init__(iters=iters, seed=seed)
+        if locks_per_iter < 1:
+            raise WorkloadError("locks_per_iter must be >= 1")
+        if cs_instructions < 0:
+            raise WorkloadError("cs_instructions must be >= 0")
+        self.locks_per_iter = locks_per_iter
+        self.cs_instructions = cs_instructions
+        self.refs_per_block = refs_per_block
+
+    def describe_params(self) -> dict:
+        return {
+            "iters": self.iters,
+            "locks_per_iter": self.locks_per_iter,
+            "cs_instructions": self.cs_instructions,
+            "refs_per_block": self.refs_per_block,
+            "seed": self.seed,
+        }
+
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        nb = self.blocks_for(machine, size_bytes)
+        n = machine.n_processors
+        data = machine.allocator.alloc("data", nb)
+        lock = machine.sync.allocate_variable("reduction_lock")
+
+        init_segs: list[Segment | None] = []
+        for cpu in range(n):
+            a, w = sweep(data.slice_for(cpu, n), refs_per_block=1, write_frac=1.0,
+                         rng=np.random.default_rng(self.seed + cpu))
+            init_segs.append(make_segment(a, w, m_frac=self.m_frac))
+        yield Phase(name="init", segments=init_segs, barrier=True)
+
+        for it in range(self.iters):
+            for step in range(self.locks_per_iter):
+                segs: list[Segment | None] = []
+                for cpu in range(n):
+                    rng = np.random.default_rng(self.seed * 53 + it * 11 + step * 3 + cpu)
+                    a, w = sweep(data.slice_for(cpu, n), refs_per_block=self.refs_per_block,
+                                 write_frac=0.3, rng=rng)
+                    segs.append(make_segment(a, w, m_frac=self.m_frac))
+                # The sweep, then everyone funnels through the critical
+                # section (handled by the machine between phases).
+                yield Phase(name=f"sweep_{it}_{step}", segments=segs, barrier=False)
+                # Lock passage is expressed as a zero-work phase whose
+                # synchronization the machine performs via lock_section.
+                machine.sync.lock_section(
+                    lock, machine.clocks, self.cpi0, self.cs_instructions
+                )
+                yield Phase(
+                    name=f"join_{it}_{step}",
+                    segments=[
+                        Segment(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool), 1)
+                        for _ in range(n)
+                    ],
+                    barrier=True,
+                )
+
+
+class FalseSharingWorkload(Workload):
+    """Line ping-pong: every block written by every processor each sweep."""
+
+    name = "falseshare"
+    cpi0 = 1.2
+    m_frac = 0.35
+    paper_footprint_bytes = 12 * MB
+    parallel_model = "MP directives with DOACROSS (cyclic schedule)"
+    what_it_does = "Cyclic-scheduled updates causing line-level false sharing"
+
+    def __init__(
+        self,
+        iters: int = 4,
+        shared_frac: float = 0.25,
+        refs_per_block: int = 4,
+        seed: int = 1234,
+    ) -> None:
+        super().__init__(iters=iters, seed=seed)
+        if not (0.0 < shared_frac <= 1.0):
+            raise WorkloadError("shared_frac must be in (0, 1]")
+        self.shared_frac = shared_frac
+        self.refs_per_block = refs_per_block
+
+    def describe_params(self) -> dict:
+        return {
+            "iters": self.iters,
+            "shared_frac": self.shared_frac,
+            "refs_per_block": self.refs_per_block,
+            "seed": self.seed,
+        }
+
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        nb = self.blocks_for(machine, size_bytes)
+        n = machine.n_processors
+        nb_shared = max(1, int(nb * self.shared_frac))
+        private = machine.allocator.alloc("private", max(n, nb - nb_shared))
+        shared = machine.allocator.alloc("shared", nb_shared)
+
+        init_segs: list[Segment | None] = []
+        for cpu in range(n):
+            a, w = sweep(private.slice_for(cpu, n), refs_per_block=1, write_frac=1.0,
+                         rng=np.random.default_rng(self.seed + cpu))
+            init_segs.append(make_segment(a, w, m_frac=self.m_frac))
+        yield Phase(name="init", segments=init_segs, barrier=True)
+
+        shared_blocks = np.arange(shared.base_block, shared.end_block, dtype=np.int64)
+        for it in range(self.iters):
+            segs: list[Segment | None] = []
+            for cpu in range(n):
+                rng = np.random.default_rng(self.seed * 71 + it * 13 + cpu)
+                a_priv, w_priv = sweep(
+                    private.slice_for(cpu, n), refs_per_block=self.refs_per_block,
+                    write_frac=0.3, rng=rng,
+                )
+                # Cyclic schedule: every processor updates "its" elements of
+                # every shared line — at line granularity, everyone
+                # read-modify-writes every block (x[i] += ...), rotated so
+                # the interleaving differs per cpu.  The read pulls the line
+                # SHARED, the write upgrades it: the classic ping-pong that
+                # both invalidates the other holders and pollutes event 31.
+                rotated = np.roll(shared_blocks, -cpu * max(1, len(shared_blocks) // n))
+                a_sh = np.repeat(rotated, 2)
+                w_sh = np.tile(np.array([False, True]), len(rotated))
+                a = np.concatenate([a_priv, a_sh])
+                w = np.concatenate([w_priv, w_sh])
+                segs.append(make_segment(a, w, m_frac=self.m_frac))
+            yield Phase(name=f"update_{it}", segments=segs, barrier=True)

@@ -1,0 +1,183 @@
+"""Hydro2d: shallow-water / hydrodynamics model (paper Table 4, Section 4.2).
+
+The real Hydro2d (SPECFP95) solves hydrodynamical Navier-Stokes-style
+equations, parallelised with MP DOACROSS directives.  The paper reports a
+10.3 MB footprint, *modest* scalability (speedup ~9 at 32 processors) and
+diagnoses **large serial sections**: the limited-caching-space effect
+vanishes by 2–3 processors (10.3 MB / 4 MB), synchronization is modest, and
+load imbalance — which is how serial sections appear to the machine: every
+other processor spinning at the next barrier — dominates.  Removing the MP
+factors "would about double its speed for 32 processors".
+
+The model combines three mechanisms:
+
+* balanced DOACROSS sweep phases whose loop bounds are *misaligned* with
+  the first-touch partitioning (``shift_frac`` of each processor's range
+  belongs to a neighbour's partition) — the real code's many differently
+  bounded loops do exactly this, producing remote and migratory-sharing
+  traffic that grows with machine size and keeps the non-MP cycles well
+  above the uniprocessor's useful work;
+* serial phases in which only processor 0 works for ``serial_frac`` of an
+  iteration's instructions (boundary conditions, global reductions);
+* one barrier per DOACROSS loop — modest synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..trace.events import Phase, Segment, make_segment
+from ..trace.generators import sweep, sweep_array
+from ..trace.synth import concat_traces, interleave_traces
+from ..units import MB
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.system import DsmMachine
+
+__all__ = ["Hydro2d"]
+
+
+class Hydro2d(Workload):
+    """DOACROSS sweeps with serial sections and misaligned loop bounds."""
+
+    name = "hydro2d"
+    cpi0 = 1.25
+    m_frac = 0.36
+    paper_footprint_bytes = int(10.3 * MB)  # measured by ssusage in the paper
+    parallel_model = "MP directives with DOACROSS"
+    source = "SPECFP95"
+    what_it_does = "Hydrodynamical Navier Stokes equations"
+
+    def __init__(
+        self,
+        iters: int = 6,
+        sweeps_per_iter: int = 3,
+        serial_frac: float = 0.06,
+        shift_frac: float = 0.25,
+        imbalance_amp: float = 0.35,
+        refs_per_block: int = 10,
+        seed: int = 1234,
+    ) -> None:
+        super().__init__(iters=iters, seed=seed)
+        if not (0.0 <= serial_frac < 0.5):
+            raise WorkloadError("serial_frac must be in [0, 0.5)")
+        if not (0.0 <= shift_frac <= 1.0):
+            raise WorkloadError("shift_frac must be in [0, 1]")
+        if not (0.0 <= imbalance_amp < 1.0):
+            raise WorkloadError("imbalance_amp must be in [0, 1)")
+        if sweeps_per_iter < 1:
+            raise WorkloadError("sweeps_per_iter must be >= 1")
+        self.sweeps_per_iter = sweeps_per_iter
+        self.serial_frac = serial_frac
+        self.shift_frac = shift_frac
+        self.imbalance_amp = imbalance_amp
+        self.refs_per_block = refs_per_block
+
+    def describe_params(self) -> dict:
+        return {
+            "iters": self.iters,
+            "sweeps_per_iter": self.sweeps_per_iter,
+            "serial_frac": self.serial_frac,
+            "shift_frac": self.shift_frac,
+            "imbalance_amp": self.imbalance_amp,
+            "refs_per_block": self.refs_per_block,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def _shifted_slice(region, cpu: int, n: int, shift_blocks: int) -> np.ndarray:
+        """cpu's equal share of ``region``, rotated by ``shift_blocks``.
+
+        The rotation wraps within the region, so every block is still
+        visited exactly once per sweep across all processors — only the
+        ownership alignment changes.
+        """
+        per = region.n_blocks // n
+        start = cpu * per + shift_blocks
+        idx = (start + np.arange(per, dtype=np.int64)) % region.n_blocks
+        return region.base_block + idx
+
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        nb = self.blocks_for(machine, size_bytes)
+        n = machine.n_processors
+        per_array = max(n, nb // 4)
+        arrays = [machine.allocator.alloc(name, per_array) for name in ("ro", "u", "v", "e")]
+
+        init_segs: list[Segment | None] = []
+        for cpu in range(n):
+            frags = [
+                sweep(reg.slice_for(cpu, n), refs_per_block=1, write_frac=1.0,
+                      rng=np.random.default_rng(self.seed + cpu))
+                for reg in arrays
+            ]
+            a, w = concat_traces(*frags)
+            init_segs.append(make_segment(a, w, m_frac=self.m_frac))
+        yield Phase(name="init", segments=init_segs, barrier=True)
+
+        per_cpu_blocks = per_array // n
+        shift_blocks = int(per_cpu_blocks * self.shift_frac)
+        # Instructions of one iteration's parallel sweeps, for sizing the
+        # serial sections as a fraction of iteration work.
+        refs_per_sweep_phase = 2 * per_array * self.refs_per_block
+        iter_instructions = int(self.sweeps_per_iter * refs_per_sweep_phase / self.m_frac)
+
+        jitter_rng = np.random.default_rng(self.seed * 65537)
+
+        for it in range(self.iters):
+            # Per-iteration trip-count jitter: the real code's DOACROSS
+            # loops have varying bounds, so processors carry unequal work.
+            jitter = jitter_rng.uniform(-self.imbalance_amp, self.imbalance_amp, size=n)
+            # DOACROSS sweeps: each phase reads one array and writes
+            # another, interleaved (a[i] = f(b[i])).  Odd sweeps run with
+            # rotated loop bounds: shift_frac of each processor's range
+            # lies in a neighbour's first-touch partition.
+            for s in range(self.sweeps_per_iter):
+                src = arrays[s % 4]
+                dst = arrays[(s + 1) % 4]
+                shifted = (s % 2 == 1) and shift_blocks > 0 and n > 1
+                segs: list[Segment | None] = []
+                for cpu in range(n):
+                    rng = np.random.default_rng(self.seed * 31 + it * 7 + s * 3 + cpu)
+                    if shifted:
+                        dst_blocks = self._shifted_slice(dst, cpu, n, shift_blocks)
+                        src_blocks = self._shifted_slice(src, cpu, n, shift_blocks)
+                    else:
+                        dst_slice = dst.slice_for(cpu, n)
+                        src_slice = src.slice_for(cpu, n)
+                        dst_blocks = np.arange(dst_slice.start, dst_slice.stop, dtype=np.int64)
+                        src_blocks = np.arange(src_slice.start, src_slice.stop, dtype=np.int64)
+                    # The destination is written without a prior read
+                    # (a[i] = f(b[i])), so misaligned sweeps produce write
+                    # misses/invalidation, not shared-line upgrades -- the
+                    # event-31 counter stays a synchronization proxy here.
+                    a_dst, w_dst = sweep_array(dst_blocks, refs_per_block=self.refs_per_block,
+                                               write_frac=1.0, rng=rng)
+                    a_src, w_src = sweep_array(src_blocks, refs_per_block=self.refs_per_block,
+                                               write_frac=0.0, rng=rng)
+                    a, w = interleave_traces((a_dst, w_dst), (a_src, w_src),
+                                             granularity=self.refs_per_block)
+                    extra = int(len(a) / self.m_frac * max(0.0, jitter[cpu]))
+                    segs.append(make_segment(a, w, m_frac=self.m_frac, extra_instructions=extra))
+                yield Phase(name=f"sweep_{it}_{s}", segments=segs, barrier=True)
+
+            # Serial section: only cpu 0 works (boundary conditions, global
+            # reductions, I/O bookkeeping of the real code).  Everyone else
+            # spins -> the machine books it as load imbalance.
+            serial_instr = int(self.serial_frac * iter_instructions)
+            if serial_instr > 0:
+                rng = np.random.default_rng(self.seed * 131 + it)
+                own = arrays[0].slice_for(0, max(1, n))
+                n_serial_blocks = min(len(own), max(1, int(serial_instr * self.m_frac * 0.05)))
+                a, w = sweep(
+                    range(own.start, own.start + n_serial_blocks),
+                    refs_per_block=1,
+                    write_frac=0.5,
+                    rng=rng,
+                )
+                segs = [None] * n
+                segs[0] = Segment(a, w, n_instructions=serial_instr)
+                yield Phase(name=f"serial_{it}", segments=segs, barrier=True)

@@ -1,0 +1,158 @@
+"""Micro-kernels (paper Section 2.4.2).
+
+* :class:`SyncKernel` — "a loop where processors come in and out of
+  barriers", no spinning work between them: measures cpi_sync(n) and,
+  fitted against ntsyn, the fetchop latency tsyn.
+* :class:`SpinKernel` — one processor computes while the rest spin at the
+  barrier: measures cpi_imb (the idle-loop CPI).
+* :class:`MemoryLatencyKernel` — pointer chase with a footprint chosen to
+  defeat a given cache level: a ~100% miss rate isolates t2 or tm, and a
+  size sweep produces the triplets for the least-squares fit of
+  Section 2.3.
+* :class:`CacheFitKernel` — all-hits loop whose measured CPI is cpi0 by
+  construction; used by tests to calibrate the cpi0 estimators.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..trace.events import Phase, Segment, make_segment
+from ..trace.generators import pointer_chase, sweep
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.system import DsmMachine
+
+__all__ = ["SyncKernel", "SpinKernel", "MemoryLatencyKernel", "CacheFitKernel"]
+
+
+class SyncKernel(Workload):
+    """Back-to-back barrier episodes with negligible work in between."""
+
+    name = "sync_kernel"
+    cpi0 = 1.0
+    m_frac = 0.2
+    paper_footprint_bytes = 4096
+
+    def __init__(self, n_barriers: int = 200, gap_instructions: int = 16, seed: int = 1234) -> None:
+        super().__init__(iters=n_barriers, seed=seed)
+        if gap_instructions < 0:
+            raise WorkloadError("gap_instructions must be >= 0")
+        self.n_barriers = n_barriers
+        self.gap_instructions = gap_instructions
+
+    def describe_params(self) -> dict:
+        return {"n_barriers": self.n_barriers, "gap_instructions": self.gap_instructions}
+
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        n = machine.n_processors
+        empty = np.empty(0, dtype=np.int64)
+        nothing = np.empty(0, dtype=bool)
+        for i in range(self.n_barriers):
+            segs: list[Segment | None] = [
+                Segment(empty, nothing, self.gap_instructions) for _ in range(n)
+            ]
+            yield Phase(name=f"barrier_{i}", segments=segs, barrier=True)
+
+
+class SpinKernel(Workload):
+    """Processor 0 computes; everyone else spins at the barrier."""
+
+    name = "spin_kernel"
+    cpi0 = 1.0
+    m_frac = 0.2
+    paper_footprint_bytes = 4096
+
+    def __init__(self, episodes: int = 20, work_instructions: int = 20000, seed: int = 1234) -> None:
+        super().__init__(iters=episodes, seed=seed)
+        if work_instructions < 1:
+            raise WorkloadError("work_instructions must be >= 1")
+        self.episodes = episodes
+        self.work_instructions = work_instructions
+
+    def describe_params(self) -> dict:
+        return {"episodes": self.episodes, "work_instructions": self.work_instructions}
+
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        n = machine.n_processors
+        empty = np.empty(0, dtype=np.int64)
+        nothing = np.empty(0, dtype=bool)
+        for i in range(self.episodes):
+            segs: list[Segment | None] = [None] * n
+            segs[0] = Segment(empty, nothing, self.work_instructions)
+            yield Phase(name=f"spin_{i}", segments=segs, barrier=True)
+
+
+class MemoryLatencyKernel(Workload):
+    """Uniform pointer chase; footprint decides which level it defeats.
+
+    With ``size_bytes`` far above the L2 capacity nearly every reference is
+    an L2 miss costing tm; between the L1 and L2 capacities nearly every
+    reference costs t2.  The chase repeats until ``n_refs`` references have
+    been issued per processor.
+    """
+
+    name = "latency_kernel"
+    cpi0 = 1.0
+    m_frac = 0.5
+    paper_footprint_bytes = 64 * 1024 * 1024
+
+    def __init__(self, n_refs: int = 20000, passes: int = 2, seed: int = 1234) -> None:
+        super().__init__(iters=passes, seed=seed)
+        if n_refs < 1:
+            raise WorkloadError("n_refs must be >= 1")
+        self.n_refs = n_refs
+        self.passes = passes
+
+    def describe_params(self) -> dict:
+        return {"n_refs": self.n_refs, "passes": self.passes}
+
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        nb = self.blocks_for(machine, size_bytes)
+        region = machine.allocator.alloc("chase", nb)
+        rng = self.rng()
+        n = machine.n_processors
+        for p in range(self.passes):
+            segs: list[Segment | None] = []
+            for cpu in range(n):
+                part = region.slice_for(cpu, n)
+                a, w = pointer_chase(part, self.n_refs, rng=np.random.default_rng(self.seed + cpu))
+                segs.append(make_segment(a, w, m_frac=self.m_frac))
+            yield Phase(name=f"chase_{p}", segments=segs, barrier=True)
+
+
+class CacheFitKernel(Workload):
+    """Repeated sweep of a footprint that fits in the L1: CPI -> cpi0.
+
+    After the cold pass every reference hits the L1, so the measured CPI
+    converges on cpi0 from above at a rate set by ``reps`` — exactly the
+    compulsory-miss bias the paper's unbiased estimator removes.
+    """
+
+    name = "cachefit_kernel"
+    cpi0 = 1.3
+    m_frac = 0.4
+    paper_footprint_bytes = 16 * 1024
+
+    def __init__(self, reps: int = 50, seed: int = 1234) -> None:
+        super().__init__(iters=reps, seed=seed)
+        self.reps = reps
+
+    def describe_params(self) -> dict:
+        return {"reps": self.reps}
+
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        nb = self.blocks_for(machine, size_bytes)
+        region = machine.allocator.alloc("fit", nb)
+        rng = self.rng()
+        n = machine.n_processors
+        segs: list[Segment | None] = []
+        for cpu in range(n):
+            part = region.slice_for(cpu, n)
+            a, w = sweep(part, refs_per_block=4, write_frac=0.25, reps=self.reps, rng=rng)
+            segs.append(make_segment(a, w, m_frac=self.m_frac))
+        yield Phase(name="fit_sweep", segments=segs, barrier=True)

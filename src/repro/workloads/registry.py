@@ -1,0 +1,43 @@
+"""Name-based workload factory (used by the CLI and the campaign runner)."""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .base import Workload
+from .contention import FalseSharingWorkload, LockedRegions
+from .hydro2d import Hydro2d
+from .kernels import CacheFitKernel, MemoryLatencyKernel, SpinKernel, SyncKernel
+from .swim import Swim
+from .synthetic import SyntheticWorkload
+from .t3dheat import T3dheat
+
+__all__ = ["make_workload", "available_workloads", "WORKLOADS"]
+
+WORKLOADS: dict[str, type[Workload]] = {
+    T3dheat.name: T3dheat,
+    Hydro2d.name: Hydro2d,
+    Swim.name: Swim,
+    SyntheticWorkload.name: SyntheticWorkload,
+    LockedRegions.name: LockedRegions,
+    FalseSharingWorkload.name: FalseSharingWorkload,
+    SyncKernel.name: SyncKernel,
+    SpinKernel.name: SpinKernel,
+    MemoryLatencyKernel.name: MemoryLatencyKernel,
+    CacheFitKernel.name: CacheFitKernel,
+}
+
+
+def available_workloads() -> list[str]:
+    """Registered workload names, sorted."""
+    return sorted(WORKLOADS)
+
+
+def make_workload(name: str, **params) -> Workload:
+    """Instantiate a workload by registry name with keyword parameters."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        ) from None
+    return cls(**params)

@@ -1,0 +1,135 @@
+"""Fully parameterised synthetic workload.
+
+Used by the conceptual-figure benches (Figures 1–4), ablations, and many
+integration tests: every bottleneck the model isolates has a direct knob —
+
+* ``working_set_ratio`` — footprint relative to one L2 (insufficient
+  caching space);
+* ``barriers_per_iter`` — synchronization intensity;
+* ``imbalance_amp`` — per-(cpu, iteration) work spread;
+* ``sharing_frac`` — fraction of references that touch a globally shared
+  region with writes (true sharing / ntsyn contamination);
+* ``serial_frac`` — fraction of iteration work done by cpu 0 alone.
+
+With all knobs at zero the workload is an embarrassingly parallel sweep,
+which property tests use as the "no bottleneck" baseline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..trace.events import Phase, Segment, make_segment
+from ..trace.generators import random_access, sweep
+from ..trace.synth import concat_traces
+from ..units import MB
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.system import DsmMachine
+
+__all__ = ["SyntheticWorkload"]
+
+
+class SyntheticWorkload(Workload):
+    """One knob per bottleneck."""
+
+    name = "synthetic"
+    cpi0 = 1.2
+    m_frac = 0.35
+    paper_footprint_bytes = 8 * MB
+
+    def __init__(
+        self,
+        iters: int = 4,
+        barriers_per_iter: int = 2,
+        imbalance_amp: float = 0.0,
+        sharing_frac: float = 0.0,
+        serial_frac: float = 0.0,
+        refs_per_block: int = 4,
+        seed: int = 1234,
+    ) -> None:
+        super().__init__(iters=iters, seed=seed)
+        if barriers_per_iter < 1:
+            raise WorkloadError("barriers_per_iter must be >= 1")
+        if not (0.0 <= imbalance_amp < 1.0):
+            raise WorkloadError("imbalance_amp must be in [0, 1)")
+        if not (0.0 <= sharing_frac <= 0.5):
+            raise WorkloadError("sharing_frac must be in [0, 0.5]")
+        if not (0.0 <= serial_frac < 0.5):
+            raise WorkloadError("serial_frac must be in [0, 0.5)")
+        self.barriers_per_iter = barriers_per_iter
+        self.imbalance_amp = imbalance_amp
+        self.sharing_frac = sharing_frac
+        self.serial_frac = serial_frac
+        self.refs_per_block = refs_per_block
+
+    def describe_params(self) -> dict:
+        return {
+            "iters": self.iters,
+            "barriers_per_iter": self.barriers_per_iter,
+            "imbalance_amp": self.imbalance_amp,
+            "sharing_frac": self.sharing_frac,
+            "serial_frac": self.serial_frac,
+            "refs_per_block": self.refs_per_block,
+            "seed": self.seed,
+        }
+
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        nb = self.blocks_for(machine, size_bytes)
+        n = machine.n_processors
+        shared_blocks = max(n, nb // 16) if self.sharing_frac > 0 else 0
+        data = machine.allocator.alloc("data", max(n, nb - shared_blocks))
+        shared = machine.allocator.alloc("shared", shared_blocks) if shared_blocks else None
+
+        init_segs: list[Segment | None] = []
+        for cpu in range(n):
+            frags = [
+                sweep(data.slice_for(cpu, n), refs_per_block=1, write_frac=1.0,
+                      rng=np.random.default_rng(self.seed + cpu))
+            ]
+            if shared is not None and cpu == 0:
+                frags.append(
+                    sweep(shared.block_range(), refs_per_block=1, write_frac=1.0,
+                          rng=np.random.default_rng(self.seed))
+                )
+            a, w = concat_traces(*frags)
+            init_segs.append(make_segment(a, w, m_frac=self.m_frac))
+        yield Phase(name="init", segments=init_segs, barrier=True)
+
+        jitter_rng = np.random.default_rng(self.seed * 65537)
+        per_cpu_blocks = len(data.slice_for(0, n))
+        phase_refs = per_cpu_blocks * self.refs_per_block
+        iter_instructions = int(self.barriers_per_iter * phase_refs / self.m_frac)
+
+        for it in range(self.iters):
+            jitter = jitter_rng.uniform(-self.imbalance_amp, self.imbalance_amp, size=n)
+            for b in range(self.barriers_per_iter):
+                segs: list[Segment | None] = []
+                for cpu in range(n):
+                    rng = np.random.default_rng(self.seed * 101 + it * 13 + b * 3 + cpu)
+                    frags = [
+                        sweep(data.slice_for(cpu, n), refs_per_block=self.refs_per_block,
+                              write_frac=0.3, rng=rng)
+                    ]
+                    if shared is not None and self.sharing_frac > 0:
+                        n_shared = int(phase_refs * self.sharing_frac)
+                        if n_shared:
+                            frags.append(
+                                random_access(shared.block_range(), n_shared,
+                                              write_frac=0.3, rng=rng)
+                            )
+                    a, w = concat_traces(*frags)
+                    extra = int(len(a) / self.m_frac * max(0.0, jitter[cpu]))
+                    segs.append(make_segment(a, w, m_frac=self.m_frac, extra_instructions=extra))
+                yield Phase(name=f"work_{it}_{b}", segments=segs, barrier=True)
+
+            serial_instr = int(self.serial_frac * iter_instructions)
+            if serial_instr > 0:
+                empty = np.empty(0, dtype=np.int64)
+                segs = [None] * n
+                segs[0] = Segment(empty, np.empty(0, dtype=bool), serial_instr)
+                yield Phase(name=f"serial_{it}", segments=segs, barrier=True)

@@ -1,0 +1,183 @@
+"""T3dheat: conjugate-gradient PDE solver model (paper Table 4, Section 4.1).
+
+The real T3dheat (Los Alamos) is a PCF-directive PDE solver using conjugate
+gradient with explicit barriers, a 40 MB data set, good load balance,
+excellent speedup to 16 processors and saturation beyond.  The paper's
+diagnosis: the *only* reason for the good low-end speedup is that the data
+set does not fit the aggregate caches until ~10 processors (40 MB / 4 MB
+L2) — conflict misses nearly double the uniprocessor execution time and
+vanish by 8 processors — and past that point synchronization cost (many
+explicit PCF barriers per CG step, with fetchop serialization growing with
+n) reaches ~75% of all cycles at 30 processors.
+
+This model reproduces that structure:
+
+* a banded sparse matrix (~70% of the footprint) swept once per outer
+  iteration (the SpMV), plus solution/direction/residual vectors; sweeps
+  re-reference each cache line ``rpb_matrix`` times (word-granular spatial
+  locality), which sets the conflict-miss overhead ratio at n=1;
+* SpMV gathers into the shared x vector — mostly the processor's own
+  slice (banded matrix) with a small ``gather_spread`` fraction going
+  global, giving the mild read sharing a real CG has;
+* every sweep is emitted as several barrier-separated parallel loops
+  (``spmv_splits`` / ``dot_splits``), PCF style, plus ``inner_steps``
+  dot-product/daxpy vector steps per outer iteration — the barrier count
+  per unit of work is what makes synchronization dominate at scale;
+* balanced partitions (block scheduling), matching the reported "good
+  load balance".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..trace.events import Phase, Segment, make_segment
+from ..trace.generators import gather_sweep, sweep
+from ..trace.synth import concat_traces, split_trace
+from ..units import MB
+from .base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machine.system import DsmMachine
+
+__all__ = ["T3dheat"]
+
+
+class T3dheat(Workload):
+    """CG PDE solver: barrier-heavy, balanced, cache-hungry."""
+
+    name = "t3dheat"
+    cpi0 = 1.3
+    m_frac = 0.35
+    paper_footprint_bytes = 40 * MB  # measured by ssusage in the paper
+    parallel_model = "PCF directives with explicit barriers"
+    source = "Los Alamos National Laboratory"
+    what_it_does = "PDE solver using conjugate gradient"
+
+    def __init__(
+        self,
+        iters: int = 3,
+        inner_steps: int = 20,
+        matrix_frac: float = 0.70,
+        rpb_matrix: int = 8,
+        rpb_vec: int = 6,
+        spmv_splits: int = 3,
+        dot_splits: int = 8,
+        gather_spread: float = 0.04,
+        seed: int = 1234,
+    ) -> None:
+        super().__init__(iters=iters, seed=seed)
+        if not (0.1 <= matrix_frac <= 0.9):
+            raise WorkloadError("matrix_frac must be in [0.1, 0.9]")
+        if inner_steps < 1:
+            raise WorkloadError("inner_steps must be >= 1")
+        if not (0.0 <= gather_spread <= 1.0):
+            raise WorkloadError("gather_spread must be in [0, 1]")
+        if spmv_splits < 1 or dot_splits < 1:
+            raise WorkloadError("splits must be >= 1")
+        self.inner_steps = inner_steps
+        self.matrix_frac = matrix_frac
+        self.rpb_matrix = rpb_matrix
+        self.rpb_vec = rpb_vec
+        self.spmv_splits = spmv_splits
+        self.dot_splits = dot_splits
+        self.gather_spread = gather_spread
+
+    def describe_params(self) -> dict:
+        return {
+            "iters": self.iters,
+            "inner_steps": self.inner_steps,
+            "matrix_frac": self.matrix_frac,
+            "rpb_matrix": self.rpb_matrix,
+            "rpb_vec": self.rpb_vec,
+            "spmv_splits": self.spmv_splits,
+            "dot_splits": self.dot_splits,
+            "gather_spread": self.gather_spread,
+            "seed": self.seed,
+        }
+
+    def build(self, machine: "DsmMachine", size_bytes: int) -> Iterator[Phase]:
+        nb = self.blocks_for(machine, size_bytes)
+        n = machine.n_processors
+        nb_matrix = max(n, int(nb * self.matrix_frac))
+        nb_vec = max(n, (nb - nb_matrix) // 3)
+        matrix = machine.allocator.alloc("matrix", nb_matrix)
+        x = machine.allocator.alloc("x", nb_vec)
+        p = machine.allocator.alloc("p", nb_vec)
+        r = machine.allocator.alloc("r", nb_vec)
+        vectors = [x, p, r]
+
+        # Parallel first-touch initialisation: each cpu writes its slices.
+        init_segs: list[Segment | None] = []
+        for cpu in range(n):
+            frags = [
+                sweep(reg.slice_for(cpu, n), refs_per_block=1, write_frac=1.0,
+                      rng=np.random.default_rng(self.seed + cpu))
+                for reg in (matrix, x, p, r)
+            ]
+            a, w = concat_traces(*frags)
+            init_segs.append(make_segment(a, w, m_frac=self.m_frac))
+        yield Phase(name="init", segments=init_segs, barrier=True)
+
+        for outer in range(self.iters):
+            # SpMV: sweep own matrix slice, gather from x (mostly the local
+            # band); emitted as spmv_splits barrier-separated loops.
+            per_cpu_chunks: list[list] = []
+            for cpu in range(n):
+                rng = np.random.default_rng(self.seed * 7919 + outer * 131 + cpu)
+                own_rows = matrix.slice_for(cpu, n)
+                local_x = x.slice_for(cpu, n)
+                a_loc, w_loc = gather_sweep(
+                    own_rows,
+                    table=local_x,
+                    gathers_per_row=1,
+                    refs_per_block=self.rpb_matrix,
+                    write_frac=0.25,
+                    rng=rng,
+                )
+                if self.gather_spread > 0.0:
+                    # A slice of the gathers goes anywhere in x: the
+                    # off-band matrix entries (read sharing).
+                    n_global = int(len(a_loc) * self.gather_spread * 0.1)
+                    if n_global:
+                        idx = rng.integers(0, len(a_loc), size=n_global)
+                        a_loc = a_loc.copy()
+                        w_loc = w_loc.copy()
+                        a_loc[idx] = rng.integers(x.base_block, x.end_block, size=n_global)
+                        w_loc[idx] = False
+                per_cpu_chunks.append(split_trace((a_loc, w_loc), self.spmv_splits))
+            for part in range(self.spmv_splits):
+                segs: list[Segment | None] = [
+                    make_segment(per_cpu_chunks[cpu][part][0],
+                                 per_cpu_chunks[cpu][part][1],
+                                 m_frac=self.m_frac)
+                    for cpu in range(n)
+                ]
+                yield Phase(name=f"spmv_{outer}_{part}", segments=segs, barrier=True)
+
+            # Inner CG vector steps: dot products and daxpy updates, each a
+            # group of dot_splits explicit PCF barrier loops.
+            for step in range(self.inner_steps):
+                vec = vectors[step % len(vectors)]
+                write_frac = 0.0 if step % 2 == 0 else 0.5  # dot vs daxpy
+                per_cpu_chunks = []
+                for cpu in range(n):
+                    rng = np.random.default_rng(self.seed * 104729 + outer * 17 + step * 7 + cpu)
+                    a, w = sweep(
+                        vec.slice_for(cpu, n),
+                        refs_per_block=self.rpb_vec,
+                        write_frac=write_frac,
+                        rng=rng,
+                    )
+                    per_cpu_chunks.append(split_trace((a, w), self.dot_splits))
+                for part in range(self.dot_splits):
+                    segs = [
+                        make_segment(per_cpu_chunks[cpu][part][0],
+                                     per_cpu_chunks[cpu][part][1],
+                                     m_frac=self.m_frac)
+                        for cpu in range(n)
+                    ]
+                    yield Phase(name=f"cg_{outer}_{step}_{part}", segments=segs, barrier=True)

@@ -1,0 +1,77 @@
+"""Shared fixtures: tiny machines and a cached mini-campaign.
+
+Unit tests use deliberately small caches and traces so the whole suite
+stays fast; the integration tests that need realistic scales live in
+``tests/integration`` and reuse one session-scoped campaign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.config import (
+    CacheConfig,
+    InterconnectConfig,
+    MachineConfig,
+    MemoryConfig,
+    TimingConfig,
+)
+from repro.machine.system import DsmMachine
+from repro.runner.campaign import CampaignConfig, ScalToolCampaign
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def tiny_machine_config(n_processors: int = 4, **overrides) -> MachineConfig:
+    """A small, fast machine: 256 B L1, 4 KB L2, 32 B lines."""
+    defaults = dict(
+        n_processors=n_processors,
+        l1=CacheConfig(size=256, line_size=32, associativity=2, name="L1D"),
+        l2=CacheConfig(size=4096, line_size=32, associativity=2, name="L2"),
+        timing=TimingConfig(),
+        interconnect=InterconnectConfig(topology="hypercube", bristle=2),
+        memory=MemoryConfig(page_size=128, placement="first_touch"),
+        seed=7,
+    )
+    defaults.update(overrides)
+    return MachineConfig(**defaults)
+
+
+@pytest.fixture
+def tiny_cfg() -> MachineConfig:
+    return tiny_machine_config()
+
+
+@pytest.fixture
+def machine(tiny_cfg) -> DsmMachine:
+    return DsmMachine(tiny_cfg)
+
+
+@pytest.fixture
+def machine1() -> DsmMachine:
+    return DsmMachine(tiny_machine_config(n_processors=1))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def small_synthetic(**kw) -> SyntheticWorkload:
+    """A synthetic workload sized for the tiny machine."""
+    params = dict(iters=2, barriers_per_iter=2, refs_per_block=3, seed=11)
+    params.update(kw)
+    return SyntheticWorkload(**params)
+
+
+@pytest.fixture(scope="session")
+def mini_campaign():
+    """One shared campaign on the tiny machine family (synthetic workload)."""
+
+    def factory(n: int) -> MachineConfig:
+        return tiny_machine_config(n_processors=n)
+
+    wl = small_synthetic(iters=3, imbalance_amp=0.2)
+    s0 = 32 * 1024  # 8x the tiny L2
+    config = CampaignConfig(s0=s0, processor_counts=(1, 2, 4))
+    return ScalToolCampaign(wl, config, machine_factory=factory).run()

@@ -1,0 +1,119 @@
+"""Cache-space decomposition (Section 2.4.1) on fabricated data."""
+
+import pytest
+
+from repro.core.cache_analysis import (
+    analyze_cache_space,
+    compulsory_miss_rate,
+    hit_rate_curve,
+    interpolate_uniproc,
+)
+from repro.errors import InsufficientDataError
+from repro.machine.counters import CounterSet
+from repro.runner.records import RunRecord
+
+
+def rec(size, n=1, l2_hit=0.5, l1_hit=0.9, m=0.4, inst=10_000):
+    refs = inst * m
+    l1_misses = refs * (1 - l1_hit)
+    counters = CounterSet(
+        cycles=inst * 2.0,
+        graduated_instructions=inst,
+        graduated_loads=refs * 0.7,
+        graduated_stores=refs * 0.3,
+        l1_data_misses=l1_misses,
+        l2_misses=l1_misses * (1 - l2_hit),
+    )
+    return RunRecord(
+        workload="w", params={}, size_bytes=size, n_processors=n,
+        role="app_frac" if n == 1 else "app_base", machine={}, counters=counters,
+    )
+
+
+def uniproc():
+    # hit rate rises as the data set shrinks, plateauing at 0.96 (compulsory 0.04)
+    return {
+        65536: rec(65536, l2_hit=0.20),
+        32768: rec(32768, l2_hit=0.35),
+        16384: rec(16384, l2_hit=0.70),
+        8192: rec(8192, l2_hit=0.96),
+        4096: rec(4096, l2_hit=0.95),  # slight droop at tiny sizes
+    }
+
+
+class TestCurve:
+    def test_sorted_by_size(self):
+        curve = hit_rate_curve(uniproc())
+        assert [s for s, _ in curve] == sorted(s for s, _ in curve)
+
+    def test_compulsory_is_plateau(self):
+        assert compulsory_miss_rate(uniproc()) == pytest.approx(0.04)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            hit_rate_curve({})
+
+
+class TestInterpolation:
+    def test_exact_size_returned(self):
+        r = interpolate_uniproc(uniproc(), 16384)
+        assert r.l2_hit_rate == pytest.approx(0.70)
+
+    def test_between_sizes_log_linear(self):
+        r = interpolate_uniproc(uniproc(), 23170)  # geometric mean of 16k and 32k
+        assert 0.35 < r.l2_hit_rate < 0.70
+        assert r.l2_hit_rate == pytest.approx((0.35 + 0.70) / 2, abs=0.02)
+
+    def test_clamps_below_range(self):
+        r = interpolate_uniproc(uniproc(), 100)
+        assert r.l2_hit_rate == pytest.approx(0.95)
+
+    def test_clamps_above_range(self):
+        r = interpolate_uniproc(uniproc(), 10**9)
+        assert r.l2_hit_rate == pytest.approx(0.20)
+
+
+class TestAnalysis:
+    def base_runs(self):
+        return {
+            1: rec(65536, n=1, l2_hit=0.20),
+            4: rec(65536, n=4, l2_hit=0.60),  # vs surrogate s0/4=16384 at 0.70
+            8: rec(65536, n=8, l2_hit=0.85),  # vs surrogate s0/8=8192 at 0.96
+        }
+
+    def test_coherence_from_surrogate(self):
+        a = analyze_cache_space(uniproc(), self.base_runs(), s0=65536)
+        assert a.coherence(1) == 0.0
+        assert a.coherence(4) == pytest.approx(0.70 - 0.60, abs=1e-6)
+        assert a.coherence(8) == pytest.approx(0.96 - 0.85, abs=1e-6)
+
+    def test_l2hitr_inf(self):
+        a = analyze_cache_space(uniproc(), self.base_runs(), s0=65536)
+        assert a.l2hitr_inf(1) == pytest.approx(1 - 0.04)
+        assert a.l2hitr_inf(4) == pytest.approx(1 - 0.04 - 0.10)
+
+    def test_l2hitr_infinf_is_compulsory_only(self):
+        a = analyze_cache_space(uniproc(), self.base_runs(), s0=65536)
+        assert a.l2hitr_infinf == pytest.approx(0.96)
+
+    def test_conflict_decomposition(self):
+        a = analyze_cache_space(uniproc(), self.base_runs(), s0=65536)
+        # conflict(1): everything between measured 0.20 and 0.96
+        assert a.conflict_rate(1) == pytest.approx(0.76)
+        # at n=8 the measured is close to the surrogate -> conflicts shrink
+        assert a.conflict_rate(8) < a.conflict_rate(1)
+
+    def test_inf_curve_converges_to_measured(self):
+        # paper: "in the limit the curves converge"
+        a = analyze_cache_space(uniproc(), self.base_runs(), s0=65536)
+        gap1 = a.l2hitr_inf(1) - a.measured_l2hitr_by_n[1]
+        gap8 = a.l2hitr_inf(8) - a.measured_l2hitr_by_n[8]
+        assert gap8 < gap1
+
+    def test_summary_renders(self):
+        a = analyze_cache_space(uniproc(), self.base_runs(), s0=65536)
+        assert "compulsory" in a.summary()
+
+    def test_missing_base_runs_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            analyze_cache_space(uniproc(), {}, s0=65536)

@@ -1,0 +1,82 @@
+"""The CPI equations (Eqs. 1, 5-8)."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.core.model import (
+    CpiParameters,
+    MemoryRates,
+    cpi_from_rates,
+    cpi_linear,
+    rates_to_frequencies,
+    solve_tm,
+)
+from repro.machine.counters import CounterSet
+
+
+class TestRates:
+    def test_bounds_checked(self):
+        with pytest.raises(EstimationError):
+            MemoryRates(1.2, 0.5, 0.3)
+        with pytest.raises(EstimationError):
+            MemoryRates(0.5, -0.1, 0.3)
+        with pytest.raises(EstimationError):
+            MemoryRates(0.5, 0.5, 1.2)
+
+    def test_from_counters(self):
+        c = CounterSet(
+            graduated_instructions=1000,
+            graduated_loads=300,
+            graduated_stores=100,
+            l1_data_misses=40,
+            l2_misses=10,
+        )
+        r = MemoryRates.from_counters(c)
+        assert r.m_frac == pytest.approx(0.4)
+        assert r.l1_hit_rate == pytest.approx(0.9)
+        assert r.l2_hit_rate == pytest.approx(0.75)
+
+    def test_clamped(self):
+        r = MemoryRates(1.0, 0.0, 1.0).clamped()
+        assert 0 <= r.l1_hit_rate <= 1
+
+
+class TestEquations:
+    def test_eq1(self):
+        assert cpi_linear(1.0, 0.02, 0.01, 10.0, 100.0) == pytest.approx(1.0 + 0.2 + 1.0)
+
+    def test_eq6_eq7(self):
+        r = MemoryRates(l1_hit_rate=0.9, l2_hit_rate=0.75, m_frac=0.4)
+        h2, hm = rates_to_frequencies(r)
+        assert h2 == pytest.approx(0.1 * 0.4 * 0.75)
+        assert hm == pytest.approx(0.1 * 0.4 * 0.25)
+
+    def test_eq8_consistent_with_eq1(self):
+        r = MemoryRates(0.85, 0.6, 0.35)
+        h2, hm = rates_to_frequencies(r)
+        direct = cpi_linear(1.2, h2, hm, 12.0, 80.0)
+        via_rates = cpi_from_rates(1.2, 12.0, 80.0, r)
+        assert direct == pytest.approx(via_rates)
+
+    def test_perfect_hits_give_cpi0(self):
+        r = MemoryRates(1.0, 1.0, 0.4)
+        assert cpi_from_rates(1.3, 10, 100, r) == pytest.approx(1.3)
+
+    def test_solve_tm_inverts_eq1(self):
+        cpi = cpi_linear(1.1, 0.03, 0.008, 9.0, 70.0)
+        assert solve_tm(cpi, 1.1, 0.03, 0.008, 9.0) == pytest.approx(70.0)
+
+    def test_solve_tm_rejects_no_misses(self):
+        with pytest.raises(EstimationError):
+            solve_tm(1.5, 1.0, 0.02, 0.0, 10.0)
+
+
+class TestParameters:
+    def test_tm_lookup(self):
+        p = CpiParameters(cpi0=1.0, t2=10.0, tm_by_n={1: 60.0, 4: 80.0})
+        assert p.tm(4) == 80.0
+
+    def test_missing_tm_raises(self):
+        p = CpiParameters(cpi0=1.0, t2=10.0, tm_by_n={1: 60.0})
+        with pytest.raises(EstimationError):
+            p.tm(16)

@@ -1,0 +1,128 @@
+"""Scalability prediction and load-balance reporting."""
+
+import pytest
+
+from repro.core import ScalTool
+from repro.core.balance import analyze_balance
+from repro.core.prediction import ScalabilityPredictor, predict_speedups
+from repro.errors import InsufficientDataError
+from repro.runner.campaign import CampaignData
+
+
+@pytest.fixture(scope="module")
+def analysis(mini_campaign):
+    return ScalTool(mini_campaign).analyze()
+
+
+class TestPredictor:
+    def test_reproduces_measured_counts_roughly(self, analysis):
+        pred = ScalabilityPredictor(analysis)
+        for n in analysis.curves.processor_counts:
+            assert pred.predict_accumulated(n) == pytest.approx(
+                analysis.curves.base[n], rel=0.35
+            )
+
+    def test_extrapolated_speedup_finite_and_positive(self, analysis):
+        pred = ScalabilityPredictor(analysis)
+        for n in (8, 16, 64):
+            s = pred.predict_speedup(n)
+            assert 0 < s < n * 3
+
+    def test_components_nonnegative(self, analysis):
+        pred = ScalabilityPredictor(analysis)
+        for n in (1, 3, 8, 64):
+            comp = pred.predict_components(n)
+            assert all(v >= 0 for v in comp.values())
+
+    def test_uniprocessor_has_no_imbalance(self, analysis):
+        assert ScalabilityPredictor(analysis).predict_components(1)["imb"] == 0.0
+
+    def test_sync_component_grows(self, analysis):
+        pred = ScalabilityPredictor(analysis)
+        assert pred.predict_components(64)["sync"] > pred.predict_components(4)["sync"]
+
+    def test_saturation_count_reasonable(self, analysis):
+        sat = ScalabilityPredictor(analysis).saturation_count()
+        assert 1 <= sat <= 4096
+
+    def test_leave_one_out(self, analysis):
+        rows = ScalabilityPredictor(analysis).leave_one_out()
+        assert rows  # at least the interior point n=2
+        for row in rows:
+            assert row["error"] < 0.6
+
+    def test_rows_and_wrapper(self, analysis):
+        rows = predict_speedups(analysis, [2, 8, 64])
+        assert [r["n"] for r in rows] == [2, 8, 64]
+        assert {"predicted speedup", "Sync", "Imb"} <= set(rows[0])
+
+    def test_too_few_counts_rejected(self, analysis, mini_campaign):
+        short = CampaignData(
+            workload=mini_campaign.workload,
+            s0=mini_campaign.s0,
+            records=[r for r in mini_campaign.records if r.n_processors <= 2],
+        )
+        short_analysis = ScalTool(short).analyze()
+        with pytest.raises(InsufficientDataError):
+            ScalabilityPredictor(short_analysis)
+
+    def test_bad_n_rejected(self, analysis):
+        with pytest.raises(InsufficientDataError):
+            ScalabilityPredictor(analysis).predict_components(0)
+
+
+class TestBalance:
+    def test_report_covers_counts(self, mini_campaign):
+        report = analyze_balance(mini_campaign)
+        assert [p.n_processors for p in report.points] == [1, 2, 4]
+
+    def test_metrics_consistent(self, mini_campaign):
+        report = analyze_balance(mini_campaign)
+        for p in report.points:
+            assert p.min_work <= p.mean_work <= p.max_work
+            assert 0 < p.efficiency <= 1.0
+            assert p.spread >= 1.0
+
+    def test_uniprocessor_perfectly_balanced(self, mini_campaign):
+        p = analyze_balance(mini_campaign).at(1)
+        assert p.efficiency == pytest.approx(1.0)
+        assert p.cv == pytest.approx(0.0)
+
+    def test_serial_workload_flagged(self):
+        from ..conftest import small_synthetic, tiny_machine_config
+        from repro.runner.campaign import CampaignConfig, ScalToolCampaign
+
+        wl = small_synthetic(iters=2, serial_frac=0.3)
+        cfg = CampaignConfig(s0=16 * 1024, processor_counts=(1, 4), run_kernels=False)
+        campaign = ScalToolCampaign(
+            wl, cfg, machine_factory=lambda n: tiny_machine_config(n_processors=n)
+        ).run()
+        report = analyze_balance(campaign)
+        assert report.at(4).spread > analyze_balance_spread_floor()
+
+    def test_summary_renders(self, mini_campaign):
+        text = analyze_balance(mini_campaign).summary()
+        assert "load balance" in text and "verdict" in text
+
+    def test_verdict_values(self, mini_campaign):
+        assert analyze_balance(mini_campaign).verdict() in (
+            "good load balance",
+            "modest load imbalance",
+            "significant load imbalance",
+        )
+
+    def test_missing_per_cpu_rejected(self, mini_campaign):
+        stripped = CampaignData(
+            workload=mini_campaign.workload,
+            s0=mini_campaign.s0,
+            records=[
+                type(r)(**{**r.__dict__, "per_cpu": []}) for r in mini_campaign.records
+            ],
+        )
+        with pytest.raises(InsufficientDataError):
+            analyze_balance(stripped)
+
+
+def analyze_balance_spread_floor() -> float:
+    """Serial sections concentrate stores on cpu 0: expect visible spread."""
+    return 1.02

@@ -1,0 +1,122 @@
+"""Segment-level analysis (Section 2.1)."""
+
+import pytest
+
+from repro.core import ScalTool
+from repro.core.segments import analyze_segments, phase_names
+from repro.errors import InsufficientDataError
+
+
+@pytest.fixture(scope="module")
+def analysis(mini_campaign):
+    return ScalTool(mini_campaign).analyze()
+
+
+class TestPhaseNames:
+    def test_lists_phases(self, mini_campaign):
+        names = phase_names(mini_campaign)
+        assert names[0] == "init"
+        assert any(n.startswith("work_") for n in names)
+
+    def test_missing_count_rejected(self, mini_campaign):
+        with pytest.raises(InsufficientDataError):
+            phase_names(mini_campaign, n=128)
+
+
+class TestSegments:
+    GROUPS = {"init": "init", "work": "work_*"}
+
+    def test_decomposition_covers_run(self, analysis, mini_campaign):
+        seg = analyze_segments(analysis, mini_campaign, self.GROUPS)
+        for n in (1, 2, 4):
+            total = sum(seg.at(name, n).cycles for name in self.GROUPS)
+            base = mini_campaign.base_runs()[n].counters.cycles
+            assert total == pytest.approx(base, rel=1e-6)
+
+    def test_components_sum_within_cycles(self, analysis, mini_campaign):
+        seg = analyze_segments(analysis, mini_campaign, self.GROUPS)
+        for b in seg.breakdowns:
+            assert b.modeled_cycles + b.residual_cycles >= b.cycles - 1e-6
+            assert b.compute_cycles >= 0
+            assert 0.0 <= b.residual_fraction <= 1.0 or b.modeled_cycles > b.cycles
+
+    def test_work_segment_dominates(self, analysis, mini_campaign):
+        seg = analyze_segments(analysis, mini_campaign, self.GROUPS)
+        assert seg.at("work", 4).cycles > seg.at("init", 4).cycles
+
+    def test_init_segment_memory_bound(self, analysis, mini_campaign):
+        # init is the cold first-touch sweep: memory stalls out of compute
+        seg = analyze_segments(analysis, mini_campaign, self.GROUPS)
+        init = seg.at("init", 1)
+        work = seg.at("work", 1)
+        init_mem_share = init.memory_stall_cycles / init.cycles
+        work_mem_share = work.memory_stall_cycles / work.cycles
+        assert init_mem_share > work_mem_share
+
+    def test_dominant_cost_named(self, analysis, mini_campaign):
+        seg = analyze_segments(analysis, mini_campaign, self.GROUPS)
+        assert seg.dominant_cost("work", 4) in (
+            "compute",
+            "L2-hit stalls",
+            "memory stalls",
+            "synchronization",
+            "residual (imbalance + unmodeled)",
+        )
+
+    def test_summary_renders(self, analysis, mini_campaign):
+        seg = analyze_segments(analysis, mini_campaign, self.GROUPS)
+        text = seg.summary()
+        assert "segment" in text and "work" in text
+
+    def test_unmatched_pattern_rejected(self, analysis, mini_campaign):
+        with pytest.raises(InsufficientDataError):
+            analyze_segments(analysis, mini_campaign, {"nope": "zzz_*"})
+
+    def test_empty_groups_rejected(self, analysis, mini_campaign):
+        with pytest.raises(InsufficientDataError):
+            analyze_segments(analysis, mini_campaign, {})
+
+    def test_subset_of_counts(self, analysis, mini_campaign):
+        seg = analyze_segments(analysis, mini_campaign, self.GROUPS, processor_counts=[2])
+        assert {b.n_processors for b in seg.breakdowns} == {2}
+
+
+class TestMultiplexedCampaign:
+    def test_degraded_analysis_still_runs(self, mini_campaign):
+        from repro.tools.perfex import multiplex_campaign
+
+        degraded = multiplex_campaign(mini_campaign, events_per_slice=4)
+        analysis = ScalTool(degraded).analyze()
+        exact = ScalTool(mini_campaign).analyze()
+        # conclusions stay in the same ballpark despite approximate counters
+        for n in (1, 2, 4):
+            assert analysis.curves.base[n] == pytest.approx(exact.curves.base[n], rel=0.5)
+
+    def test_kernels_stay_exact(self, mini_campaign):
+        from repro.tools.perfex import multiplex_campaign
+
+        degraded = multiplex_campaign(mini_campaign)
+        for exact_rec, deg_rec in zip(mini_campaign.records, degraded.records):
+            if exact_rec.role == "sync_kernel":
+                assert deg_rec.counters == exact_rec.counters
+                assert deg_rec.per_cpu
+
+
+class TestMarkdownExport:
+    def test_export_markdown(self, analysis):
+        from repro.core.report import export_markdown
+
+        doc = export_markdown(analysis)
+        assert doc.startswith("# Scal-Tool analysis: synthetic")
+        assert "## Model parameters" in doc
+        assert "## Bottleneck curves" in doc
+        assert "| n |" in doc
+        assert "Dominant bottleneck" in doc
+
+    def test_markdown_tables_well_formed(self, analysis):
+        from repro.core.report import export_markdown
+
+        doc = export_markdown(analysis)
+        for line in doc.splitlines():
+            if line.startswith("|") and not set(line) <= {"|", "-", " "}:
+                assert line.endswith("|")

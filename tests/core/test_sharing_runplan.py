@@ -1,0 +1,92 @@
+"""Sharing extension (Section 6) and run-plan accounting (Tables 1/3)."""
+
+import pytest
+
+from repro.core import ScalTool
+from repro.core.runplan import campaign_resources, table3_matrix
+from repro.core.sharing import analyze_sharing, instrumented_sync_ops
+from repro.errors import ConfigError, InsufficientDataError
+from repro.machine.system import DsmMachine
+from repro.runner.campaign import CampaignConfig, ScalToolCampaign
+
+from ..conftest import small_synthetic, tiny_machine_config
+
+
+@pytest.fixture(scope="module")
+def sharing_campaign():
+    """A campaign whose workload has real data sharing."""
+
+    def factory(n):
+        return tiny_machine_config(n_processors=n)
+
+    wl = small_synthetic(iters=3, sharing_frac=0.15, imbalance_amp=0.1)
+    cfg = CampaignConfig(
+        s0=32 * 1024, processor_counts=(1, 2, 4), sync_kernel_barriers=20, spin_kernel_episodes=5
+    )
+    return ScalToolCampaign(wl, cfg, machine_factory=factory).run()
+
+
+class TestSharingExtension:
+    def test_instrumented_ops_match_barriers(self, sharing_campaign):
+        ops = instrumented_sync_ops(sharing_campaign)
+        for n, rec in sharing_campaign.base_runs().items():
+            assert ops[n] == rec.ground_truth.barriers
+
+    def test_contamination_detected(self, sharing_campaign):
+        analysis = ScalTool(sharing_campaign).analyze()
+        sh = analyze_sharing(analysis, sharing_campaign)
+        assert sh.contamination(4) > 0.0
+
+    def test_corrected_sync_closer_to_truth(self, sharing_campaign):
+        analysis = ScalTool(sharing_campaign).analyze()
+        sh = analyze_sharing(analysis, sharing_campaign)
+        n = 4
+        true_sync = sharing_campaign.base_runs()[n].ground_truth.sync_cycles
+        raw_err = abs(analysis.curves.sync_cost[n] - true_sync)
+        corrected_err = abs(sh.corrected_curves.sync_cost[n] - true_sync)
+        assert corrected_err <= raw_err
+
+    def test_rows(self, sharing_campaign):
+        analysis = ScalTool(sharing_campaign).analyze()
+        sh = analyze_sharing(analysis, sharing_campaign)
+        rows = sh.rows()
+        assert {"n", "sync ops", "sharing ops", "contamination"} <= set(rows[0])
+
+    def test_requires_instrumentation(self, sharing_campaign):
+        from repro.runner.campaign import CampaignData
+
+        stripped = CampaignData(
+            workload=sharing_campaign.workload,
+            s0=sharing_campaign.s0,
+            records=[r.without_ground_truth() for r in sharing_campaign.records],
+        )
+        with pytest.raises(InsufficientDataError):
+            instrumented_sync_ops(stripped)
+
+
+class TestTable3:
+    def test_paper_matrix_shape(self):
+        m = table3_matrix(640 * 1024, (1, 2, 4, 8, 16, 32))
+        assert m.runs() == 11  # 6 base + 5 fractional
+        assert m.processors() == 68  # 2^6 + 6 - 2
+
+    def test_base_row_all_counts(self):
+        m = table3_matrix(1024, (1, 2, 4))
+        assert m.cells[0] == (True, True, True)
+
+    def test_fraction_rows_uniprocessor_only(self):
+        m = table3_matrix(1024, (1, 2, 4))
+        for row in m.cells[1:]:
+            assert row == (True, False, False)
+
+    def test_counts_must_be_powers_of_two(self):
+        with pytest.raises(ConfigError):
+            table3_matrix(1024, (1, 3))
+
+    def test_format_renders(self):
+        text = table3_matrix(64 * 1024, (1, 2, 4)).format()
+        assert "s0" in text and "x" in text
+
+    def test_campaign_resources(self):
+        res = campaign_resources(1024, (1, 2, 4, 8, 16, 32))
+        assert res["scal_tool"].processors < res["existing"].processors

@@ -1,0 +1,76 @@
+"""Sync/imbalance isolation (Eqs. 9-10) on the mini campaign."""
+
+import pytest
+
+from repro.core import ScalTool
+from repro.core.sync_analysis import analyze_sync, cpi_imb_estimate, cpi_sync_by_n, tsyn_by_n
+from repro.errors import InsufficientDataError
+
+from ..conftest import tiny_machine_config
+
+
+@pytest.fixture(scope="module")
+def analysis(mini_campaign):
+    return ScalTool(mini_campaign).analyze()
+
+
+class TestKernelDerived:
+    def test_cpi_sync_per_count(self, mini_campaign):
+        table = cpi_sync_by_n(mini_campaign.sync_kernel_runs())
+        assert sorted(table) == [1, 2, 4]
+        assert all(v > 1.0 for v in table.values())
+
+    def test_cpi_imb_close_to_machine_spin_cpi(self, mini_campaign):
+        est = cpi_imb_estimate(mini_campaign.spin_kernel_runs())
+        true = tiny_machine_config().timing.spin_cpi
+        assert est == pytest.approx(true, rel=0.2)
+
+    def test_cpi_imb_needs_multiprocessor_run(self, mini_campaign):
+        only_uni = {1: mini_campaign.spin_kernel_runs()[1]}
+        with pytest.raises(InsufficientDataError):
+            cpi_imb_estimate(only_uni)
+
+    def test_tsyn_positive_everywhere(self, mini_campaign):
+        imb = cpi_imb_estimate(mini_campaign.spin_kernel_runs())
+        tsyn = tsyn_by_n(mini_campaign.sync_kernel_runs(), imb)
+        assert all(v > 0 for v in tsyn.values())
+
+    def test_tsyn_magnitude_near_fetchop_roundtrip(self, mini_campaign):
+        imb = cpi_imb_estimate(mini_campaign.spin_kernel_runs())
+        tsyn = tsyn_by_n(mini_campaign.sync_kernel_runs(), imb)
+        t = tiny_machine_config().timing
+        assert tsyn[1] == pytest.approx(t.t_fetchop + t.t_fetchop_service, rel=0.6)
+
+    def test_empty_kernels_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            cpi_sync_by_n({})
+
+
+class TestFractions:
+    def test_uniprocessor_has_no_imbalance(self, analysis):
+        assert analysis.sync.frac_imb(1) == 0.0
+
+    def test_fractions_bounded(self, analysis):
+        for n in (1, 2, 4):
+            fs, fi = analysis.sync.frac_syn(n), analysis.sync.frac_imb(n)
+            assert 0.0 <= fs <= 1.0
+            assert 0.0 <= fi <= 1.0
+            assert fs + fi <= 1.0
+
+    def test_imbalanced_workload_shows_imbalance(self, analysis, mini_campaign):
+        # the mini campaign's synthetic workload has imbalance_amp=0.2
+        true_spin = mini_campaign.base_runs()[4].ground_truth.spin_cycles
+        assert true_spin > 0
+        assert analysis.sync.frac_imb(4) > 0
+
+    def test_eq10_cost_formula(self, analysis, mini_campaign):
+        n = 4
+        rec = mini_campaign.base_runs()[n]
+        expected = rec.counters.store_exclusive_to_shared * (
+            analysis.params.cpi0 + analysis.sync.tsyn(n)
+        )
+        assert analysis.sync.cost_syn_by_n[n] == pytest.approx(expected)
+
+    def test_summary_renders(self, analysis):
+        text = analysis.sync.summary()
+        assert "cpi_imb" in text and "frac_syn" in text

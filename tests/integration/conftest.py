@@ -1,0 +1,41 @@
+"""Session-scoped full-scale campaigns for the paper-shape tests.
+
+These run the three applications on the default scaled-Origin substrate at
+the paper's processor counts.  They take tens of seconds in total, run
+once per session, and are cached under the pytest tmp factory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import CampaignConfig
+from repro.runner.cache import cached_campaign
+from repro.workloads import Hydro2d, Swim, T3dheat
+
+COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def _campaign(workload, tmp_dir):
+    cfg = CampaignConfig(s0=workload.default_size(), processor_counts=COUNTS)
+    return cached_campaign(workload, cfg, cache_dir=tmp_dir)
+
+
+@pytest.fixture(scope="session")
+def paper_cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("paper_campaigns")
+
+
+@pytest.fixture(scope="session")
+def t3dheat_campaign(paper_cache_dir):
+    return _campaign(T3dheat(), paper_cache_dir)
+
+
+@pytest.fixture(scope="session")
+def hydro2d_campaign(paper_cache_dir):
+    return _campaign(Hydro2d(), paper_cache_dir)
+
+
+@pytest.fixture(scope="session")
+def swim_campaign(paper_cache_dir):
+    return _campaign(Swim(), paper_cache_dir)

@@ -1,0 +1,74 @@
+"""End-to-end campaigns for the lock-based and false-sharing workloads.
+
+These exercise two paths the paper describes but its three applications do
+not stress: lock synchronization counted through event 31 (two fetchops
+per acquire), and heavy sharing contamination handled by the Section 6
+extension.
+"""
+
+import pytest
+
+from repro.core import ScalTool, validate_mp
+from repro.core.sharing import analyze_sharing
+from repro.runner import CampaignConfig
+from repro.runner.cache import cached_campaign
+from repro.workloads import FalseSharingWorkload, LockedRegions
+
+
+@pytest.fixture(scope="module")
+def locked_campaign(paper_cache_dir):
+    wl = LockedRegions(iters=3, locks_per_iter=2, cs_instructions=800)
+    cfg = CampaignConfig(s0=wl.default_size(), processor_counts=(1, 2, 4, 8))
+    return cached_campaign(wl, cfg, cache_dir=paper_cache_dir)
+
+
+@pytest.fixture(scope="module")
+def falseshare_campaign(paper_cache_dir):
+    wl = FalseSharingWorkload(iters=4, shared_frac=0.2)
+    cfg = CampaignConfig(s0=wl.default_size(), processor_counts=(1, 2, 4, 8))
+    return cached_campaign(wl, cfg, cache_dir=paper_cache_dir)
+
+
+class TestLockedRegions:
+    def test_analysis_runs(self, locked_campaign):
+        analysis = ScalTool(locked_campaign).analyze()
+        assert analysis.curves.processor_counts == [1, 2, 4, 8]
+
+    def test_sync_cost_grows_with_contention(self, locked_campaign):
+        analysis = ScalTool(locked_campaign).analyze()
+        c = analysis.curves
+        assert c.sync_cost[8] > c.sync_cost[2]
+
+    def test_ground_truth_contention_serializes(self, locked_campaign):
+        gt8 = locked_campaign.base_runs()[8].ground_truth
+        gt2 = locked_campaign.base_runs()[2].ground_truth
+        assert gt8.sync_cycles > gt2.sync_cycles
+        assert gt8.lock_acquires == 8 * 3 * 2
+
+    def test_validation_reasonable(self, locked_campaign):
+        analysis = ScalTool(locked_campaign).analyze()
+        v = validate_mp(analysis, locked_campaign, exact=True)
+        _, worst = v.max_divergence()
+        assert worst < 0.35
+
+
+class TestFalseSharing:
+    def test_contamination_extreme(self, falseshare_campaign):
+        analysis = ScalTool(falseshare_campaign).analyze()
+        sh = analyze_sharing(analysis, falseshare_campaign)
+        assert sh.contamination(8) > 0.8
+
+    def test_extension_repairs_sync_estimate(self, falseshare_campaign):
+        analysis = ScalTool(falseshare_campaign).analyze()
+        sh = analyze_sharing(analysis, falseshare_campaign)
+        n = 8
+        true_sync = falseshare_campaign.base_runs()[n].ground_truth.sync_cycles
+        raw_err = abs(analysis.curves.sync_cost[n] - true_sync)
+        fixed_err = abs(sh.corrected_curves.sync_cost[n] - true_sync)
+        assert fixed_err < raw_err
+
+    def test_coherence_misses_isolated(self, falseshare_campaign):
+        analysis = ScalTool(falseshare_campaign).analyze()
+        # the fractional-data-set surrogate sees the ping-pong as coherence
+        assert analysis.cache.coherence(8) > analysis.cache.coherence(2) * 0.5
+        assert analysis.cache.coherence(8) > 0.01

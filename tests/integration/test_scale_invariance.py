@@ -1,0 +1,51 @@
+"""Scale invariance: the DESIGN.md §6 claim, tested.
+
+The substrate shrinks every capacity by a constant factor while data sets
+shrink by the same factor.  Everything the model consumes is a ratio, so
+the ratios must be approximately invariant across scales: L2 hit rates,
+the memory-instruction fraction, and the ground-truth MP share of cycles.
+"""
+
+import pytest
+
+from repro.machine.config import origin2000_scaled
+from repro.machine.system import DsmMachine
+from repro.workloads import Swim, T3dheat
+
+
+def run_at_scale(workload_cls, scale, n, **params):
+    wl = workload_cls(**params)
+    cfg = origin2000_scaled(n_processors=n, scale=scale)
+    return DsmMachine(cfg).run(wl, wl.default_size(scale=scale))
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("n", [1, 4])
+    def test_swim_hit_rates_invariant(self, n):
+        a = run_at_scale(Swim, 64, n, iters=2)
+        b = run_at_scale(Swim, 128, n, iters=2)
+        assert a.counters.l2_local_hit_rate == pytest.approx(
+            b.counters.l2_local_hit_rate, abs=0.08
+        )
+        assert a.counters.m_frac == pytest.approx(b.counters.m_frac, abs=0.03)
+
+    def test_t3dheat_mp_share_invariant(self):
+        a = run_at_scale(T3dheat, 64, 8, iters=1, inner_steps=6)
+        b = run_at_scale(T3dheat, 128, 8, iters=1, inner_steps=6)
+        # sync costs do NOT scale with capacity, so the MP share shifts a
+        # little between scales; it must stay in the same regime
+        share_a = a.ground_truth.multiprocessor_cycles / a.counters.cycles
+        share_b = b.ground_truth.multiprocessor_cycles / b.counters.cycles
+        assert share_b == pytest.approx(share_a, abs=0.12)
+
+    def test_caching_knee_arithmetic_preserved(self):
+        # the T3dheat knee ratio 40 MB / 4 MB = 10 holds at any scale
+        for scale in (32, 64, 128):
+            cfg = origin2000_scaled(n_processors=1, scale=scale)
+            s0 = T3dheat().default_size(scale=scale)
+            assert s0 / cfg.l2.size == pytest.approx(10.0, rel=0.05)
+
+    def test_footprint_scales_linearly(self):
+        a = run_at_scale(Swim, 64, 2, iters=1)
+        b = run_at_scale(Swim, 128, 2, iters=1)
+        assert a.size_bytes == pytest.approx(2 * b.size_bytes, rel=0.01)

@@ -1,0 +1,191 @@
+"""Directory MESI protocol through the coherence controller."""
+
+import pytest
+
+from repro.machine.cache import EXCLUSIVE, MODIFIED, SHARED
+from repro.machine.coherence import CoherenceController
+from repro.machine.counters import CounterSet, GroundTruth
+from repro.machine.hierarchy import CacheHierarchy
+from repro.machine.interconnect import Interconnect
+from repro.machine.memory import NumaMemory
+
+from ..conftest import tiny_machine_config
+
+
+def make_controller(n=4, directory_kind="bitvector", **overrides):
+    cfg = tiny_machine_config(n_processors=n, **overrides)
+    hierarchies = [CacheHierarchy(i, cfg.l1, cfg.l2, seed=1) for i in range(n)]
+    memory = NumaMemory(cfg.memory, n, cfg.line_size)
+    ic = Interconnect(cfg.interconnect, n)
+    counters = [CounterSet() for _ in range(n)]
+    gt = [GroundTruth() for _ in range(n)]
+    ctrl = CoherenceController(cfg, hierarchies, memory, ic, counters, gt, directory_kind)
+    return ctrl, counters, gt, cfg
+
+
+class TestReadPath:
+    def test_cold_read_installs_exclusive(self):
+        ctrl, counters, gt, _ = make_controller()
+        stall = ctrl.access(0, 100, is_write=False)
+        assert stall >= ctrl.cfg.timing.t_mem * ctrl.cfg.timing.t_prefetch_factor
+        assert ctrl.hierarchies[0].l2_state(100) == EXCLUSIVE
+        assert counters[0].l2_misses == 1
+        assert gt[0].cold_misses == 1
+
+    def test_second_read_hits_l1_free(self):
+        ctrl, counters, _, _ = make_controller()
+        ctrl.access(0, 100, False)
+        assert ctrl.access(0, 100, False) == 0.0
+        assert counters[0].l1_data_misses == 1
+
+    def test_read_from_remote_exclusive_demotes(self):
+        ctrl, _, _, _ = make_controller()
+        ctrl.access(0, 100, False)  # cpu0 E
+        ctrl.access(1, 100, False)  # cpu1 reads
+        assert ctrl.hierarchies[0].l2_state(100) == SHARED
+        assert ctrl.hierarchies[1].l2_state(100) == SHARED
+
+    def test_read_from_remote_dirty_intervenes(self):
+        ctrl, _, gt, cfg = make_controller()
+        ctrl.access(0, 100, True)  # cpu0 M
+        stall = ctrl.access(1, 100, False)
+        assert stall >= cfg.timing.t_dirty_remote
+        assert ctrl.hierarchies[0].l2_state(100) == SHARED
+        assert gt[1].dirty_remote_misses == 1
+
+    def test_l1_miss_l2_hit_costs_t2(self):
+        ctrl, counters, gt, cfg = make_controller()
+        ctrl.access(0, 0, False)
+        # push block 0 out of the tiny L1 (4 sets x 2 ways) but not the L2
+        for b in (4, 8, 12):  # same L1 set as 0 (l1 has 4 sets)
+            ctrl.access(0, b, False)
+        stall = ctrl.access(0, 0, False)
+        assert stall == cfg.timing.t_l2_hit
+        assert gt[0].l2_hit_stall_cycles >= cfg.timing.t_l2_hit
+
+
+class TestWritePath:
+    def test_cold_write_installs_modified(self):
+        ctrl, counters, _, _ = make_controller()
+        ctrl.access(0, 50, True)
+        assert ctrl.hierarchies[0].l2_state(50) == MODIFIED
+        assert counters[0].graduated_stores == 1
+
+    def test_silent_e_to_m(self):
+        ctrl, counters, _, _ = make_controller()
+        ctrl.access(0, 50, False)  # E
+        stall = ctrl.access(0, 50, True)
+        assert stall == 0.0
+        assert ctrl.hierarchies[0].l2_state(50) == MODIFIED
+        assert counters[0].store_exclusive_to_shared == 0
+
+    def test_upgrade_on_shared_line(self):
+        ctrl, counters, gt, cfg = make_controller()
+        ctrl.access(0, 50, False)
+        ctrl.access(1, 50, False)  # both SHARED
+        stall = ctrl.access(0, 50, True)
+        assert stall == cfg.timing.t_upgrade
+        assert counters[0].store_exclusive_to_shared == 1
+        assert gt[0].upgrades_data == 1
+        assert not ctrl.hierarchies[1].l2.contains(50)
+
+    def test_upgrade_marks_coherence_miss_for_victim(self):
+        ctrl, _, gt, _ = make_controller()
+        ctrl.access(0, 50, False)
+        ctrl.access(1, 50, False)
+        ctrl.access(0, 50, True)  # invalidates cpu1
+        ctrl.access(1, 50, False)  # miss again
+        assert gt[1].coherence_misses == 1
+
+    def test_write_miss_invalidates_remote_owner(self):
+        ctrl, _, _, _ = make_controller()
+        ctrl.access(0, 50, True)  # cpu0 M
+        ctrl.access(1, 50, True)  # cpu1 write-miss
+        assert ctrl.hierarchies[1].l2_state(50) == MODIFIED
+        assert not ctrl.hierarchies[0].l2.contains(50)
+
+    def test_write_miss_invalidates_all_sharers(self):
+        ctrl, _, _, _ = make_controller()
+        for cpu in (0, 1, 2):
+            ctrl.access(cpu, 50, False)
+        ctrl.access(3, 50, True)
+        for cpu in (0, 1, 2):
+            assert not ctrl.hierarchies[cpu].l2.contains(50)
+        owner, mask = ctrl.directory.lookup(50)
+        assert owner == 3
+
+
+class TestWritebacksAndPlacement:
+    def test_dirty_eviction_writes_back(self):
+        ctrl, _, gt, cfg = make_controller()
+        # fill one L2 set (2 ways) with dirty lines, then overflow it
+        n_sets = cfg.l2.n_sets
+        ctrl.access(0, 0, True)
+        ctrl.access(0, n_sets, True)
+        ctrl.access(0, 2 * n_sets, True)
+        assert gt[0].writebacks == 1
+        assert gt[0].writeback_cycles == cfg.timing.t_writeback
+
+    def test_first_touch_makes_miss_local(self):
+        ctrl, _, gt, _ = make_controller()
+        ctrl.access(2, 500, False)
+        assert gt[2].local_misses == 1
+        assert gt[2].remote_misses == 0
+
+    def test_remote_home_costs_hops(self):
+        ctrl, _, gt, cfg = make_controller()
+        ctrl.access(0, 500, False)  # home -> node 0
+        # evict it from cpu0 is not needed: cpu3 misses and fetches remotely
+        stall = ctrl.access(3, 500, False)
+        hops = ctrl.interconnect.hops(3, 0)
+        assert hops > 0
+        assert gt[3].remote_misses == 1
+
+
+class TestPrefetcher:
+    def test_sequential_stream_discounted(self):
+        ctrl, _, _, cfg = make_controller()
+        first = ctrl.access(0, 1000, False)
+        second = ctrl.access(0, 1001, False)
+        assert second == pytest.approx(first * cfg.timing.t_prefetch_factor)
+
+    def test_random_stream_full_price(self):
+        ctrl, _, _, _ = make_controller()
+        a = ctrl.access(0, 1000, False)
+        b = ctrl.access(0, 5000, False)
+        assert b == pytest.approx(a)
+
+    def test_dirty_intervention_not_discounted(self):
+        ctrl, _, _, cfg = make_controller()
+        ctrl.access(0, 1000, True)
+        ctrl.access(0, 1001, True)
+        ctrl.access(1, 1000, False)
+        stall = ctrl.access(1, 1001, False)  # sequential BUT dirty-remote
+        assert stall > cfg.timing.t_mem * cfg.timing.t_prefetch_factor
+
+
+class TestInvariantsAndCoarse:
+    def test_invariants_after_traffic(self):
+        ctrl, _, _, _ = make_controller()
+        import random
+
+        rnd = random.Random(3)
+        for _ in range(2000):
+            ctrl.access(rnd.randrange(4), rnd.randrange(200), rnd.random() < 0.3)
+        ctrl.check_invariants()
+
+    def test_coarse_directory_traffic(self):
+        ctrl, _, _, _ = make_controller(n=4, directory_kind="coarse")
+        import random
+
+        rnd = random.Random(5)
+        for _ in range(2000):
+            ctrl.access(rnd.randrange(4), rnd.randrange(100), rnd.random() < 0.3)
+        ctrl.check_invariants()
+
+    def test_single_writer_invariant(self):
+        ctrl, _, _, _ = make_controller()
+        for cpu in range(4):
+            ctrl.access(cpu, 77, True)
+        holders = [c for c in range(4) if ctrl.hierarchies[c].l2.contains(77)]
+        assert holders == [3]

@@ -1,0 +1,172 @@
+"""Machine configuration validation and presets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import (
+    CacheConfig,
+    InterconnectConfig,
+    MachineConfig,
+    MemoryConfig,
+    TimingConfig,
+    origin2000_full,
+    origin2000_scaled,
+)
+from repro.units import KB, MB
+
+
+class TestCacheConfig:
+    def test_basic_geometry(self):
+        c = CacheConfig(size=4096, line_size=32, associativity=2)
+        assert c.n_lines == 128
+        assert c.n_sets == 64
+
+    def test_size_string(self):
+        assert CacheConfig(size="32KB").size == 32 * KB
+
+    def test_direct_mapped(self):
+        c = CacheConfig(size=1024, line_size=32, associativity=1)
+        assert c.n_sets == c.n_lines == 32
+
+    def test_fully_weird_assoc_rejected_when_sets_not_pow2(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=96 * 32, line_size=32, associativity=1)
+
+    def test_non_pow2_line_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=4096, line_size=48)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1000, line_size=32, associativity=2)
+
+    def test_zero_assoc_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1024, associativity=0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1024, replacement="mru")
+
+    def test_scaled_halves(self):
+        c = CacheConfig(size=4 * MB, line_size=32, associativity=2)
+        assert c.scaled(64).size == 64 * KB
+
+    def test_scaled_floors_at_minimum(self):
+        c = CacheConfig(size=1024, line_size=32, associativity=2)
+        assert c.scaled(10**6).size == 64
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1024).scaled(0)
+
+
+class TestTimingConfig:
+    def test_defaults_valid(self):
+        TimingConfig()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(t_mem=-1)
+
+    def test_zero_spin_cpi_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(spin_cpi=0)
+
+    def test_prefetch_factor_bounds(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(t_prefetch_factor=0.0)
+        with pytest.raises(ConfigError):
+            TimingConfig(t_prefetch_factor=1.5)
+        TimingConfig(t_prefetch_factor=1.0)  # disables prefetching
+
+    def test_barrier_instructions_minimum(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(barrier_instructions=0)
+
+
+class TestInterconnectConfig:
+    def test_topologies(self):
+        for topo in ("hypercube", "mesh", "ring", "crossbar"):
+            InterconnectConfig(topology=topo)
+
+    def test_unknown_topology(self):
+        with pytest.raises(ConfigError):
+            InterconnectConfig(topology="torus")
+
+    def test_bristle_minimum(self):
+        with pytest.raises(ConfigError):
+            InterconnectConfig(bristle=0)
+
+
+class TestMemoryConfig:
+    def test_placements(self):
+        for p in ("first_touch", "round_robin", "block"):
+            MemoryConfig(placement=p)
+
+    def test_unknown_placement(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(placement="numa_balancing")
+
+    def test_page_size_pow2(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(page_size=100)
+
+
+class TestMachineConfig:
+    def test_line_size_must_match(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                l1=CacheConfig(size=256, line_size=32),
+                l2=CacheConfig(size=4096, line_size=64),
+            )
+
+    def test_inclusion_requires_l1_smaller(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                l1=CacheConfig(size=8192, line_size=32),
+                l2=CacheConfig(size=4096, line_size=32),
+            )
+
+    def test_processor_minimum(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_processors=0)
+
+    def test_with_processors(self):
+        cfg = MachineConfig(n_processors=2)
+        assert cfg.with_processors(8).n_processors == 8
+        assert cfg.n_processors == 2  # original unchanged
+
+    def test_with_l2_size(self):
+        cfg = MachineConfig()
+        assert cfg.with_l2_size(64 * KB).l2.size == 64 * KB
+
+    def test_aggregate_l2(self):
+        cfg = MachineConfig(n_processors=4)
+        assert cfg.aggregate_l2_bytes() == 4 * cfg.l2.size
+
+
+class TestPresets:
+    def test_full_matches_paper(self):
+        cfg = origin2000_full(32)
+        assert cfg.l1.size == 32 * KB
+        assert cfg.l2.size == 4 * MB
+        assert cfg.interconnect.topology == "hypercube"
+        assert cfg.interconnect.bristle == 2
+        assert cfg.memory.placement == "first_touch"
+
+    def test_scaled_preserves_ratio(self):
+        full = origin2000_full(8)
+        scaled = origin2000_scaled(8, scale=64)
+        assert scaled.l2.size == full.l2.size // 64
+        assert scaled.l1.size == full.l1.size // 64
+        assert scaled.line_size == full.line_size
+
+    def test_scaled_rejects_bad_scale(self):
+        with pytest.raises(ConfigError):
+            origin2000_scaled(scale=0)
+
+    def test_scaled_default_caching_arithmetic(self):
+        # The T3dheat knee: 40 MB / 4 MB = 10 processors, preserved by scaling.
+        cfg = origin2000_scaled(1)
+        assert (40 * MB // 64) / cfg.l2.size == pytest.approx(10.0)

@@ -1,0 +1,127 @@
+"""Counter sets, derived rates, and the ground-truth ledger."""
+
+import pytest
+
+from repro.errors import CounterFormatError
+from repro.machine.counters import EVENT_CATALOG, CounterSet, GroundTruth
+
+
+def sample_counters() -> CounterSet:
+    return CounterSet(
+        cycles=10_000.0,
+        graduated_instructions=5_000.0,
+        graduated_loads=1_200.0,
+        graduated_stores=550.0,
+        l1_data_misses=350.0,
+        l2_misses=70.0,
+        store_exclusive_to_shared=12.0,
+    )
+
+
+class TestDerived:
+    def test_cpi(self):
+        assert sample_counters().cpi == pytest.approx(2.0)
+
+    def test_mem_refs(self):
+        assert sample_counters().mem_refs == 1750
+
+    def test_m_frac(self):
+        assert sample_counters().m_frac == pytest.approx(0.35)
+
+    def test_l1_hit_rate(self):
+        assert sample_counters().l1_hit_rate == pytest.approx(1 - 350 / 1750)
+
+    def test_l2_local_hit_rate(self):
+        assert sample_counters().l2_local_hit_rate == pytest.approx(1 - 70 / 350)
+
+    def test_h2_hm(self):
+        c = sample_counters()
+        assert c.h2 == pytest.approx((350 - 70) / 5000)
+        assert c.hm == pytest.approx(70 / 5000)
+
+    def test_h2_hm_identity(self):
+        # Eq 6/7: h2 + hm must equal the per-instruction L1 miss rate.
+        c = sample_counters()
+        assert c.h2 + c.hm == pytest.approx(c.l1_data_misses / c.graduated_instructions)
+
+    def test_empty_counters_safe(self):
+        c = CounterSet()
+        assert c.cpi == 0.0
+        assert c.m_frac == 0.0
+        assert c.l1_hit_rate == 1.0
+
+
+class TestArithmetic:
+    def test_add(self):
+        total = sample_counters() + sample_counters()
+        assert total.cycles == 20_000
+        assert total.l2_misses == 140
+
+    def test_iadd(self):
+        c = sample_counters()
+        c += sample_counters()
+        assert c.graduated_instructions == 10_000
+
+    def test_total(self):
+        parts = [sample_counters() for _ in range(3)]
+        assert CounterSet.total(parts).cycles == 30_000
+
+    def test_scaled(self):
+        assert sample_counters().scaled(0.5).cycles == 5_000
+
+    def test_rounded(self):
+        c = CounterSet(cycles=10.6, graduated_instructions=3.2)
+        r = c.rounded()
+        assert r.cycles == 11.0 and r.graduated_instructions == 3.0
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        c = sample_counters()
+        assert CounterSet.from_dict(c.to_dict()) == c
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CounterFormatError):
+            CounterSet.from_dict({"bogus": 1.0})
+
+
+class TestEventCatalog:
+    def test_key_events_present(self):
+        descriptions = {desc for desc, _ in EVENT_CATALOG.values()}
+        assert "Cycles" in descriptions
+        assert any("shared block" in d for d in descriptions)
+
+    def test_fields_exist_on_counterset(self):
+        c = CounterSet()
+        for _, field in EVENT_CATALOG.values():
+            assert hasattr(c, field)
+
+    def test_event_31_is_the_ntsyn_counter(self):
+        assert EVENT_CATALOG[31][1] == "store_exclusive_to_shared"
+
+
+class TestGroundTruth:
+    def test_ledger_total(self):
+        gt = GroundTruth(compute_cycles=100, sync_cycles=20, spin_cycles=10, memory_stall_cycles=5)
+        assert gt.total_cycles == 135
+
+    def test_mp_cycles(self):
+        gt = GroundTruth(sync_cycles=20, spin_cycles=10)
+        assert gt.multiprocessor_cycles == 30
+
+    def test_total_misses(self):
+        gt = GroundTruth(cold_misses=3, coherence_misses=4, replacement_misses=5)
+        assert gt.total_misses == 12
+
+    def test_add(self):
+        total = GroundTruth(barriers=2) + GroundTruth(barriers=3)
+        assert total.barriers == 5
+
+    def test_roundtrip(self):
+        gt = GroundTruth(sync_cycles=1.5, cold_misses=7)
+        back = GroundTruth.from_dict(gt.to_dict())
+        assert back.sync_cycles == 1.5 and back.cold_misses == 7
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CounterFormatError):
+            GroundTruth.from_dict({"nonsense": 1})

@@ -1,0 +1,164 @@
+"""Bit-vector and coarse-vector directories."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.machine.directory import BitVectorDirectory, CoarseVectorDirectory, make_directory
+
+
+class TestBitVector:
+    def test_uncached_lookup(self):
+        d = BitVectorDirectory(4)
+        assert d.lookup(10) == (-1, 0)
+        assert not d.is_cached(10)
+
+    def test_exclusive(self):
+        d = BitVectorDirectory(4)
+        d.set_exclusive(10, 2)
+        assert d.owner_of(10) == 2
+        assert d.presence_mask(10) == 0b100
+        assert d.sharers(10) == [2]
+
+    def test_add_sharers(self):
+        d = BitVectorDirectory(4)
+        d.add_sharer(10, 0)
+        d.add_sharer(10, 3)
+        assert d.owner_of(10) == -1
+        assert d.sharers(10) == [0, 3]
+
+    def test_add_sharer_to_owned_is_bug(self):
+        d = BitVectorDirectory(4)
+        d.set_exclusive(10, 1)
+        with pytest.raises(SimulationError):
+            d.add_sharer(10, 2)
+
+    def test_demote_owner(self):
+        d = BitVectorDirectory(4)
+        d.set_exclusive(10, 1)
+        assert d.demote_owner(10) == 1
+        assert d.owner_of(10) == -1
+        assert d.sharers(10) == [1]
+
+    def test_demote_unowned_is_bug(self):
+        d = BitVectorDirectory(4)
+        d.add_sharer(10, 1)
+        with pytest.raises(SimulationError):
+            d.demote_owner(10)
+
+    def test_remove_node(self):
+        d = BitVectorDirectory(4)
+        d.add_sharer(10, 0)
+        d.add_sharer(10, 1)
+        d.remove_node(10, 0)
+        assert d.sharers(10) == [1]
+
+    def test_remove_last_drops_entry(self):
+        d = BitVectorDirectory(4)
+        d.add_sharer(10, 0)
+        d.remove_node(10, 0)
+        assert d.n_entries() == 0
+
+    def test_remove_absent_node_is_bug(self):
+        d = BitVectorDirectory(4)
+        d.add_sharer(10, 0)
+        with pytest.raises(SimulationError):
+            d.remove_node(10, 3)
+
+    def test_remove_owner_clears_ownership(self):
+        d = BitVectorDirectory(4)
+        d.set_exclusive(10, 2)
+        d.remove_node(10, 2)
+        assert d.lookup(10) == (-1, 0)
+
+    def test_clear_others(self):
+        d = BitVectorDirectory(4)
+        for node in range(4):
+            d.add_sharer(10, node)
+        dropped = d.clear_others(10, keeper=2)
+        assert dropped == [0, 1, 3]
+        assert d.sharers(10) == [2]
+
+    def test_clear_others_keeper_absent(self):
+        d = BitVectorDirectory(4)
+        d.add_sharer(10, 0)
+        dropped = d.clear_others(10, keeper=3)
+        assert dropped == [0]
+        assert not d.is_cached(10)
+
+    def test_sharers_exclude(self):
+        d = BitVectorDirectory(4)
+        d.add_sharer(10, 0)
+        d.add_sharer(10, 2)
+        assert d.sharers(10, exclude=0) == [2]
+
+    def test_node_out_of_range(self):
+        d = BitVectorDirectory(2)
+        with pytest.raises(SimulationError):
+            d.set_exclusive(1, 5)
+
+    def test_invariants(self):
+        d = BitVectorDirectory(4)
+        d.set_exclusive(1, 0)
+        d.add_sharer(2, 1)
+        d.check_invariants()
+
+    def test_flush(self):
+        d = BitVectorDirectory(4)
+        d.set_exclusive(1, 0)
+        d.flush()
+        assert d.n_entries() == 0
+
+    def test_tracked_blocks(self):
+        d = BitVectorDirectory(4)
+        d.set_exclusive(7, 0)
+        d.add_sharer(9, 2)
+        assert sorted(d.tracked_blocks()) == [7, 9]
+
+
+class TestCoarseVector:
+    def test_sharers_superset(self):
+        d = CoarseVectorDirectory(8, group=4)
+        d.add_sharer(10, 1)
+        # the whole group 0..3 is reported
+        assert d.sharers(10) == [0, 1, 2, 3]
+
+    def test_owner_tracked_exactly(self):
+        d = CoarseVectorDirectory(8, group=4)
+        d.set_exclusive(10, 5)
+        assert d.owner_of(10) == 5
+
+    def test_remove_non_owner_keeps_group_bit(self):
+        d = CoarseVectorDirectory(8, group=4)
+        d.add_sharer(10, 1)
+        d.remove_node(10, 1)  # cannot clear: other group members may hold it
+        assert d.is_cached(10)
+
+    def test_clear_others_keeps_keeper_group(self):
+        d = CoarseVectorDirectory(8, group=4)
+        d.add_sharer(10, 1)
+        d.add_sharer(10, 6)
+        d.clear_others(10, keeper=6)
+        assert 6 in d.sharers(10)
+        assert 1 not in d.sharers(10)
+
+    def test_group_validation(self):
+        with pytest.raises(ConfigError):
+            CoarseVectorDirectory(8, group=0)
+
+    def test_not_exact(self):
+        assert CoarseVectorDirectory(8).exact is False
+        assert BitVectorDirectory(8).exact is True
+
+
+class TestFactory:
+    def test_bitvector(self):
+        assert isinstance(make_directory(4, "bitvector"), BitVectorDirectory)
+
+    def test_coarse(self):
+        d = make_directory(8, "coarse", group=2)
+        assert isinstance(d, CoarseVectorDirectory)
+        assert d.group == 2
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            make_directory(4, "sparse")

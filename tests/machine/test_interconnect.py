@@ -1,0 +1,95 @@
+"""Interconnect topologies and distances."""
+
+import pytest
+
+from repro.machine.config import InterconnectConfig
+from repro.machine.interconnect import Interconnect
+
+
+def make(topology, n, bristle=2):
+    return Interconnect(InterconnectConfig(topology=topology, bristle=bristle), n)
+
+
+class TestBristling:
+    def test_router_assignment(self):
+        ic = make("hypercube", 8, bristle=2)
+        assert ic.router_of(0) == ic.router_of(1) == 0
+        assert ic.router_of(6) == ic.router_of(7) == 3
+
+    def test_same_router_zero_hops(self):
+        ic = make("hypercube", 8, bristle=2)
+        assert ic.hops(0, 1) == 0
+
+    def test_router_count_rounds_up(self):
+        ic = make("hypercube", 5, bristle=2)
+        assert ic.n_routers == 3
+
+
+class TestHypercube:
+    def test_distance_is_popcount(self):
+        ic = make("hypercube", 16, bristle=2)  # 8 routers
+        assert ic.hops(0, 2) == 1  # routers 0 vs 1
+        assert ic.hops(0, 14) == 3  # routers 0 vs 7
+
+    def test_diameter_is_dimension(self):
+        ic = make("hypercube", 16, bristle=2)
+        assert ic.diameter() == 3
+
+    def test_mean_distance_grows_with_n(self):
+        means = [make("hypercube", n).mean_distance() for n in (2, 8, 32)]
+        assert means[0] < means[1] < means[2]
+
+
+class TestMesh:
+    def test_manhattan(self):
+        ic = make("mesh", 18, bristle=2)  # 9 routers, 3x3
+        assert ic.hops(0, 4) == 2  # router 0 (0,0) to router 2 (2,0)
+        assert ic.hops(0, 16) == 4  # router 0 to router 8 (2,2)
+
+    def test_diameter(self):
+        ic = make("mesh", 18, bristle=2)
+        assert ic.diameter() == 4
+
+
+class TestRing:
+    def test_wraps(self):
+        ic = make("ring", 12, bristle=2)  # 6 routers
+        assert ic.hops(0, 10) == 1  # routers 0 and 5 adjacent on the ring
+        assert ic.hops(0, 6) == 3  # opposite side
+
+    def test_diameter_half(self):
+        ic = make("ring", 16, bristle=2)
+        assert ic.diameter() == 4
+
+
+class TestCrossbar:
+    def test_unit_distance(self):
+        ic = make("crossbar", 8, bristle=1)
+        assert ic.hops(0, 7) == 1
+        assert ic.hops(3, 3) == 0
+
+    def test_diameter_one(self):
+        assert make("crossbar", 8, bristle=1).diameter() == 1
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("topology", ["hypercube", "mesh", "ring", "crossbar"])
+    def test_symmetry_and_self_distance(self, topology):
+        ic = make(topology, 12)
+        for a in range(12):
+            assert ic.hops(a, a) == 0
+            for b in range(12):
+                assert ic.hops(a, b) == ic.hops(b, a)
+
+    def test_uniprocessor(self):
+        ic = make("hypercube", 1)
+        assert ic.diameter() == 0
+        assert ic.mean_distance() == 0.0
+
+    def test_is_local(self):
+        ic = make("hypercube", 4)
+        assert ic.is_local(2, 2)
+        assert not ic.is_local(2, 3)
+
+    def test_describe_mentions_topology(self):
+        assert "hypercube" in make("hypercube", 8).describe()

@@ -1,0 +1,61 @@
+"""Analytic tm(n) and the topology survey."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.latency import analytic_tm, topology_survey
+
+from ..conftest import tiny_machine_config
+
+
+class TestAnalyticTm:
+    def test_uniprocessor_is_local(self):
+        cfg = tiny_machine_config(n_processors=1)
+        assert analytic_tm(cfg, 1) == pytest.approx(cfg.timing.t_mem)
+
+    def test_grows_with_n_on_hypercube(self):
+        cfg = tiny_machine_config()
+        values = [analytic_tm(cfg, n) for n in (2, 8, 32)]
+        assert values[0] < values[1] < values[2]
+
+    def test_remote_fraction_scales(self):
+        cfg = tiny_machine_config()
+        assert analytic_tm(cfg, 8, remote_fraction=0.0) == pytest.approx(cfg.timing.t_mem)
+        assert analytic_tm(cfg, 8, remote_fraction=1.0) > analytic_tm(cfg, 8, remote_fraction=0.3)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            analytic_tm(tiny_machine_config(), 4, remote_fraction=1.5)
+
+
+class TestSurvey:
+    @pytest.fixture(scope="class")
+    def survey(self):
+        return topology_survey(
+            tiny_machine_config(),
+            processor_counts=(2, 32),
+            topologies=("hypercube", "ring", "crossbar"),
+            kernel_refs=600,
+            footprint_factor=4,
+        )
+
+    def test_covers_grid(self, survey):
+        assert len(survey) == 6
+        assert {p.topology for p in survey} == {"hypercube", "ring", "crossbar"}
+
+    def test_ring_worst_at_scale(self, survey):
+        at32 = {p.topology: p for p in survey if p.n_processors == 32}
+        assert at32["ring"].measured_tm > at32["crossbar"].measured_tm
+        assert at32["ring"].mean_distance > at32["hypercube"].mean_distance
+
+    def test_measured_tracks_analytic(self, survey):
+        for p in survey:
+            # round-robin placement: the analytic estimate should be within
+            # a factor of ~2 of the measured mean miss latency
+            assert 0.4 < p.measured_tm / p.analytic_tm < 2.5
+
+    def test_rows_render(self, survey):
+        from repro.viz.tables import format_table
+
+        text = format_table([p.row() for p in survey])
+        assert "hypercube" in text

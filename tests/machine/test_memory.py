@@ -1,0 +1,123 @@
+"""NUMA memory: allocation, coloring, and home placement."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import MemoryConfig
+from repro.machine.memory import Allocator, NumaMemory, Region
+
+
+def make_memory(n_nodes=4, placement="first_touch", page=128, line=32):
+    return NumaMemory(MemoryConfig(page_size=page, placement=placement), n_nodes, line)
+
+
+class TestRegion:
+    def test_ranges(self):
+        r = Region("a", base_block=8, n_blocks=16)
+        assert r.end_block == 24
+        assert list(r.block_range())[:3] == [8, 9, 10]
+
+    def test_slice_for_partitions_everything(self):
+        r = Region("a", 0, 100)
+        parts = [r.slice_for(i, 3) for i in range(3)]
+        covered = sorted(b for p in parts for b in p)
+        assert covered == list(range(100))
+
+    def test_slice_last_takes_remainder(self):
+        r = Region("a", 0, 10)
+        assert len(r.slice_for(2, 3)) == 4  # 3 + 3 + 4
+
+    def test_slice_bad_part(self):
+        with pytest.raises(ConfigError):
+            Region("a", 0, 10).slice_for(3, 3)
+
+
+class TestAllocator:
+    def test_page_alignment(self):
+        a = Allocator(blocks_per_page=4, color=False)
+        r1 = a.alloc("x", 3)
+        r2 = a.alloc("y", 5)
+        assert r1.base_block == 0
+        assert r2.base_block % 4 == 0
+        assert r2.base_block >= r1.end_block
+
+    def test_no_overlap_with_coloring(self):
+        a = Allocator(blocks_per_page=4, color=True)
+        regions = [a.alloc(name, 10) for name in "abcdef"]
+        spans = sorted((r.base_block, r.end_block) for r in regions)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_coloring_varies_base_offsets(self):
+        a = Allocator(blocks_per_page=4, color=True)
+        offsets = {a.alloc(name, 4).base_block % (61 * 4) for name in "abcdefgh"}
+        assert len(offsets) > 1  # different names land on different colors
+
+    def test_duplicate_name_rejected(self):
+        a = Allocator(4)
+        a.alloc("x", 4)
+        with pytest.raises(ConfigError):
+            a.alloc("x", 4)
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(ConfigError):
+            Allocator(4).alloc("x", 0)
+
+    def test_region_lookup(self):
+        a = Allocator(4)
+        r = a.alloc("data", 8)
+        assert a.region("data") is r
+        with pytest.raises(ConfigError):
+            a.region("nope")
+
+    def test_regions_listing(self):
+        a = Allocator(4)
+        a.alloc("x", 4)
+        a.alloc("y", 4)
+        assert [r.name for r in a.regions()] == ["x", "y"]
+
+
+class TestPlacement:
+    def test_first_touch_assigns_to_toucher(self):
+        m = make_memory(placement="first_touch")
+        assert m.home_of(0, toucher=3) == 3
+        # second touch by someone else does not move it
+        assert m.home_of(0, toucher=1) == 3
+
+    def test_first_touch_per_page(self):
+        m = make_memory(placement="first_touch", page=128, line=32)  # 4 blocks/page
+        m.home_of(0, 2)
+        assert m.home_of(3, 0) == 2  # same page
+        assert m.home_of(4, 0) == 0  # next page
+
+    def test_round_robin(self):
+        m = make_memory(n_nodes=4, placement="round_robin", page=128, line=32)
+        homes = [m.home_of(page * 4, 0) for page in range(8)]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block_placement_splits_region(self):
+        m = make_memory(n_nodes=2, placement="block", page=128, line=32)
+        region = m.allocator.alloc("grid", 32)  # 8 pages
+        first = m.home_of(region.base_block, 0)
+        last = m.home_of(region.end_block - 1, 0)
+        assert first == 0 and last == 1
+
+    def test_block_placement_outside_region_round_robins(self):
+        m = make_memory(n_nodes=4, placement="block")
+        assert m.home_of(10_000, 0) == (10_000 // 4) % 4
+
+    def test_home_histogram(self):
+        m = make_memory(n_nodes=2, placement="round_robin", page=128, line=32)
+        for page in range(6):
+            m.home_of(page * 4, 0)
+        assert m.home_histogram() == [3, 3]
+
+    def test_reset_homes(self):
+        m = make_memory()
+        m.home_of(0, 1)
+        m.reset_homes()
+        assert m.home_of(0, 2) == 2
+
+    def test_page_smaller_than_line_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaMemory(MemoryConfig(page_size=128), n_nodes=2, line_size=256)

@@ -1,0 +1,96 @@
+"""PhaseRunner: interleaving, chunking, and accounting semantics."""
+
+import numpy as np
+import pytest
+
+from repro.machine.coherence import CoherenceController
+from repro.machine.counters import CounterSet, GroundTruth
+from repro.machine.hierarchy import CacheHierarchy
+from repro.machine.interconnect import Interconnect
+from repro.machine.memory import NumaMemory
+from repro.machine.processor import PhaseRunner
+from repro.trace.events import Phase, Segment
+
+from ..conftest import tiny_machine_config
+
+
+def build_runner(n=2, chunk=4):
+    cfg = tiny_machine_config(n_processors=n, interleave_chunk=chunk)
+    hier = [CacheHierarchy(i, cfg.l1, cfg.l2, seed=1) for i in range(n)]
+    counters = [CounterSet() for _ in range(n)]
+    gt = [GroundTruth() for _ in range(n)]
+    ctrl = CoherenceController(
+        cfg, hier, NumaMemory(cfg.memory, n, cfg.line_size),
+        Interconnect(cfg.interconnect, n), counters, gt,
+    )
+    return PhaseRunner(ctrl, counters, gt, chunk), counters, gt
+
+
+def seg(blocks, writes=False, n_instr=None):
+    a = np.asarray(blocks, dtype=np.int64)
+    w = np.full(len(a), writes, dtype=bool)
+    return Segment(a, w, n_instr if n_instr is not None else max(1, len(a) * 3))
+
+
+class TestExecution:
+    def test_all_refs_executed(self):
+        runner, counters, _ = build_runner()
+        phase = Phase(name="p", segments=[seg(range(10)), seg(range(100, 125))])
+        clocks = [0.0, 0.0]
+        runner.run_phase(phase, cpi0=1.0, clocks=clocks)
+        assert counters[0].mem_refs == 10
+        assert counters[1].mem_refs == 25
+
+    def test_clock_is_compute_plus_stalls(self):
+        runner, counters, gt = build_runner(n=1)
+        phase = Phase(name="p", segments=[seg(range(8), n_instr=100)])
+        clocks = [0.0]
+        runner.run_phase(phase, cpi0=1.5, clocks=clocks)
+        stalls = gt[0].l2_hit_stall_cycles + gt[0].memory_stall_cycles + gt[0].writeback_cycles
+        assert clocks[0] == pytest.approx(100 * 1.5 + stalls + gt[0].upgrade_cycles)
+
+    def test_idle_slot_untouched(self):
+        runner, counters, _ = build_runner()
+        phase = Phase(name="p", segments=[seg(range(5)), None])
+        clocks = [0.0, 42.0]
+        runner.run_phase(phase, cpi0=1.0, clocks=clocks)
+        assert clocks[1] == 42.0
+        assert counters[1].graduated_instructions == 0
+
+    def test_zero_ref_segment_still_charges_instructions(self):
+        runner, counters, _ = build_runner()
+        empty = Segment(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool), 500)
+        phase = Phase(name="p", segments=[empty, None])
+        clocks = [0.0, 0.0]
+        runner.run_phase(phase, cpi0=2.0, clocks=clocks)
+        assert clocks[0] == pytest.approx(1000.0)
+        assert counters[0].graduated_instructions == 500
+
+    def test_chunk_size_does_not_change_private_totals(self):
+        # with disjoint per-cpu footprints, interleave granularity is moot
+        results = {}
+        for chunk in (1, 7, 64):
+            runner, counters, _ = build_runner(chunk=chunk)
+            phase = Phase(name="p", segments=[seg(range(0, 30)), seg(range(100, 130))])
+            runner.run_phase(phase, cpi0=1.0, clocks=[0.0, 0.0])
+            results[chunk] = CounterSet.total(counters)
+        assert results[1] == results[7] == results[64]
+
+    def test_interleaving_affects_shared_race_order(self):
+        # both cpus write the same block: with chunk=1 the ownership
+        # ping-pongs; with a huge chunk cpu0 finishes first
+        def run(chunk):
+            runner, counters, gt = build_runner(chunk=chunk)
+            blocks = [7] * 20
+            phase = Phase(name="p", segments=[seg(blocks, writes=True), seg(blocks, writes=True)])
+            runner.run_phase(phase, cpi0=1.0, clocks=[0.0, 0.0])
+            return GroundTruth.total(gt).coherence_misses
+
+        assert run(1) > run(1000)
+
+    def test_compute_instruction_ledger(self):
+        runner, counters, gt = build_runner(n=1)
+        phase = Phase(name="p", segments=[seg(range(4), n_instr=50)])
+        runner.run_phase(phase, cpi0=1.0, clocks=[0.0])
+        assert gt[0].compute_instructions == 50
+        assert counters[0].graduated_instructions == 50

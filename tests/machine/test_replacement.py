@@ -1,0 +1,118 @@
+"""Replacement policies in isolation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_hit_moves_to_back(self):
+        p = LruPolicy()
+        order = []
+        for b in (10, 20, 30):
+            p.on_insert(0, order, b)
+        p.on_hit(0, order, 0)  # touch 10
+        assert order == [20, 30, 10]
+
+    def test_victim_is_front(self):
+        p = LruPolicy()
+        order = [1, 2, 3]
+        assert p.victim_index(0, order) == 0
+
+    def test_sequence(self):
+        p = LruPolicy()
+        order = []
+        p.on_insert(0, order, 1)
+        p.on_insert(0, order, 2)
+        p.on_hit(0, order, 0)
+        assert p.victim_index(0, order) == 0 and order[0] == 2
+
+
+class TestFifo:
+    def test_hit_does_not_promote(self):
+        p = FifoPolicy()
+        order = [1, 2, 3]
+        p.on_hit(0, order, 0)
+        assert order == [1, 2, 3]
+
+    def test_victim_is_oldest(self):
+        p = FifoPolicy()
+        order = []
+        for b in (5, 6, 7):
+            p.on_insert(0, order, b)
+        assert order[p.victim_index(0, order)] == 5
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        a = RandomPolicy(seed=3)
+        b = RandomPolicy(seed=3)
+        order = [1, 2, 3, 4]
+        picks_a = [a.victim_index(0, order) for _ in range(20)]
+        picks_b = [b.victim_index(0, order) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_in_range(self):
+        p = RandomPolicy(seed=1)
+        order = [1, 2, 3]
+        for _ in range(50):
+            assert 0 <= p.victim_index(0, order) < 3
+
+    def test_reset_restarts_stream(self):
+        p = RandomPolicy(seed=9)
+        order = [1, 2, 3, 4]
+        first = [p.victim_index(0, order) for _ in range(10)]
+        p.reset()
+        again = [p.victim_index(0, order) for _ in range(10)]
+        assert first == again
+
+
+class TestTreePlru:
+    def test_requires_pow2_assoc(self):
+        with pytest.raises(ConfigError):
+            TreePlruPolicy(3)
+
+    def test_victim_valid_index(self):
+        p = TreePlruPolicy(4)
+        order = []
+        for b in (1, 2, 3, 4):
+            p.on_insert(0, order, b)
+        assert 0 <= p.victim_index(0, order) < 4
+
+    def test_recent_hit_not_immediate_victim(self):
+        p = TreePlruPolicy(4)
+        order = []
+        for b in (1, 2, 3, 4):
+            p.on_insert(0, order, b)
+        p.on_hit(0, order, 2)
+        assert p.victim_index(0, order) != 2
+
+    def test_per_set_state_independent(self):
+        p = TreePlruPolicy(2)
+        o0, o1 = [], []
+        p.on_insert(0, o0, 1)
+        p.on_insert(0, o0, 2)
+        p.on_insert(1, o1, 3)
+        p.on_insert(1, o1, 4)
+        p.on_hit(0, o0, 0)
+        # set 1 unaffected by set 0's hit
+        v1_before = p.victim_index(1, o1)
+        p.on_hit(0, o0, 1)
+        assert p.victim_index(1, o1) == v1_before
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "plru"])
+    def test_make(self, name):
+        make_policy(name, associativity=4, seed=0)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            make_policy("belady", 4)

@@ -1,0 +1,31 @@
+"""Machine diagnostics snapshots."""
+
+from repro.machine.stats import snapshot
+
+from ..conftest import small_synthetic
+
+
+class TestSnapshot:
+    def test_after_run(self, machine):
+        machine.run(small_synthetic(), 16 * 1024)
+        snap = snapshot(machine)
+        assert snap.n_processors == 4
+        assert snap.pages_assigned > 0
+        assert sum(snap.home_histogram) == snap.pages_assigned
+        assert any(o > 0 for o in snap.l2_occupancy)
+
+    def test_first_touch_spreads_homes(self, machine):
+        machine.run(small_synthetic(), 16 * 1024)
+        snap = snapshot(machine)
+        # every cpu first-touches its own partition
+        assert all(count > 0 for count in snap.home_histogram)
+
+    def test_describe_renders(self, machine):
+        machine.run(small_synthetic(), 16 * 1024)
+        text = snapshot(machine).describe()
+        assert "processors" in text and "cpu  0" in text
+
+    def test_fresh_machine_empty(self, machine):
+        snap = snapshot(machine)
+        assert snap.directory_entries == 0
+        assert all(o == 0 for o in snap.l1_occupancy)

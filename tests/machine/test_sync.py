@@ -1,0 +1,146 @@
+"""Barrier and lock timing, spin/poll attribution."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.counters import CounterSet, GroundTruth
+from repro.machine.interconnect import Interconnect
+from repro.machine.memory import NumaMemory
+from repro.machine.sync import SyncEngine
+
+from ..conftest import tiny_machine_config
+
+
+def make_engine(n=4, **cfg_overrides):
+    cfg = tiny_machine_config(n_processors=n, **cfg_overrides)
+    ic = Interconnect(cfg.interconnect, n)
+    mem = NumaMemory(cfg.memory, n, cfg.line_size)
+    counters = [CounterSet() for _ in range(n)]
+    gt = [GroundTruth() for _ in range(n)]
+    return SyncEngine(cfg, ic, mem, counters, gt), counters, gt, cfg
+
+
+class TestVariables:
+    def test_allocation_homes_at_node0(self):
+        engine, *_ = make_engine()
+        var = engine.allocate_variable("bar")
+        assert var.home == 0
+
+    def test_variables_distinct(self):
+        engine, *_ = make_engine()
+        v1 = engine.allocate_variable("a")
+        v2 = engine.allocate_variable("b")
+        assert v1.block != v2.block
+
+
+class TestBarrier:
+    def test_clocks_advance_and_converge(self):
+        engine, counters, gt, cfg = make_engine(4)
+        var = engine.allocate_variable("bar")
+        clocks = [0.0, 100.0, 200.0, 300.0]
+        outcome = engine.barrier(var, clocks, cpi0=1.0)
+        assert all(c >= 300.0 for c in clocks)
+        # release skew is at most the network propagation
+        assert max(clocks) - min(clocks) <= cfg.timing.t_hop * 8
+
+    def test_early_arrival_books_imbalance(self):
+        engine, counters, gt, _ = make_engine(2)
+        var = engine.allocate_variable("bar")
+        clocks = [0.0, 1000.0]
+        engine.barrier(var, clocks, cpi0=1.0)
+        assert gt[0].spin_cycles >= 900  # cpu 0 waited for cpu 1
+        assert gt[1].spin_cycles < 100
+
+    def test_balanced_arrivals_book_sync_only(self):
+        engine, counters, gt, _ = make_engine(4)
+        var = engine.allocate_variable("bar")
+        clocks = [0.0] * 4
+        engine.barrier(var, clocks, cpi0=1.0)
+        for g in gt:
+            assert g.spin_cycles == pytest.approx(0.0)
+            assert g.sync_cycles > 0
+
+    def test_ledger_matches_clock_advance(self):
+        engine, counters, gt, _ = make_engine(4)
+        var = engine.allocate_variable("bar")
+        clocks = [0.0, 50.0, 10.0, 400.0]
+        engine.barrier(var, clocks, cpi0=1.2)
+        for cpu in range(4):
+            advance = clocks[cpu] - [0.0, 50.0, 10.0, 400.0][cpu]
+            assert gt[cpu].sync_cycles + gt[cpu].spin_cycles == pytest.approx(advance)
+
+    def test_event31_counts_one_fetchop_each(self):
+        engine, counters, gt, _ = make_engine(4)
+        var = engine.allocate_variable("bar")
+        clocks = [0.0] * 4
+        engine.barrier(var, clocks, cpi0=1.0)
+        engine.barrier(var, clocks, cpi0=1.0)
+        for c in counters:
+            assert c.store_exclusive_to_shared == 2
+            assert c.graduated_stores == 2
+
+    def test_serialization_grows_with_n(self):
+        costs = {}
+        for n in (2, 8):
+            engine, counters, gt, _ = make_engine(n)
+            var = engine.allocate_variable("bar")
+            clocks = [0.0] * n
+            engine.barrier(var, clocks, cpi0=1.0)
+            costs[n] = sum(g.sync_cycles for g in gt) / n
+        assert costs[8] > costs[2]
+
+    def test_participants_subset(self):
+        engine, counters, gt, _ = make_engine(4)
+        var = engine.allocate_variable("bar")
+        clocks = [0.0] * 4
+        engine.barrier(var, clocks, cpi0=1.0, participants=[0, 2])
+        assert clocks[1] == 0.0 and clocks[3] == 0.0
+        assert clocks[0] > 0 and clocks[2] > 0
+
+    def test_empty_participants_rejected(self):
+        engine, *_ = make_engine(2)
+        var = engine.allocate_variable("bar")
+        with pytest.raises(ConfigError):
+            engine.barrier(var, [0.0, 0.0], cpi0=1.0, participants=[])
+
+    def test_barrier_counter(self):
+        engine, counters, gt, _ = make_engine(2)
+        var = engine.allocate_variable("bar")
+        clocks = [0.0, 0.0]
+        for _ in range(3):
+            engine.barrier(var, clocks, cpi0=1.0)
+        assert gt[0].barriers == 3
+
+
+class TestLock:
+    def test_serializes_critical_sections(self):
+        engine, counters, gt, _ = make_engine(4)
+        var = engine.allocate_variable("lock")
+        clocks = [0.0] * 4
+        engine.lock_section(var, clocks, cpi0=1.0, cs_instructions=100)
+        # Completion times are strictly ordered: only one holder at a time.
+        assert len({round(c, 3) for c in clocks}) == 4
+        assert all(g.lock_acquires == 1 for g in gt)
+
+    def test_contention_books_sync_wait(self):
+        engine, counters, gt, _ = make_engine(4)
+        var = engine.allocate_variable("lock")
+        clocks = [0.0] * 4
+        engine.lock_section(var, clocks, cpi0=1.0, cs_instructions=500)
+        # the last acquirer waited for three critical sections
+        total_sync = sum(g.sync_cycles for g in gt)
+        assert total_sync > 3 * 500
+
+    def test_two_fetchops_per_passage(self):
+        engine, counters, gt, _ = make_engine(2)
+        var = engine.allocate_variable("lock")
+        clocks = [0.0, 0.0]
+        engine.lock_section(var, clocks, cpi0=1.0, cs_instructions=10)
+        for c in counters:
+            assert c.store_exclusive_to_shared == 2
+
+    def test_negative_cs_rejected(self):
+        engine, *_ = make_engine(2)
+        var = engine.allocate_variable("lock")
+        with pytest.raises(ConfigError):
+            engine.lock_section(var, [0.0, 0.0], cpi0=1.0, cs_instructions=-1)

@@ -1,0 +1,154 @@
+"""The assembled machine: runs, results, self-checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.system import DsmMachine
+from repro.trace.events import Phase, Segment, make_segment
+from repro.trace.generators import sweep
+
+from ..conftest import small_synthetic, tiny_machine_config
+
+
+class OnePhase:
+    """Minimal workload: each cpu sweeps its own blocks once."""
+
+    name = "one_phase"
+    cpi0 = 1.0
+
+    def __init__(self, blocks_per_cpu=16, refs_per_block=2):
+        self.blocks_per_cpu = blocks_per_cpu
+        self.refs_per_block = refs_per_block
+
+    def describe_params(self):
+        return {"blocks_per_cpu": self.blocks_per_cpu}
+
+    def build(self, machine, size_bytes):
+        n = machine.n_processors
+        region = machine.allocator.alloc("data", self.blocks_per_cpu * n)
+        segs = []
+        for cpu in range(n):
+            a, w = sweep(region.slice_for(cpu, n), refs_per_block=self.refs_per_block,
+                         rng=np.random.default_rng(cpu))
+            segs.append(make_segment(a, w, m_frac=0.5))
+        yield Phase(name="only", segments=segs, barrier=True)
+
+
+class TestRun:
+    def test_produces_result(self, machine):
+        res = machine.run(OnePhase(), 2048)
+        assert res.n_processors == 4
+        assert res.counters.cycles > 0
+        assert res.wall_cycles > 0
+
+    def test_ledger_reconciles(self, machine):
+        res = machine.run(OnePhase(), 2048)
+        assert res.ground_truth.total_cycles == pytest.approx(res.counters.cycles, rel=1e-9)
+
+    def test_miss_classes_sum_to_l2_misses(self, machine):
+        res = machine.run(small_synthetic(), 16 * 1024)
+        gt = res.ground_truth
+        assert gt.total_misses == res.counters.l2_misses
+
+    def test_instructions_include_sync_and_spin(self, machine):
+        res = machine.run(OnePhase(), 2048)
+        gt = res.ground_truth
+        total = gt.compute_instructions + gt.sync_instructions + gt.spin_instructions
+        assert total == pytest.approx(res.counters.graduated_instructions, rel=1e-9)
+
+    def test_reset_between_runs(self, machine):
+        res1 = machine.run(OnePhase(), 2048)
+        res2 = machine.run(OnePhase(), 2048)
+        assert res1.counters.cycles == pytest.approx(res2.counters.cycles)
+
+    def test_determinism_across_machines(self, tiny_cfg):
+        r1 = DsmMachine(tiny_cfg).run(small_synthetic(), 16 * 1024)
+        r2 = DsmMachine(tiny_cfg).run(small_synthetic(), 16 * 1024)
+        assert r1.counters == r2.counters
+
+    def test_phase_counters_sum_to_totals(self, machine):
+        res = machine.run(small_synthetic(), 16 * 1024)
+        summed = res.phase_counters[0][1]
+        for _, delta in res.phase_counters[1:]:
+            summed = summed + delta
+        assert summed.cycles == pytest.approx(res.counters.cycles, rel=1e-6)
+        assert summed.l2_misses == pytest.approx(res.counters.l2_misses)
+
+    def test_wrong_phase_width_rejected(self, machine):
+        class Bad:
+            name = "bad"
+            cpi0 = 1.0
+
+            def describe_params(self):
+                return {}
+
+            def build(self, m, s):
+                yield Phase(name="p", segments=[None, None], barrier=True)  # 2 slots on 4 cpus
+
+        with pytest.raises(WorkloadError):
+            machine.run(Bad(), 1024)
+
+    def test_empty_workload_rejected(self, machine):
+        class Empty:
+            name = "empty"
+            cpi0 = 1.0
+
+            def describe_params(self):
+                return {}
+
+            def build(self, m, s):
+                return iter(())
+
+        with pytest.raises(WorkloadError):
+            machine.run(Empty(), 1024)
+
+    def test_serial_phase_spins_others(self, machine):
+        class Serial:
+            name = "serial"
+            cpi0 = 1.0
+
+            def describe_params(self):
+                return {}
+
+            def build(self, m, s):
+                segs = [None] * m.n_processors
+                segs[0] = Segment(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool), 10000)
+                yield Phase(name="serial", segments=segs, barrier=True)
+
+        res = machine.run(Serial(), 1024)
+        gt = res.per_cpu_ground_truth
+        assert gt[0].spin_cycles < gt[1].spin_cycles
+        assert gt[1].spin_cycles > 5000
+
+    def test_speedup_helper(self, tiny_cfg):
+        wl = small_synthetic()
+        r1 = DsmMachine(tiny_machine_config(n_processors=1)).run(wl, 16 * 1024)
+        r4 = DsmMachine(tiny_cfg).run(wl, 16 * 1024)
+        assert r4.speedup_over(r1) > 1.0
+
+    def test_cycles_counter_equals_clock(self, machine):
+        res = machine.run(OnePhase(), 2048)
+        for cpu, c in enumerate(res.per_cpu_counters):
+            assert c.cycles == pytest.approx(machine.clocks[cpu])
+
+
+class TestInstructionMisses:
+    def test_flag_adds_l1i_misses(self):
+        cfg = tiny_machine_config(model_instruction_misses=True)
+        res = DsmMachine(cfg).run(OnePhase(), 2048)
+        assert res.counters.l1_instruction_misses > 0
+
+    def test_flag_off_by_default(self, machine):
+        res = machine.run(OnePhase(), 2048)
+        assert res.counters.l1_instruction_misses == 0
+
+    def test_code_cold_misses_once_per_cpu(self):
+        cfg = tiny_machine_config(model_instruction_misses=True)
+        m = DsmMachine(cfg)
+        res = m.run(small_synthetic(iters=3), 8 * 1024)
+        # 32 code blocks per cpu, charged exactly once despite many phases
+        from repro.machine.system import _CODE_BLOCKS
+
+        data_misses = res.ground_truth.total_misses - 4 * _CODE_BLOCKS
+        assert data_misses >= 0

@@ -1,0 +1,111 @@
+"""TLB model and the MSI protocol option."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import MachineConfig
+from repro.machine.system import DsmMachine
+
+from ..conftest import small_synthetic, tiny_machine_config
+
+
+class TestTlb:
+    def test_disabled_by_default(self, machine):
+        res = machine.run(small_synthetic(), 16 * 1024)
+        assert res.counters.tlb_misses == 0
+        assert res.ground_truth.tlb_stall_cycles == 0
+
+    def test_enabled_counts_misses(self):
+        cfg = tiny_machine_config(tlb_entries=4)
+        res = DsmMachine(cfg).run(small_synthetic(), 16 * 1024)
+        assert res.counters.tlb_misses > 0
+        assert res.ground_truth.tlb_stall_cycles == pytest.approx(
+            res.counters.tlb_misses * cfg.timing.t_tlb_miss
+        )
+
+    def test_ledger_still_reconciles(self):
+        cfg = tiny_machine_config(tlb_entries=4)
+        res = DsmMachine(cfg).run(small_synthetic(), 16 * 1024)
+        assert res.ground_truth.total_cycles == pytest.approx(res.counters.cycles, rel=1e-9)
+
+    def test_larger_tlb_fewer_misses(self):
+        small = DsmMachine(tiny_machine_config(tlb_entries=2)).run(small_synthetic(), 16 * 1024)
+        large = DsmMachine(tiny_machine_config(tlb_entries=64)).run(small_synthetic(), 16 * 1024)
+        assert large.counters.tlb_misses < small.counters.tlb_misses
+
+    def test_huge_tlb_only_cold_misses(self):
+        cfg = tiny_machine_config(tlb_entries=10_000)
+        res = DsmMachine(cfg).run(small_synthetic(), 16 * 1024)
+        pages_touched = len(DsmMachine(cfg).memory.assigned_pages())  # fresh = 0; use result
+        # every page is missed at most once per cpu
+        machine = DsmMachine(cfg)
+        res = machine.run(small_synthetic(), 16 * 1024)
+        assert res.counters.tlb_misses <= 4 * len(machine.memory.assigned_pages())
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ConfigError):
+            tiny_machine_config(tlb_entries=-1)
+
+    def test_event_23_in_reports(self):
+        from repro.tools.perfex import format_report, parse_report
+
+        cfg = tiny_machine_config(tlb_entries=4)
+        res = DsmMachine(cfg).run(small_synthetic(), 16 * 1024)
+        _, totals, _ = parse_report(format_report(res.counters))
+        assert totals.tlb_misses == pytest.approx(res.counters.tlb_misses, abs=1.0)
+
+
+class TestMsiProtocol:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            tiny_machine_config(protocol="moesi")
+
+    def test_msi_never_installs_exclusive(self):
+        from repro.machine.cache import EXCLUSIVE
+
+        machine = DsmMachine(tiny_machine_config(protocol="msi"))
+        machine.run(small_synthetic(), 16 * 1024)
+        for hier in machine.hierarchies:
+            for block in hier.l2.resident_blocks():
+                assert hier.l2.state_of(block) != EXCLUSIVE
+
+    @staticmethod
+    def _read_then_write(protocol):
+        """Private read-modify-write traffic: where the E state pays off."""
+        from repro.machine.coherence import CoherenceController
+        from repro.machine.counters import CounterSet, GroundTruth
+        from repro.machine.hierarchy import CacheHierarchy
+        from repro.machine.interconnect import Interconnect
+        from repro.machine.memory import NumaMemory
+
+        cfg = tiny_machine_config(n_processors=2, protocol=protocol)
+        hier = [CacheHierarchy(i, cfg.l1, cfg.l2, seed=1) for i in range(2)]
+        counters = [CounterSet() for _ in range(2)]
+        gt = [GroundTruth() for _ in range(2)]
+        ctrl = CoherenceController(
+            cfg, hier, NumaMemory(cfg.memory, 2, cfg.line_size),
+            Interconnect(cfg.interconnect, 2), counters, gt,
+        )
+        stall = 0.0
+        for block in range(32):
+            stall += ctrl.access(0, block, False)  # read installs the line
+            stall += ctrl.access(0, block, True)   # then x[i] += 1
+        return counters[0], stall
+
+    def test_msi_inflates_event31(self):
+        # under MESI the sole reader gets Exclusive and the store is silent;
+        # under MSI the read installs Shared and every store is an upgrade
+        mesi, _ = self._read_then_write("mesi")
+        msi, _ = self._read_then_write("msi")
+        assert mesi.store_exclusive_to_shared == 0
+        assert msi.store_exclusive_to_shared == 32
+
+    def test_msi_slower_than_mesi(self):
+        _, mesi_stall = self._read_then_write("mesi")
+        _, msi_stall = self._read_then_write("msi")
+        assert msi_stall > mesi_stall
+
+    def test_msi_invariants_hold(self):
+        machine = DsmMachine(tiny_machine_config(protocol="msi"))
+        machine.run(small_synthetic(iters=2), 16 * 1024)
+        machine.controller.check_invariants()

@@ -1,0 +1,105 @@
+"""Property-based tests: the MESI protocol under arbitrary interleavings."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.machine.cache import EXCLUSIVE, MODIFIED, SHARED
+from repro.machine.coherence import CoherenceController
+from repro.machine.counters import CounterSet, GroundTruth
+from repro.machine.hierarchy import CacheHierarchy
+from repro.machine.interconnect import Interconnect
+from repro.machine.memory import NumaMemory
+
+from ..conftest import tiny_machine_config
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # cpu
+        st.integers(min_value=0, max_value=47),  # block
+        st.booleans(),                           # write
+    ),
+    max_size=300,
+)
+
+
+def build(n=4, directory_kind="bitvector"):
+    cfg = tiny_machine_config(n_processors=n)
+    hierarchies = [CacheHierarchy(i, cfg.l1, cfg.l2, seed=1) for i in range(n)]
+    counters = [CounterSet() for _ in range(n)]
+    gt = [GroundTruth() for _ in range(n)]
+    ctrl = CoherenceController(
+        cfg,
+        hierarchies,
+        NumaMemory(cfg.memory, n, cfg.line_size),
+        Interconnect(cfg.interconnect, n),
+        counters,
+        gt,
+        directory_kind,
+    )
+    return ctrl, counters, gt
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=accesses)
+def test_protocol_invariants(stream):
+    ctrl, _, _ = build()
+    for cpu, block, write in stream:
+        ctrl.access(cpu, block, write)
+    ctrl.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=accesses)
+def test_coarse_directory_protocol_invariants(stream):
+    ctrl, _, _ = build(directory_kind="coarse")
+    for cpu, block, write in stream:
+        ctrl.access(cpu, block, write)
+    ctrl.check_invariants()
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=accesses)
+def test_single_writer_multiple_readers(stream):
+    """SWMR: never two M/E holders; an M/E holder never coexists with S."""
+    ctrl, _, _ = build()
+    for cpu, block, write in stream:
+        ctrl.access(cpu, block, write)
+        states = [h.l2.state_of(block) for h in ctrl.hierarchies]
+        exclusive = [s for s in states if s in (EXCLUSIVE, MODIFIED)]
+        holders = [s for s in states if s]
+        assert len(exclusive) <= 1
+        if exclusive:
+            assert len(holders) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=accesses)
+def test_writer_always_ends_modified(stream):
+    ctrl, _, _ = build()
+    for cpu, block, write in stream:
+        ctrl.access(cpu, block, write)
+        if write:
+            assert ctrl.hierarchies[cpu].l2.state_of(block) == MODIFIED
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=accesses)
+def test_counter_accounting(stream):
+    """Loads+stores equals the stream; misses classified exhaustively."""
+    ctrl, counters, gt = build()
+    for cpu, block, write in stream:
+        ctrl.access(cpu, block, write)
+    totals = CounterSet.total(counters)
+    assert totals.mem_refs == len(stream)
+    assert totals.graduated_stores == sum(1 for _, _, w in stream if w)
+    truth = GroundTruth.total(gt)
+    assert truth.total_misses == totals.l2_misses
+    assert totals.l1_data_misses >= totals.l2_misses
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=accesses)
+def test_stalls_never_negative(stream):
+    ctrl, _, _ = build()
+    for cpu, block, write in stream:
+        assert ctrl.access(cpu, block, write) >= 0.0

@@ -1,0 +1,101 @@
+"""Property-based tests: model equations and estimators on synthetic truth."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.core.estimators import adjust_cpi0, fit_t2_tm
+from repro.core.model import MemoryRates, cpi_from_rates, cpi_linear, rates_to_frequencies, solve_tm
+from repro.machine.counters import CounterSet
+from repro.runner.records import RunRecord
+
+L2 = 4096
+
+params = st.fixed_dictionaries(
+    {
+        "cpi0": st.floats(min_value=0.5, max_value=3.0),
+        "t2": st.floats(min_value=1.0, max_value=30.0),
+        "tm": st.floats(min_value=31.0, max_value=300.0),
+    }
+)
+
+rates = st.builds(
+    MemoryRates,
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=params, r=rates)
+def test_eq8_equals_eq1(p, r):
+    h2, hm = rates_to_frequencies(r)
+    assert cpi_from_rates(p["cpi0"], p["t2"], p["tm"], r) == pytest.approx(
+        cpi_linear(p["cpi0"], h2, hm, p["t2"], p["tm"])
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=params, r=rates)
+def test_cpi_at_least_cpi0(p, r):
+    assert cpi_from_rates(p["cpi0"], p["t2"], p["tm"], r) >= p["cpi0"] - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=params, r=rates)
+def test_better_hit_rates_never_slower(p, r):
+    base = cpi_from_rates(p["cpi0"], p["t2"], p["tm"], r)
+    better = MemoryRates(min(1.0, r.l1_hit_rate + 0.1), r.l2_hit_rate, r.m_frac)
+    assert cpi_from_rates(p["cpi0"], p["t2"], p["tm"], better) <= base + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=params, r=rates)
+def test_solve_tm_roundtrip(p, r):
+    h2, hm = rates_to_frequencies(r)
+    assume(hm > 1e-9)
+    cpi = cpi_linear(p["cpi0"], h2, hm, p["t2"], p["tm"])
+    assert solve_tm(cpi, p["cpi0"], h2, hm, p["t2"]) == pytest.approx(p["tm"], rel=1e-6)
+
+
+def _record(size, p, l2_hit, l1_hit=0.9, m=0.4, inst=50_000.0):
+    refs = inst * m
+    l1_misses = refs * (1 - l1_hit)
+    l2_misses = l1_misses * (1 - l2_hit)
+    h2 = (l1_misses - l2_misses) / inst
+    hm = l2_misses / inst
+    return RunRecord(
+        workload="prop", params={}, size_bytes=size, n_processors=1, role="app_frac",
+        machine={},
+        counters=CounterSet(
+            cycles=inst * cpi_linear(p["cpi0"], h2, hm, p["t2"], p["tm"]),
+            graduated_instructions=inst,
+            graduated_loads=refs,
+            graduated_stores=0.0,
+            l1_data_misses=l1_misses,
+            l2_misses=l2_misses,
+        ),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=params)
+def test_fit_recovers_truth_on_clean_data(p):
+    runs = {
+        8 * L2: _record(8 * L2, p, l2_hit=0.10),
+        16 * L2: _record(16 * L2, p, l2_hit=0.30),
+        32 * L2: _record(32 * L2, p, l2_hit=0.55),
+    }
+    t2, tm, diag = fit_t2_tm(runs, p["cpi0"], L2)
+    assert t2 == pytest.approx(p["t2"], rel=0.05, abs=0.5)
+    assert tm == pytest.approx(p["tm"], rel=0.05)
+    assert diag["rms"] < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=params)
+def test_adjustment_exact_on_clean_data(p):
+    small = _record(256, p, l2_hit=0.5, l1_hit=0.995)
+    unbiased = adjust_cpi0(small.counters.cpi, small, p["t2"], p["tm"])
+    assert unbiased == pytest.approx(p["cpi0"], rel=1e-6)

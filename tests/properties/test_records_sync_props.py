@@ -1,0 +1,135 @@
+"""Property-based tests: record serialisation and the barrier engine."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.machine.counters import CounterSet, GroundTruth
+from repro.machine.interconnect import Interconnect
+from repro.machine.memory import NumaMemory
+from repro.machine.sync import SyncEngine
+from repro.runner.records import RunRecord
+
+from ..conftest import tiny_machine_config
+
+finite = st.floats(min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False)
+
+counter_sets = st.builds(
+    CounterSet,
+    cycles=finite,
+    graduated_instructions=finite,
+    graduated_loads=finite,
+    graduated_stores=finite,
+    l1_data_misses=finite,
+    l2_misses=finite,
+    l1_instruction_misses=finite,
+    store_exclusive_to_shared=finite,
+    tlb_misses=finite,
+)
+
+records = st.builds(
+    RunRecord,
+    workload=st.sampled_from(["a", "b", "long-name_3"]),
+    params=st.dictionaries(st.sampled_from(["iters", "seed"]), st.integers(0, 100), max_size=2),
+    size_bytes=st.integers(min_value=1, max_value=2**40),
+    n_processors=st.integers(min_value=1, max_value=128),
+    role=st.sampled_from(["app_base", "app_frac", "sync_kernel"]),
+    machine=st.dictionaries(st.sampled_from(["l1_bytes", "l2_bytes"]), st.integers(1, 2**30), max_size=2),
+    counters=counter_sets,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(rec=records)
+def test_record_json_roundtrip(rec):
+    back = RunRecord.from_json(rec.to_json())
+    assert back.counters == rec.counters
+    assert back.key() == rec.key()
+    assert back.machine == rec.machine
+
+
+@settings(max_examples=80, deadline=None)
+@given(c=counter_sets)
+def test_counterset_derived_quantities_bounded(c):
+    assert c.h2 >= 0 or c.l2_misses > c.l1_data_misses
+    assert c.hm >= 0
+    if c.mem_refs > 0 and c.l1_data_misses <= c.mem_refs:
+        assert 0.0 <= c.l1_hit_rate <= 1.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=counter_sets, b=counter_sets)
+def test_counterset_addition_commutes(a, b):
+    left = a + b
+    right = b + a
+    assert left == right
+    assert left.cycles == pytest.approx(a.cycles + b.cycles)
+
+
+def _engine(n):
+    cfg = tiny_machine_config(n_processors=n)
+    counters = [CounterSet() for _ in range(n)]
+    gt = [GroundTruth() for _ in range(n)]
+    engine = SyncEngine(
+        cfg,
+        Interconnect(cfg.interconnect, n),
+        NumaMemory(cfg.memory, n, cfg.line_size),
+        counters,
+        gt,
+    )
+    return engine, counters, gt
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    arrivals=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=8, max_size=8),
+    cpi0=st.floats(min_value=0.5, max_value=3.0),
+)
+def test_barrier_conservation(n, arrivals, cpi0):
+    """Clocks never regress; ledger equals the advance; all converge."""
+    engine, counters, gt = _engine(n)
+    var = engine.allocate_variable("bar")
+    clocks = list(arrivals[:n])
+    before = clocks[:]
+    engine.barrier(var, clocks, cpi0)
+    for cpu in range(n):
+        advance = clocks[cpu] - before[cpu]
+        assert advance > 0
+        assert gt[cpu].sync_cycles + gt[cpu].spin_cycles == pytest.approx(advance)
+        assert clocks[cpu] >= max(before)  # nobody leaves before the last arrival
+    # release skew bounded by propagation
+    assert max(clocks) - min(clocks) <= engine.cfg.timing.t_hop * 16 + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    arrivals=st.lists(st.floats(min_value=0, max_value=1e5, allow_nan=False), min_size=8, max_size=8),
+    episodes=st.integers(min_value=1, max_value=5),
+)
+def test_barrier_event31_is_exactly_arrivals(n, arrivals, episodes):
+    engine, counters, gt = _engine(n)
+    var = engine.allocate_variable("bar")
+    clocks = list(arrivals[:n])
+    for _ in range(episodes):
+        engine.barrier(var, clocks, 1.0)
+    for cpu in range(n):
+        assert counters[cpu].store_exclusive_to_shared == episodes
+        assert gt[cpu].barriers == episodes
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    cs=st.integers(min_value=0, max_value=2000),
+)
+def test_lock_mutual_exclusion(n, cs):
+    """Hold intervals of a lock never overlap."""
+    engine, counters, gt = _engine(n)
+    var = engine.allocate_variable("lock")
+    clocks = [0.0] * n
+    engine.lock_section(var, clocks, 1.0, cs)
+    finish = sorted(clocks)
+    for a, b in zip(finish, finish[1:]):
+        assert b - a >= cs * 1.0 - 1e-6  # at least one critical section apart

@@ -1,0 +1,84 @@
+"""Property-based tests: trace generators and interconnect metrics."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.machine.config import InterconnectConfig
+from repro.machine.interconnect import Interconnect
+from repro.trace.generators import pointer_chase, random_access, sweep
+from repro.trace.synth import concat_traces, interleave_traces, split_trace
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lo=st.integers(min_value=0, max_value=1000),
+    n=st.integers(min_value=1, max_value=64),
+    rpb=st.integers(min_value=1, max_value=8),
+    reps=st.integers(min_value=1, max_value=4),
+)
+def test_sweep_length_and_coverage(lo, n, rpb, reps):
+    a, w = sweep(range(lo, lo + n), refs_per_block=rpb, reps=reps)
+    assert len(a) == len(w) == n * rpb * reps
+    assert set(np.unique(a)) == set(range(lo, lo + n))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    refs=st.integers(min_value=0, max_value=256),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_pointer_chase_balanced_coverage(n, refs, seed):
+    a, _ = pointer_chase(range(0, n), refs, rng=np.random.default_rng(seed))
+    assert len(a) == refs
+    if refs >= n:
+        counts = np.bincount(a, minlength=n)
+        assert counts.max() - counts.min() <= 1  # perfectly even wrap
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=4),
+    gran=st.integers(min_value=1, max_value=5),
+)
+def test_interleave_is_permutation_of_concat(sizes, gran):
+    rng = np.random.default_rng(0)
+    traces = [random_access(range(0, 50), k, rng=rng) for k in sizes]
+    inter = interleave_traces(*traces, granularity=gran)
+    cat = concat_traces(*traces)
+    assert sorted(inter[0].tolist()) == sorted(cat[0].tolist())
+    assert inter[1].sum() == cat[1].sum()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=100),
+    parts=st.integers(min_value=1, max_value=10),
+)
+def test_split_preserves_order_and_content(n, parts):
+    a, w = sweep(range(0, max(1, n)), refs_per_block=1)
+    chunks = split_trace((a, w), parts)
+    assert len(chunks) == parts
+    rejoined = np.concatenate([c[0] for c in chunks])
+    assert rejoined.tolist() == a.tolist()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    topology=st.sampled_from(["hypercube", "mesh", "ring", "crossbar"]),
+    n=st.integers(min_value=1, max_value=40),
+    bristle=st.integers(min_value=1, max_value=4),
+)
+def test_interconnect_metric_axioms(topology, n, bristle):
+    ic = Interconnect(InterconnectConfig(topology=topology, bristle=bristle), n)
+    import random
+
+    rnd = random.Random(0)
+    cpus = list(range(n))
+    for _ in range(30):
+        a, b, c = rnd.choice(cpus), rnd.choice(cpus), rnd.choice(cpus)
+        assert ic.hops(a, a) == 0
+        assert ic.hops(a, b) == ic.hops(b, a) >= 0
+        assert ic.hops(a, c) <= ic.hops(a, b) + ic.hops(b, c)  # triangle
+    assert 0 <= ic.mean_distance() <= ic.diameter()

@@ -1,0 +1,74 @@
+"""Run records and persistence."""
+
+import pytest
+
+from repro.errors import CounterFormatError
+from repro.runner.records import RunRecord, load_records, save_records
+
+from ..conftest import small_synthetic
+
+
+@pytest.fixture
+def record(machine):
+    result = machine.run(small_synthetic(), 16 * 1024)
+    return RunRecord.from_result(result, role="app_base")
+
+
+class TestFromResult:
+    def test_captures_identity(self, record):
+        assert record.workload == "synthetic"
+        assert record.size_bytes == 16 * 1024
+        assert record.n_processors == 4
+        assert record.role == "app_base"
+
+    def test_machine_summary(self, record):
+        assert record.machine["l2_bytes"] == 4096
+        assert record.machine["topology"] == "hypercube"
+
+    def test_per_cpu_counters_kept(self, record):
+        assert len(record.per_cpu) == 4
+        total = sum(c.cycles for c in record.per_cpu)
+        assert total == pytest.approx(record.counters.cycles)
+
+    def test_ground_truth_kept_by_default(self, record):
+        assert record.ground_truth is not None
+
+    def test_without_ground_truth(self, record):
+        stripped = record.without_ground_truth()
+        assert stripped.ground_truth is None
+        assert stripped.counters == record.counters
+
+    def test_params_recorded(self, record):
+        assert record.params["iters"] == 2
+
+    def test_key(self, record):
+        assert record.key() == ("synthetic", "app_base", 16 * 1024, 4)
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, record):
+        back = RunRecord.from_json(record.to_json())
+        assert back.counters == record.counters
+        assert back.ground_truth == record.ground_truth
+        assert back.machine == record.machine
+        assert len(back.phase_counters) == len(record.phase_counters)
+
+    def test_roundtrip_without_gt(self, record):
+        back = RunRecord.from_json(record.without_ground_truth().to_json())
+        assert back.ground_truth is None
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(CounterFormatError):
+            RunRecord.from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(CounterFormatError):
+            RunRecord.from_json('{"workload": "x"}')
+
+    def test_jsonl_files(self, record, tmp_path):
+        path = tmp_path / "records.jsonl"
+        save_records([record, record.without_ground_truth()], path)
+        back = load_records(path)
+        assert len(back) == 2
+        assert back[0].counters == record.counters
+        assert back[1].ground_truth is None

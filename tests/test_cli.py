@@ -1,0 +1,176 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_counts_parsing(self):
+        args = build_parser().parse_args(["analyze", "swim", "--counts", "1,2,4"])
+        assert args.counts == (1, 2, 4)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "swim", "--counts", "a,b"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "t3dheat" in out and "swim" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Scal-Tool" in out and "68" in out
+
+    def test_run_prints_perfex(self, capsys):
+        assert main(["run", "synthetic", "--size", "8192", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "perfex report" in out
+        assert "Graduated instructions" in out
+
+    def test_unknown_workload_is_error(self, capsys):
+        assert main(["run", "doom"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_campaign_writes_files(self, tmp_path, capsys):
+        rc = main(
+            [
+                "campaign",
+                "synthetic",
+                "--s0",
+                "163840",
+                "--counts",
+                "1,2",
+                "--out",
+                str(tmp_path / "camp"),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "camp" / "campaign.jsonl").exists()
+        assert list((tmp_path / "camp").glob("*.perfex"))
+
+    def test_analyze_from_dir(self, tmp_path, capsys):
+        main(
+            [
+                "campaign", "synthetic", "--s0", "163840", "--counts", "1,2",
+                "--out", str(tmp_path / "camp"),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["analyze", "synthetic", "--from-dir", str(tmp_path / "camp")]) == 0
+        out = capsys.readouterr().out
+        assert "Scal-Tool analysis" in out
+
+    def test_analyze_inline_with_cache(self, tmp_path, capsys):
+        args = [
+            "analyze", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        # second invocation reuses the cache (fast path, same output)
+        assert main(args) == 0
+        assert "Scal-Tool analysis" in capsys.readouterr().out
+
+    def test_validate(self, tmp_path, capsys):
+        args = [
+            "validate", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        assert "MP validation" in capsys.readouterr().out
+
+    def test_whatif_parameters(self, tmp_path, capsys):
+        args = [
+            "whatif", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path), "--tm", "0.5",
+        ]
+        assert main(args) == 0
+        assert "tm x0.5" in capsys.readouterr().out
+
+    def test_whatif_l2(self, tmp_path, capsys):
+        args = [
+            "whatif", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path), "--l2", "4",
+        ]
+        assert main(args) == 0
+        assert "L2 x4" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_analyze_markdown(self, tmp_path, capsys):
+        args = [
+            "analyze", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path), "--markdown",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "# Scal-Tool analysis" in out
+        assert "| n |" in out or "| parameter |" in out
+
+    def test_segments_default_groups(self, tmp_path, capsys):
+        args = [
+            "segments", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "segment-level breakdown" in out
+
+    def test_segments_explicit_group(self, tmp_path, capsys):
+        args = [
+            "segments", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path), "--group", "work=work_*",
+        ]
+        assert main(args) == 0
+        assert "work" in capsys.readouterr().out
+
+    def test_segments_bad_group(self, tmp_path, capsys):
+        args = [
+            "segments", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path), "--group", "nonsense",
+        ]
+        assert main(args) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sharing(self, tmp_path, capsys):
+        args = [
+            "sharing", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "event-31 decomposition" in out
+        assert "sharing-corrected" in out
+
+    def test_topology(self, capsys):
+        assert main(["topology", "--counts", "2,4", "--topologies", "ring,crossbar"]) == 0
+        out = capsys.readouterr().out
+        assert "ring" in out and "crossbar" in out
+
+    def test_predict(self, tmp_path, capsys):
+        args = [
+            "predict", "synthetic", "--s0", "163840", "--counts", "1,2,4",
+            "--cache-dir", str(tmp_path), "--to", "8,16",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "predicted scaling" in out
+        assert "saturation" in out
+
+    def test_balance(self, tmp_path, capsys):
+        args = [
+            "balance", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "load balance" in out and "verdict" in out

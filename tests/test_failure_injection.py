@@ -1,0 +1,178 @@
+"""Failure injection: corrupted files, truncated campaigns, hostile inputs.
+
+A production tool meets broken measurement directories, half-written
+manifests, and campaigns missing the runs an analysis step needs.  Every
+failure must surface as a library error (:class:`ReproError` subclass)
+with an actionable message — never a KeyError/IndexError from the guts.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ScalTool
+from repro.errors import (
+    CounterFormatError,
+    InsufficientDataError,
+    ReproError,
+    TraceError,
+)
+from repro.runner.campaign import CampaignData
+from repro.runner.records import RunRecord, load_records, save_records
+from repro.tools.perfex import parse_report
+
+
+def strip_roles(campaign, *roles):
+    return CampaignData(
+        workload=campaign.workload,
+        s0=campaign.s0,
+        records=[r for r in campaign.records if r.role not in roles],
+    )
+
+
+class TestCorruptManifests:
+    def test_truncated_json_line(self, mini_campaign, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        save_records(mini_campaign.records, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CounterFormatError):
+            load_records(path)
+
+    def test_wrong_schema_line(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        path.write_text(json.dumps({"totally": "unrelated"}) + "\n")
+        with pytest.raises(CounterFormatError):
+            load_records(path)
+
+    def test_empty_manifest_dir(self, tmp_path):
+        (tmp_path / "campaign.jsonl").write_text("")
+        with pytest.raises(InsufficientDataError):
+            CampaignData.load(tmp_path)
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(OSError):
+            CampaignData.load(tmp_path / "missing")
+
+    def test_negative_counter_values_tolerated_loading(self, mini_campaign, tmp_path):
+        # a flaky counter rollover: loads but analysis stays bounded
+        rec = mini_campaign.records[0]
+        data = rec.to_dict()
+        data["counters"]["l2_misses"] = -5.0
+        back = RunRecord.from_dict(data)
+        assert back.counters.l2_misses == -5.0
+
+
+class TestCorruptPerfex:
+    def test_binary_garbage(self):
+        with pytest.raises(CounterFormatError):
+            parse_report("\x00\x01\x02 not text")
+
+    def test_value_column_missing(self):
+        text = "# perfex report\n\nSummary of all processors:\n  0 Cycles\n"
+        with pytest.raises(CounterFormatError):
+            parse_report(text)
+
+    def test_non_numeric_value(self):
+        text = "# perfex report\n\nSummary of all processors:\n  0 Cycles...... lots\n"
+        with pytest.raises(CounterFormatError):
+            parse_report(text)
+
+    def test_report_with_extra_comments_ok(self, mini_campaign):
+        from repro.tools.perfex import format_report
+
+        rec = mini_campaign.records[0]
+        text = format_report(rec.counters)
+        text = "# produced by vintage tooling\n" + text
+        _, totals, _ = parse_report(text)
+        assert totals.cycles > 0
+
+
+class TestIncompleteCampaigns:
+    def test_no_base_runs(self, mini_campaign):
+        crippled = strip_roles(mini_campaign, "app_base")
+        with pytest.raises(InsufficientDataError):
+            ScalTool(crippled).analyze()
+
+    def test_no_uniprocessor_fractions(self, mini_campaign):
+        crippled = CampaignData(
+            workload=mini_campaign.workload,
+            s0=mini_campaign.s0,
+            records=[
+                r
+                for r in mini_campaign.records
+                if not (r.role == "app_frac")
+            ],
+        )
+        # s0 uniprocessor base run remains, but one size cannot fit t2/tm
+        with pytest.raises(InsufficientDataError):
+            ScalTool(crippled).analyze()
+
+    def test_missing_kernels_still_analyzes(self, mini_campaign):
+        # the sync fractions degrade gracefully to zero with warnings
+        crippled = strip_roles(mini_campaign, "sync_kernel", "spin_kernel")
+        with pytest.raises(ReproError):
+            # cpi_imb genuinely needs the spin kernel; the failure must be
+            # a typed library error, not a KeyError
+            ScalTool(crippled).analyze()
+
+    def test_records_without_machine_description(self, mini_campaign):
+        naked = CampaignData(
+            workload=mini_campaign.workload,
+            s0=mini_campaign.s0,
+            records=[
+                RunRecord(**{**r.__dict__, "machine": {}}) for r in mini_campaign.records
+            ],
+        )
+        with pytest.raises(InsufficientDataError):
+            ScalTool(naked)
+
+    def test_single_record_campaign(self, mini_campaign):
+        lonely = CampaignData(
+            workload=mini_campaign.workload,
+            s0=mini_campaign.s0,
+            records=mini_campaign.records[:1],
+        )
+        with pytest.raises(ReproError):
+            ScalTool(lonely).analyze()
+
+
+class TestHostileTraces:
+    def test_trace_replay_of_corrupt_file(self, tmp_path):
+        from repro.trace.recorder import RecordedTrace
+
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"PK\x03\x04 not a real npz")
+        with pytest.raises((TraceError, OSError, ValueError)):
+            RecordedTrace.load(bad)
+
+    def test_segment_instruction_overflow_guard(self):
+        import numpy as np
+
+        from repro.trace.events import Segment
+
+        with pytest.raises(TraceError):
+            Segment(np.array([1, 2], dtype=np.int64), np.array([True, False]), 1)
+
+
+class TestWhatIfEdges:
+    def test_whatif_on_empty_campaign(self, mini_campaign):
+        from repro.core import ScalTool, WhatIf
+
+        analysis = ScalTool(mini_campaign).analyze()
+        empty = CampaignData(workload="x", s0=mini_campaign.s0, records=[])
+        with pytest.raises(InsufficientDataError):
+            WhatIf(analysis, empty)
+
+    def test_validation_on_stripped_campaign(self, mini_campaign):
+        from repro.core import ScalTool, validate_mp
+        from repro.errors import ValidationError
+
+        analysis = ScalTool(mini_campaign).analyze()
+        stripped = CampaignData(
+            workload=mini_campaign.workload,
+            s0=mini_campaign.s0,
+            records=[r.without_ground_truth() for r in mini_campaign.records],
+        )
+        with pytest.raises(ValidationError):
+            validate_mp(analysis, stripped)

@@ -1,0 +1,157 @@
+"""Unit helpers: size parsing, formatting, numeric utilities."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    clamp,
+    format_count,
+    format_size,
+    geometric_sizes,
+    harmonic_mean,
+    is_power_of_two,
+    log2_int,
+    parse_size,
+    safe_div,
+)
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_truncates(self):
+        assert parse_size(10.9) == 10
+
+    def test_kb(self):
+        assert parse_size("32KB") == 32 * KB
+
+    def test_mb(self):
+        assert parse_size("4MB") == 4 * MB
+
+    def test_gb(self):
+        assert parse_size("2GB") == 2 * GB
+
+    def test_fractional(self):
+        assert parse_size("10.3MB") == int(10.3 * MB)
+
+    def test_bare_number_string(self):
+        assert parse_size("128") == 128
+
+    def test_kib_alias(self):
+        assert parse_size("1KiB") == KB
+
+    def test_spaces_and_case(self):
+        assert parse_size(" 16 kb ") == 16 * KB
+
+    def test_bare_b_suffix(self):
+        assert parse_size("512B") == 512
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("3TBB")
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(100) == "100B"
+
+    def test_kb(self):
+        assert format_size(32 * KB) == "32KB"
+
+    def test_mb_fractional(self):
+        assert format_size(int(1.5 * MB)) == "1.5MB"
+
+    def test_gb(self):
+        assert format_size(2 * GB) == "2GB"
+
+    def test_roundtrip(self):
+        for n in (1, KB, 3 * KB, MB, 7 * MB, GB):
+            assert parse_size(format_size(n)) == n
+
+
+class TestFormatCount:
+    def test_int(self):
+        assert format_count(1234567) == "1,234,567"
+
+    def test_integral_float(self):
+        assert format_count(1000.0) == "1,000"
+
+    def test_fractional(self):
+        assert format_count(12.345) == "12.35"
+
+
+class TestPowersOfTwo:
+    def test_powers(self):
+        for k in range(12):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, -2, 3, 6, 12, 100):
+            assert not is_power_of_two(n)
+
+    def test_log2(self):
+        assert log2_int(1) == 0
+        assert log2_int(1024) == 10
+
+    def test_log2_rejects(self):
+        with pytest.raises(ConfigError):
+            log2_int(48)
+
+
+class TestGeometricSizes:
+    def test_halving(self):
+        assert geometric_sizes(64, 4) == [64, 32, 16, 8]
+
+    def test_floor_at_one(self):
+        assert geometric_sizes(2, 5)[-1] == 1
+
+    def test_ratio(self):
+        sizes = geometric_sizes(1000, 3, ratio=0.1)
+        assert sizes == [1000, 100, 10]
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigError):
+            geometric_sizes(8, 0)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ConfigError):
+            geometric_sizes(8, 2, ratio=1.5)
+
+
+class TestNumeric:
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_harmonic_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_clamp(self):
+        assert clamp(5, 0, 1) == 1
+        assert clamp(-5, 0, 1) == 0
+        assert clamp(0.5, 0, 1) == 0.5
+
+    def test_safe_div(self):
+        assert safe_div(10, 2) == 5
+        assert safe_div(10, 0) == 0.0
+        assert safe_div(10, 0, default=-1.0) == -1.0
+        assert safe_div(1, math.nan, default=2.0) == 2.0

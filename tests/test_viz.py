@@ -1,0 +1,114 @@
+"""ASCII charts and tables."""
+
+from repro.viz.ascii_chart import ascii_chart
+from repro.viz.tables import format_table
+
+
+class TestChart:
+    def test_renders_series(self):
+        text = ascii_chart({"a": [(1, 1.0), (2, 4.0)], "b": [(1, 2.0), (2, 3.0)]}, title="T")
+        assert "T" in text
+        assert "* a" in text and "o b" in text
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(empty chart)"
+
+    def test_axis_labels(self):
+        text = ascii_chart({"a": [(0, 0.0), (10, 100.0)]})
+        assert "100" in text and "0" in text
+
+    def test_flat_series_no_crash(self):
+        text = ascii_chart({"a": [(1, 5.0), (2, 5.0)]})
+        assert "|" in text
+
+    def test_single_point(self):
+        assert "|" in ascii_chart({"a": [(1, 1.0)]})
+
+    def test_marks_distinct(self):
+        text = ascii_chart({f"s{i}": [(i, float(i))] for i in range(4)})
+        for mark in "*o+x":
+            assert mark in text
+
+
+class TestTable:
+    def test_alignment_and_header(self):
+        rows = [{"n": 1, "value": 10.5}, {"n": 32, "value": 123456.0}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "n" in lines[1] and "value" in lines[1]
+        assert "123,456" in text
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert "b" not in text.splitlines()[0]
+
+    def test_missing_cells_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 9}], columns=["a", "b"])
+        assert text
+
+    def test_small_floats_four_decimals(self):
+        assert "0.1235" in format_table([{"x": 0.123456}])
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+
+class TestStackedBars:
+    def rows(self):
+        return {
+            "n=1": {"useful": 100.0, "L2Lim": 50.0, "Sync": 0.0},
+            "n=8": {"useful": 100.0, "L2Lim": 0.0, "Sync": 80.0},
+        }
+
+    def test_renders_rows_and_legend(self):
+        from repro.viz.bars import stacked_bars
+
+        text = stacked_bars(self.rows(), title="demo")
+        assert "demo" in text
+        assert "n=1" in text and "n=8" in text
+        assert "# useful" in text and "= L2Lim" in text
+
+    def test_totals_printed(self):
+        from repro.viz.bars import stacked_bars
+
+        text = stacked_bars(self.rows())
+        assert "150" in text and "180" in text
+
+    def test_scale_shared(self):
+        from repro.viz.bars import stacked_bars
+
+        text = stacked_bars(self.rows(), width=40)
+        bar_lengths = [
+            len(line.split("|")[1].rstrip())
+            for line in text.splitlines()
+            if "|" in line
+        ]
+        # the larger total gets the longer bar
+        assert bar_lengths[1] > bar_lengths[0]
+
+    def test_empty(self):
+        from repro.viz.bars import stacked_bars
+
+        assert stacked_bars({}) == "(no bars)"
+        assert stacked_bars({"a": {"x": 0.0}}) == "(no bars)"
+
+    def test_negative_parts_skipped(self):
+        from repro.viz.bars import stacked_bars
+
+        text = stacked_bars({"a": {"x": 10.0, "y": -5.0}})
+        assert "10" in text
+
+
+class TestCostBars:
+    def test_in_report(self, mini_campaign):
+        from repro.core import ScalTool
+        from repro.core.report import cost_bars
+
+        analysis = ScalTool(mini_campaign).analyze()
+        text = cost_bars(analysis)
+        assert "cycle composition" in text
+        assert "useful" in text and "Sync" in text
+        # and it is embedded in the full report
+        assert "cycle composition" in analysis.report()

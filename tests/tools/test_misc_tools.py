@@ -1,0 +1,100 @@
+"""ssusage, time, and Table 1 cost accounting."""
+
+import pytest
+
+from repro.machine.system import DsmMachine
+from repro.tools.cost import (
+    existing_tools_cost,
+    processor_savings,
+    scal_tool_cost,
+    speedshop_cost,
+    table1_rows,
+    time_cost,
+)
+from repro.tools.ssusage import caching_space_processors, data_set_size
+from repro.tools.timetool import CLOCK_HZ, execution_seconds, speedup_series
+from repro.errors import ConfigError, ValidationError
+
+from ..conftest import small_synthetic, tiny_machine_config
+
+
+class TestSsusage:
+    def test_footprint_close_to_requested(self, machine):
+        machine.run(small_synthetic(), 16 * 1024)
+        measured = data_set_size(machine)
+        assert 0.8 * 16 * 1024 <= measured <= 16 * 1024
+
+    def test_excludes_sync_variables(self, machine):
+        machine.run(small_synthetic(), 16 * 1024)
+        names = [r.name for r in machine.allocator.regions()]
+        assert any(n.startswith("__sync_") for n in names)
+        data_blocks = sum(
+            r.n_blocks for r in machine.allocator.regions() if not r.name.startswith("__sync_")
+        )
+        assert data_set_size(machine) == data_blocks * machine.line_size
+
+    def test_caching_space_arithmetic(self, machine):
+        res = machine.run(small_synthetic(), 16 * 1024)
+        # 16 KB data vs 4 KB L2 -> 4 processors' worth of caching space
+        assert caching_space_processors(res) == pytest.approx(4.0)
+
+
+class TestTime:
+    def test_seconds(self, machine):
+        res = machine.run(small_synthetic(), 8 * 1024)
+        assert execution_seconds(res) == pytest.approx(res.wall_cycles / CLOCK_HZ)
+
+    def test_bad_clock(self, machine):
+        res = machine.run(small_synthetic(), 8 * 1024)
+        with pytest.raises(ValidationError):
+            execution_seconds(res, clock_hz=0)
+
+    def test_speedup_series(self):
+        wl = small_synthetic()
+        runs = [
+            DsmMachine(tiny_machine_config(n_processors=n)).run(wl, 16 * 1024) for n in (1, 2, 4)
+        ]
+        series = speedup_series(runs)
+        assert series[0] == (1, 1.0)
+        assert series[-1][0] == 4 and series[-1][1] > 1.0
+
+    def test_speedup_needs_uniprocessor(self, machine):
+        res = machine.run(small_synthetic(), 8 * 1024)
+        with pytest.raises(ValidationError):
+            speedup_series([res])
+
+
+class TestTable1:
+    def test_paper_n6_values(self):
+        # Paper Table 1 at n = 6 (up to 32 processors).
+        assert time_cost(6).row()[1:] == (6, 63, 6)
+        assert speedshop_cost(6).row()[1:] == (6, 63, 6)
+        assert existing_tools_cost(6).row()[1:] == (12, 126, 12)
+        assert scal_tool_cost(6).row()[1:] == (11, 68, 11)
+
+    def test_closed_forms(self):
+        for n in range(1, 10):
+            assert existing_tools_cost(n).runs == 2 * n
+            assert existing_tools_cost(n).processors == 2 ** (n + 1) - 2
+            assert scal_tool_cost(n).runs == 2 * n - 1
+            assert scal_tool_cost(n).processors == 2**n + n - 2
+            assert scal_tool_cost(n).files == 2 * n - 1
+
+    def test_savings_about_half_at_n6(self):
+        # "for runs up to 32 processors (n = 6), Scal-Tool needs only about
+        # 50% of the processors"
+        assert processor_savings(6) == pytest.approx(0.54, abs=0.02)
+
+    def test_scal_tool_always_cheaper(self):
+        for n in range(2, 12):
+            assert scal_tool_cost(n).processors < existing_tools_cost(n).processors
+            assert scal_tool_cost(n).runs < existing_tools_cost(n).runs
+
+    def test_table_rows_complete(self):
+        rows = table1_rows(6)
+        assert len(rows) == 4
+        assert rows[-1][0].startswith("Total with Scal-Tool")
+
+    def test_bad_n(self):
+        with pytest.raises(ConfigError):
+            time_cost(0)

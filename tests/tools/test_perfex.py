@@ -1,0 +1,101 @@
+"""perfex formatting, parsing, multiplex emulation."""
+
+import pytest
+
+from repro.errors import CounterFormatError
+from repro.machine.counters import CounterSet
+from repro.tools.perfex import format_report, multiplex_counters, parse_report
+
+
+def counters(cycles=1000.0, inst=400.0):
+    return CounterSet(
+        cycles=cycles,
+        graduated_instructions=inst,
+        graduated_loads=100,
+        graduated_stores=40,
+        l1_data_misses=30,
+        l2_misses=6,
+        store_exclusive_to_shared=2,
+    )
+
+
+class TestFormatParse:
+    def test_roundtrip_totals(self):
+        text = format_report(counters(), metadata={"workload": "x", "n": 2})
+        meta, totals, per_cpu = parse_report(text)
+        assert meta == {"workload": "x", "n": 2}
+        assert totals.cycles == 1000
+        assert totals.l2_misses == 6
+        assert per_cpu == []
+
+    def test_roundtrip_per_cpu(self):
+        text = format_report(counters(2000, 800), per_cpu=[counters(), counters()])
+        _, totals, per_cpu = parse_report(text)
+        assert len(per_cpu) == 2
+        assert per_cpu[0].cycles == 1000
+
+    def test_report_mentions_event_numbers(self):
+        text = format_report(counters())
+        assert " 31 " in text  # the ntsyn event
+        assert "Cycles" in text
+
+    def test_counts_are_integers(self):
+        text = format_report(CounterSet(cycles=1000.7))
+        _, totals, _ = parse_report(text)
+        assert totals.cycles == 1001
+
+    def test_not_a_report_rejected(self):
+        with pytest.raises(CounterFormatError):
+            parse_report("hello world")
+
+    def test_bad_metadata_rejected(self):
+        with pytest.raises(CounterFormatError):
+            parse_report("# perfex report\n# meta: {broken\n\nSummary of all processors:")
+
+    def test_missing_summary_rejected(self):
+        with pytest.raises(CounterFormatError):
+            parse_report("# perfex report\n")
+
+    def test_garbled_line_rejected(self):
+        text = format_report(counters()) + "\nxx yy\n"
+        with pytest.raises(CounterFormatError):
+            parse_report(text)
+
+
+class TestMultiplex:
+    def phases(self, k=8):
+        return [(f"p{i}", counters(cycles=100.0 * (i + 1), inst=40.0 * (i + 1))) for i in range(k)]
+
+    def test_exact_when_one_group(self):
+        # events_per_slice >= catalog size -> one group counts everything
+        from repro.machine.counters import R10K_EVENTS
+
+        out = multiplex_counters(self.phases(), events_per_slice=len(R10K_EVENTS))
+        exact = CounterSet.total([c for _, c in self.phases()])
+        assert out.cycles == pytest.approx(exact.cycles)
+
+    def test_totals_approximate(self):
+        exact = CounterSet.total([c for _, c in self.phases(12)])
+        out = multiplex_counters(self.phases(12), events_per_slice=2)
+        assert out.cycles == pytest.approx(exact.cycles, rel=0.5)
+        assert out.cycles != exact.cycles  # sampled, not exact
+
+    def test_homogeneous_phases_recovered_exactly(self):
+        phases = [("p", counters())] * 8
+        out = multiplex_counters(phases, events_per_slice=2)
+        exact = CounterSet.total([c for _, c in phases])
+        assert out.cycles == pytest.approx(exact.cycles)
+        assert out.l2_misses == pytest.approx(exact.l2_misses)
+
+    def test_seed_rotates_groups(self):
+        a = multiplex_counters(self.phases(9), events_per_slice=2, seed=0)
+        b = multiplex_counters(self.phases(9), events_per_slice=2, seed=1)
+        assert a.cycles != b.cycles
+
+    def test_empty_rejected(self):
+        with pytest.raises(CounterFormatError):
+            multiplex_counters([])
+
+    def test_bad_slice_size_rejected(self):
+        with pytest.raises(CounterFormatError):
+            multiplex_counters(self.phases(), events_per_slice=0)

@@ -1,0 +1,57 @@
+"""speedshop PC-sampling emulation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.runner.records import RunRecord
+from repro.tools.speedshop import profile_record, profile_run
+
+from ..conftest import small_synthetic
+
+
+@pytest.fixture
+def result(machine):
+    return machine.run(small_synthetic(serial_frac=0.2, barriers_per_iter=3), 16 * 1024)
+
+
+class TestProfile:
+    def test_exact_matches_ground_truth(self, result):
+        p = profile_run(result, exact=True)
+        gt = result.ground_truth
+        assert p.sync_cycles == pytest.approx(gt.sync_cycles)
+        assert p.imbalance_cycles == pytest.approx(gt.spin_cycles)
+        assert p.mp_cycles == pytest.approx(gt.multiprocessor_cycles)
+
+    def test_sampled_close_to_exact(self, result):
+        p = profile_run(result, sampling_period=500, seed=1)
+        gt = result.ground_truth
+        assert p.mp_cycles == pytest.approx(gt.multiprocessor_cycles, rel=0.2, abs=2000)
+
+    def test_buckets_sum_to_total(self, result):
+        p = profile_run(result, sampling_period=1000)
+        assert p.compute_cycles + p.sync_cycles + p.imbalance_cycles == pytest.approx(
+            p.total_cycles, rel=1e-6
+        )
+
+    def test_deterministic_seed(self, result):
+        p1 = profile_run(result, seed=3)
+        p2 = profile_run(result, seed=3)
+        assert p1.sync_cycles == p2.sync_cycles
+
+    def test_routine_table_names_match_paper(self, result):
+        names = [name for name, _ in profile_run(result, exact=True).routine_table()]
+        assert "mp_barrier" in names
+        assert "mp_slave_wait_for_work" in names
+
+    def test_format_renders(self, result):
+        assert "speedshop" in profile_run(result).format()
+
+    def test_profile_record(self, result):
+        rec = RunRecord.from_result(result)
+        p = profile_record(rec, exact=True)
+        assert p.mp_cycles == pytest.approx(result.ground_truth.multiprocessor_cycles)
+
+    def test_record_without_gt_rejected(self, result):
+        rec = RunRecord.from_result(result).without_ground_truth()
+        with pytest.raises(ValidationError):
+            profile_record(rec)

@@ -1,0 +1,89 @@
+"""Segments and phases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import Phase, Segment, make_segment
+
+
+def seg(n=10, n_instr=None):
+    return Segment(
+        np.arange(n, dtype=np.int64),
+        np.zeros(n, dtype=bool),
+        n_instructions=n_instr if n_instr is not None else n * 3,
+    )
+
+
+class TestSegment:
+    def test_basic(self):
+        s = seg(10)
+        assert s.n_refs == 10
+        assert s.m_frac == pytest.approx(1 / 3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            Segment(np.arange(5, dtype=np.int64), np.zeros(4, dtype=bool), 10)
+
+    def test_instructions_below_refs_rejected(self):
+        with pytest.raises(TraceError):
+            seg(10, n_instr=5)
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(TraceError):
+            Segment(np.array([-1], dtype=np.int64), np.zeros(1, dtype=bool), 5)
+
+    def test_2d_rejected(self):
+        with pytest.raises(TraceError):
+            Segment(np.zeros((2, 2), dtype=np.int64), np.zeros(4, dtype=bool), 10)
+
+    def test_footprint(self):
+        s = Segment(np.array([1, 1, 2, 3, 3], dtype=np.int64), np.zeros(5, dtype=bool), 20)
+        assert s.footprint_blocks() == 3
+
+    def test_empty_segment_ok(self):
+        s = Segment(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool), 100)
+        assert s.n_refs == 0 and s.m_frac == 0.0
+
+    def test_arrays_coerced(self):
+        s = Segment(np.array([1, 2]), np.array([0, 1]), 10)
+        assert s.addrs.dtype == np.int64 and s.writes.dtype == bool
+
+
+class TestMakeSegment:
+    def test_derives_instructions(self):
+        a = np.arange(35, dtype=np.int64)
+        w = np.zeros(35, dtype=bool)
+        s = make_segment(a, w, m_frac=0.35)
+        assert s.n_instructions == 100
+
+    def test_extra_instructions(self):
+        a = np.arange(10, dtype=np.int64)
+        s = make_segment(a, np.zeros(10, dtype=bool), m_frac=0.5, extra_instructions=30)
+        assert s.n_instructions == 50
+
+    def test_bad_m_frac(self):
+        a = np.arange(4, dtype=np.int64)
+        with pytest.raises(TraceError):
+            make_segment(a, np.zeros(4, dtype=bool), m_frac=0.0)
+        with pytest.raises(TraceError):
+            make_segment(a, np.zeros(4, dtype=bool), m_frac=1.5)
+
+
+class TestPhase:
+    def test_totals(self):
+        p = Phase(name="p", segments=[seg(10), None, seg(20)])
+        assert p.n_processors == 3
+        assert p.total_refs == 30
+        assert p.total_instructions == 90
+
+    def test_all_idle_without_barrier_rejected(self):
+        with pytest.raises(TraceError):
+            Phase(name="p", segments=[None, None], barrier=False)
+
+    def test_all_idle_with_barrier_ok(self):
+        Phase(name="p", segments=[None, None], barrier=True)
+
+    def test_empty_slots_rejected(self):
+        with pytest.raises(TraceError):
+            Phase(name="p", segments=[])

@@ -1,0 +1,148 @@
+"""Trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.generators import (
+    gather_sweep,
+    pointer_chase,
+    random_access,
+    stencil_sweep,
+    strided_sweep,
+    sweep,
+    sweep_array,
+)
+
+
+class TestSweep:
+    def test_covers_range_in_order(self):
+        a, w = sweep(range(10, 14), refs_per_block=1, write_frac=0.0)
+        assert a.tolist() == [10, 11, 12, 13]
+
+    def test_refs_per_block_repeats(self):
+        a, _ = sweep(range(0, 3), refs_per_block=3)
+        assert a.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_reps_tile(self):
+        a, _ = sweep(range(0, 2), refs_per_block=1, reps=3)
+        assert a.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_write_frac_extremes(self):
+        _, w0 = sweep(range(0, 50), write_frac=0.0)
+        _, w1 = sweep(range(0, 50), write_frac=1.0)
+        assert not w0.any() and w1.all()
+
+    def test_write_frac_statistical(self, rng):
+        _, w = sweep(range(0, 1000), refs_per_block=1, write_frac=0.3, rng=rng)
+        assert 0.2 < w.mean() < 0.4
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(TraceError):
+            sweep(range(0, 0))
+
+    def test_bad_refs_per_block(self):
+        with pytest.raises(TraceError):
+            sweep(range(0, 4), refs_per_block=0)
+
+
+class TestSweepArray:
+    def test_explicit_blocks(self):
+        blocks = np.array([7, 3, 9], dtype=np.int64)
+        a, _ = sweep_array(blocks, refs_per_block=2)
+        assert a.tolist() == [7, 7, 3, 3, 9, 9]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            sweep_array(np.empty(0, dtype=np.int64))
+
+
+class TestStrided:
+    def test_visits_all_once_per_pass(self):
+        a, _ = strided_sweep(range(0, 12), stride=4, refs_per_block=1)
+        assert sorted(a.tolist()) == list(range(12))
+
+    def test_order_is_strided(self):
+        a, _ = strided_sweep(range(0, 8), stride=4, refs_per_block=1)
+        assert a.tolist()[:2] == [0, 4]
+
+    def test_bad_stride(self):
+        with pytest.raises(TraceError):
+            strided_sweep(range(0, 8), stride=0)
+
+
+class TestRandom:
+    def test_in_range(self, rng):
+        a, _ = random_access(range(100, 200), 500, rng=rng)
+        assert a.min() >= 100 and a.max() < 200
+
+    def test_count(self, rng):
+        a, _ = random_access(range(0, 10), 77, rng=rng)
+        assert len(a) == 77
+
+    def test_deterministic(self):
+        a1, _ = random_access(range(0, 50), 20, rng=np.random.default_rng(1))
+        a2, _ = random_access(range(0, 50), 20, rng=np.random.default_rng(1))
+        assert (a1 == a2).all()
+
+    def test_negative_refs_rejected(self):
+        with pytest.raises(TraceError):
+            random_access(range(0, 4), -1)
+
+
+class TestStencil:
+    def test_halos_read_only(self):
+        a, w = stencil_sweep(range(10, 20), halo_lo=range(8, 10), halo_hi=range(20, 22),
+                             refs_per_block=2, write_frac=1.0)
+        halo_mask = (a < 10) | (a >= 20)
+        assert halo_mask.any()
+        assert not w[halo_mask].any()
+
+    def test_owned_blocks_written(self):
+        a, w = stencil_sweep(range(10, 20), write_frac=1.0)
+        assert w[(a >= 10) & (a < 20)].all()
+
+    def test_no_halo(self):
+        a, _ = stencil_sweep(range(0, 5), refs_per_block=1)
+        assert sorted(set(a.tolist())) == list(range(5))
+
+
+class TestGather:
+    def test_rows_and_table_touched(self):
+        a, w = gather_sweep(range(0, 10), table=range(100, 120), gathers_per_row=2,
+                            refs_per_block=2)
+        assert ((a >= 0) & (a < 10)).any()
+        assert ((a >= 100) & (a < 120)).any()
+
+    def test_table_never_written(self):
+        a, w = gather_sweep(range(0, 20), table=range(100, 110), gathers_per_row=3)
+        table_mask = a >= 100
+        assert not w[table_mask].any()
+
+    def test_rows_written(self):
+        a, w = gather_sweep(range(0, 20), table=range(100, 110), write_frac=0.5)
+        assert w[(a < 100)].any()
+
+    def test_ref_count(self):
+        a, _ = gather_sweep(range(0, 10), table=range(50, 60), gathers_per_row=2, refs_per_block=3)
+        assert len(a) == 10 * (3 + 2)
+
+
+class TestPointerChase:
+    def test_visits_each_block_before_repeat(self):
+        a, _ = pointer_chase(range(0, 16), 16)
+        assert sorted(a.tolist()) == list(range(16))
+
+    def test_wraps(self):
+        a, _ = pointer_chase(range(0, 4), 10)
+        assert len(a) == 10
+        assert sorted(set(a.tolist())) == [0, 1, 2, 3]
+
+    def test_not_sequential(self):
+        a, _ = pointer_chase(range(0, 256), 256, rng=np.random.default_rng(0))
+        diffs = np.diff(a)
+        assert (diffs == 1).mean() < 0.1  # permutation, not a sweep
+
+    def test_reads_only(self):
+        _, w = pointer_chase(range(0, 8), 20)
+        assert not w.any()

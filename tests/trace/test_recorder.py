@@ -1,0 +1,108 @@
+"""Trace recording and replay."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.machine.system import DsmMachine
+from repro.trace.recorder import RecordedTrace, TraceReplayWorkload, record_workload
+from repro.workloads import LockedRegions, Swim
+
+from ..conftest import small_synthetic, tiny_machine_config
+
+
+@pytest.fixture
+def recorded(tiny_cfg):
+    return record_workload(small_synthetic(), tiny_cfg, 16 * 1024)
+
+
+class TestRecord:
+    def test_captures_phases(self, recorded):
+        assert recorded.total_refs > 0
+        assert recorded.phases[0].name == "init"
+        assert recorded.n_processors == 4
+
+    def test_lock_workloads_rejected(self, tiny_cfg):
+        with pytest.raises(TraceError):
+            record_workload(LockedRegions(iters=1), tiny_cfg, 8 * 1024)
+
+
+class TestRoundTrip:
+    def test_save_load(self, recorded, tmp_path):
+        path = recorded.save(tmp_path / "trace.npz")
+        back = RecordedTrace.load(path)
+        assert back.workload_name == recorded.workload_name
+        assert back.total_refs == recorded.total_refs
+        assert len(back.phases) == len(recorded.phases)
+        for p1, p2 in zip(recorded.phases, back.phases):
+            assert p1.name == p2.name
+            assert p1.barrier == p2.barrier
+            for s1, s2 in zip(p1.segments, p2.segments):
+                if s1 is None:
+                    assert s2 is None
+                else:
+                    assert (s1.addrs == s2.addrs).all()
+                    assert (s1.writes == s2.writes).all()
+                    assert s1.n_instructions == s2.n_instructions
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            RecordedTrace.load(tmp_path / "nope.npz")
+
+    def test_serial_phases_preserved(self, tiny_cfg, tmp_path):
+        trace = record_workload(small_synthetic(serial_frac=0.1), tiny_cfg, 16 * 1024)
+        path = trace.save(tmp_path / "t.npz")
+        back = RecordedTrace.load(path)
+        serial = [p for p in back.phases if p.name.startswith("serial")]
+        assert serial and serial[0].segments[1] is None
+
+
+class TestReplay:
+    def test_replay_matches_original(self, tiny_cfg, recorded):
+        original = DsmMachine(tiny_cfg).run(small_synthetic(), 16 * 1024)
+        replay = DsmMachine(tiny_cfg).run(TraceReplayWorkload(recorded), 16 * 1024)
+        assert replay.counters == original.counters
+
+    def test_replay_from_file(self, tiny_cfg, recorded, tmp_path):
+        path = recorded.save(tmp_path / "t.npz")
+        wl = TraceReplayWorkload.from_file(path)
+        res = DsmMachine(tiny_cfg).run(wl, 16 * 1024)
+        assert res.counters.cycles > 0
+
+    def test_replay_under_other_protocol(self, recorded):
+        cfg = tiny_machine_config(protocol="msi")
+        res = DsmMachine(cfg).run(TraceReplayWorkload(recorded), 16 * 1024)
+        assert res.ground_truth.total_cycles == pytest.approx(res.counters.cycles, rel=1e-9)
+
+    def test_replay_under_other_cache_size(self):
+        # a uniprocessor trace whose footprint overflows the small L2 but
+        # fits the big one: the cache-size what-if on a frozen trace
+        from repro.machine.config import CacheConfig
+
+        base = tiny_machine_config(n_processors=1)
+        trace = record_workload(small_synthetic(iters=3), base, 16 * 1024)
+        big = tiny_machine_config(
+            n_processors=1,
+            l2=CacheConfig(size=32 * 1024, line_size=32, name="L2"),
+        )
+        small_res = DsmMachine(base).run(TraceReplayWorkload(trace), 16 * 1024)
+        big_res = DsmMachine(big).run(TraceReplayWorkload(trace), 16 * 1024)
+        assert big_res.counters.l2_misses < small_res.counters.l2_misses
+
+    def test_wrong_processor_count_rejected(self, recorded):
+        cfg = tiny_machine_config(n_processors=2)
+        with pytest.raises(TraceError):
+            DsmMachine(cfg).run(TraceReplayWorkload(recorded), 16 * 1024)
+
+    def test_wrong_size_rejected(self, tiny_cfg, recorded):
+        with pytest.raises(TraceError):
+            DsmMachine(tiny_cfg).run(TraceReplayWorkload(recorded), 8 * 1024)
+
+    def test_replay_swim_full(self, tmp_path):
+        cfg = tiny_machine_config(n_processors=2)
+        wl = Swim(iters=1)
+        trace = record_workload(wl, cfg, 16 * 1024)
+        trace.save(tmp_path / "swim.npz")
+        replay = TraceReplayWorkload.from_file(tmp_path / "swim.npz")
+        original = DsmMachine(cfg).run(wl, 16 * 1024)
+        replayed = DsmMachine(cfg).run(replay, 16 * 1024)
+        assert replayed.counters == original.counters

@@ -1,0 +1,91 @@
+"""Trace composition helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.generators import sweep
+from repro.trace.synth import (
+    concat_traces,
+    empty_trace,
+    interleave_traces,
+    repeat_trace,
+    split_trace,
+)
+
+
+def tr(lo, hi):
+    return sweep(range(lo, hi), refs_per_block=1, write_frac=0.0)
+
+
+class TestConcat:
+    def test_order(self):
+        a, _ = concat_traces(tr(0, 2), tr(10, 12))
+        assert a.tolist() == [0, 1, 10, 11]
+
+    def test_empty_input(self):
+        a, w = concat_traces()
+        assert len(a) == 0 and len(w) == 0
+
+
+class TestRepeat:
+    def test_tiles(self):
+        a, _ = repeat_trace(tr(0, 2), 3)
+        assert a.tolist() == [0, 1] * 3
+
+    def test_zero_reps(self):
+        a, _ = repeat_trace(tr(0, 2), 0)
+        assert len(a) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceError):
+            repeat_trace(tr(0, 2), -1)
+
+
+class TestInterleave:
+    def test_alternates(self):
+        a, _ = interleave_traces(tr(0, 3), tr(10, 13), granularity=1)
+        assert a.tolist() == [0, 10, 1, 11, 2, 12]
+
+    def test_granularity(self):
+        a, _ = interleave_traces(tr(0, 4), tr(10, 14), granularity=2)
+        assert a.tolist() == [0, 1, 10, 11, 2, 3, 12, 13]
+
+    def test_uneven_lengths(self):
+        a, _ = interleave_traces(tr(0, 4), tr(10, 11), granularity=1)
+        assert sorted(a.tolist()) == [0, 1, 2, 3, 10]
+
+    def test_single_input_passthrough(self):
+        a, _ = interleave_traces(tr(0, 3))
+        assert a.tolist() == [0, 1, 2]
+
+    def test_preserves_write_flags(self):
+        t1 = (np.array([1, 2], dtype=np.int64), np.array([True, True]))
+        t2 = (np.array([3, 4], dtype=np.int64), np.array([False, False]))
+        a, w = interleave_traces(t1, t2, granularity=1)
+        assert w.tolist() == [True, False, True, False]
+
+    def test_bad_granularity(self):
+        with pytest.raises(TraceError):
+            interleave_traces(tr(0, 2), granularity=0)
+
+
+class TestSplit:
+    def test_partition_complete(self):
+        parts = split_trace(tr(0, 10), 3)
+        assert len(parts) == 3
+        combined = np.concatenate([p[0] for p in parts])
+        assert combined.tolist() == list(range(10))
+
+    def test_single_part(self):
+        parts = split_trace(tr(0, 5), 1)
+        assert parts[0][0].tolist() == list(range(5))
+
+    def test_more_parts_than_refs(self):
+        parts = split_trace(tr(0, 2), 5)
+        assert len(parts) == 5
+        assert sum(len(p[0]) for p in parts) == 2
+
+    def test_bad_parts(self):
+        with pytest.raises(TraceError):
+            split_trace(tr(0, 2), 0)

@@ -1,0 +1,79 @@
+"""Lock-based and false-sharing workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.system import DsmMachine
+from repro.workloads import FalseSharingWorkload, LockedRegions, make_workload
+
+from ..conftest import tiny_machine_config
+
+
+def run(wl, n=4, size=8 * 1024):
+    return DsmMachine(tiny_machine_config(n_processors=n)).run(wl, size)
+
+
+class TestLockedRegions:
+    def test_runs_and_reconciles(self):
+        res = run(LockedRegions(iters=2))
+        assert res.ground_truth.total_cycles == pytest.approx(res.counters.cycles, rel=1e-9)
+
+    def test_lock_acquires_counted(self):
+        res = run(LockedRegions(iters=2, locks_per_iter=3), n=4)
+        assert res.ground_truth.lock_acquires == 2 * 3 * 4  # iters x locks x cpus
+
+    def test_event31_counts_two_fetchops_per_acquire(self):
+        res = run(LockedRegions(iters=1, locks_per_iter=2), n=2)
+        gt = res.ground_truth
+        # two fetchops per lock passage + one per barrier arrival
+        expected = 2 * gt.lock_acquires + gt.barriers
+        assert res.counters.store_exclusive_to_shared == pytest.approx(expected)
+
+    def test_contention_grows_with_cs_length(self):
+        short = run(LockedRegions(iters=2, cs_instructions=50), n=4)
+        long = run(LockedRegions(iters=2, cs_instructions=2000), n=4)
+        assert long.ground_truth.sync_cycles > short.ground_truth.sync_cycles
+
+    def test_registry(self):
+        assert isinstance(make_workload("locked_regions", iters=1), LockedRegions)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            LockedRegions(locks_per_iter=0)
+        with pytest.raises(WorkloadError):
+            LockedRegions(cs_instructions=-1)
+
+    def test_deterministic(self):
+        r1 = run(LockedRegions(iters=2))
+        r2 = run(LockedRegions(iters=2))
+        assert r1.counters == r2.counters
+
+
+class TestFalseSharing:
+    def test_ping_pong_upgrades(self):
+        res = run(FalseSharingWorkload(iters=3), n=4)
+        gt = res.ground_truth
+        assert gt.upgrades_data > 0
+        assert gt.coherence_misses > 0
+
+    def test_contaminates_event31_heavily(self):
+        res = run(FalseSharingWorkload(iters=3), n=4)
+        c = res.counters
+        barrier_ops = res.ground_truth.barriers
+        assert c.store_exclusive_to_shared > 3 * barrier_ops
+
+    def test_no_sharing_on_uniprocessor(self):
+        res = run(FalseSharingWorkload(iters=3), n=1)
+        assert res.ground_truth.coherence_misses == 0
+
+    def test_sharing_scales_with_shared_frac(self):
+        light = run(FalseSharingWorkload(iters=2, shared_frac=0.05), n=4)
+        heavy = run(FalseSharingWorkload(iters=2, shared_frac=0.5), n=4)
+        assert heavy.ground_truth.coherence_misses > light.ground_truth.coherence_misses
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FalseSharingWorkload(shared_frac=0.0)
+
+    def test_registry(self):
+        assert isinstance(make_workload("falseshare", iters=1), FalseSharingWorkload)

@@ -1,0 +1,103 @@
+"""Micro-kernels (Section 2.4.2)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.system import DsmMachine
+from repro.workloads.kernels import (
+    CacheFitKernel,
+    MemoryLatencyKernel,
+    SpinKernel,
+    SyncKernel,
+)
+
+from ..conftest import tiny_machine_config
+
+
+def run(wl, n=2, size=2048):
+    return DsmMachine(tiny_machine_config(n_processors=n)).run(wl, size)
+
+
+class TestSyncKernel:
+    def test_ntsyn_equals_barriers(self):
+        res = run(SyncKernel(n_barriers=10), n=4)
+        assert res.counters.store_exclusive_to_shared == 40  # 10 barriers x 4 cpus
+        assert res.ground_truth.barriers == 40
+
+    def test_cpi_grows_with_n(self):
+        # cpi_sync(n) grows once serialization dominates (the paper:
+        # "cpi_syn is found to be a function of n"); at tiny n,
+        # poll-instruction dilution makes it non-monotonic, so measure
+        # with a service time large enough for the queue to dominate.
+        from repro.machine.config import TimingConfig
+
+        timing = TimingConfig(t_fetchop_service=60.0)
+        cpis = {}
+        for n in (2, 16):
+            cfg = tiny_machine_config(n_processors=n, timing=timing)
+            cpis[n] = DsmMachine(cfg).run(SyncKernel(n_barriers=20), 2048).counters.cpi
+        assert cpis[16] > cpis[2]
+
+    def test_mostly_sync_cycles(self):
+        res = run(SyncKernel(n_barriers=20, gap_instructions=4), n=2)
+        gt = res.ground_truth
+        assert gt.sync_cycles > 0.5 * res.counters.cycles
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(WorkloadError):
+            SyncKernel(gap_instructions=-1)
+
+
+class TestSpinKernel:
+    def test_only_cpu0_computes(self):
+        res = run(SpinKernel(episodes=4, work_instructions=5000), n=4)
+        gt = res.per_cpu_ground_truth
+        assert gt[0].compute_instructions > 0
+        for cpu in (1, 2, 3):
+            assert gt[cpu].compute_instructions == 0
+            assert gt[cpu].spin_cycles > 0
+
+    def test_spinner_cpi_close_to_spin_cpi(self):
+        res = run(SpinKernel(episodes=5, work_instructions=20000), n=4)
+        c = res.per_cpu_counters[2]
+        cfg = tiny_machine_config()
+        assert c.cpi == pytest.approx(cfg.timing.spin_cpi, rel=0.25)
+
+    def test_uniprocessor_degenerates(self):
+        res = run(SpinKernel(episodes=3, work_instructions=1000), n=1)
+        assert res.ground_truth.spin_cycles == pytest.approx(0.0, abs=1.0)
+
+
+class TestMemoryLatencyKernel:
+    def test_overflowing_footprint_misses(self):
+        # footprint 4x the tiny L2 (4 KB)
+        res = run(MemoryLatencyKernel(n_refs=2000, passes=2), n=1, size=16 * 1024)
+        c = res.counters
+        assert c.l2_misses / c.l1_data_misses > 0.8
+
+    def test_fitting_footprint_hits_l2(self):
+        res = run(MemoryLatencyKernel(n_refs=2000, passes=3), n=1, size=1024)
+        c = res.counters
+        # after the cold pass the chase fits the L2 (but not the 256 B L1)
+        assert c.l2_local_hit_rate > 0.8
+
+    def test_partitioned_across_cpus(self):
+        res = run(MemoryLatencyKernel(n_refs=500, passes=1), n=4, size=8 * 1024)
+        for g in res.per_cpu_ground_truth:
+            assert g.local_misses > 0  # everyone chases its own slice
+
+    def test_bad_refs_rejected(self):
+        with pytest.raises(WorkloadError):
+            MemoryLatencyKernel(n_refs=0)
+
+
+class TestCacheFitKernel:
+    def test_cpi_converges_to_cpi0(self):
+        wl = CacheFitKernel(reps=80)
+        res = run(wl, n=1, size=128)  # fits the 256 B L1
+        assert res.counters.cpi == pytest.approx(wl.cpi0, rel=0.15)
+
+    def test_few_reps_biased_upward(self):
+        quick = run(CacheFitKernel(reps=2), n=1, size=128).counters.cpi
+        long = run(CacheFitKernel(reps=100), n=1, size=128).counters.cpi
+        assert quick > long  # compulsory misses weigh more on short runs

@@ -1,0 +1,174 @@
+"""Application workload models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.system import DsmMachine
+from repro.workloads import Hydro2d, Swim, SyntheticWorkload, T3dheat
+from repro.workloads.registry import available_workloads, make_workload
+
+from ..conftest import tiny_machine_config
+
+
+def run_small(wl, n=2, size=8 * 1024):
+    machine = DsmMachine(tiny_machine_config(n_processors=n))
+    return machine.run(wl, size)
+
+
+SMALL_PARAMS = {
+    T3dheat: dict(iters=1, inner_steps=2, spmv_splits=1, dot_splits=1),
+    Hydro2d: dict(iters=1),
+    Swim: dict(iters=1),
+    SyntheticWorkload: dict(iters=1),
+}
+
+
+class TestAllApplications:
+    @pytest.mark.parametrize("cls", [T3dheat, Hydro2d, Swim, SyntheticWorkload])
+    def test_runs_and_reconciles(self, cls):
+        res = run_small(cls(**SMALL_PARAMS[cls]))
+        assert res.counters.cycles > 0
+        assert res.ground_truth.total_cycles == pytest.approx(res.counters.cycles, rel=1e-9)
+
+    @pytest.mark.parametrize("cls", [T3dheat, Hydro2d, Swim, SyntheticWorkload])
+    def test_deterministic(self, cls):
+        r1 = run_small(cls(**SMALL_PARAMS[cls]))
+        r2 = run_small(cls(**SMALL_PARAMS[cls]))
+        assert r1.counters == r2.counters
+
+    @pytest.mark.parametrize("cls", [T3dheat, Hydro2d, Swim])
+    def test_paper_footprint_set(self, cls):
+        assert cls.paper_footprint_bytes > 1024 * 1024
+        assert cls(**SMALL_PARAMS[cls]).default_size(scale=64) == cls.paper_footprint_bytes // 64
+
+    @pytest.mark.parametrize("cls", [T3dheat, Hydro2d, Swim, SyntheticWorkload])
+    def test_size_scales_footprint(self, cls):
+        small = run_small(cls(**SMALL_PARAMS[cls]), size=4 * 1024)
+        big = run_small(cls(**SMALL_PARAMS[cls]), size=16 * 1024)
+        assert big.counters.mem_refs > small.counters.mem_refs
+
+    def test_too_small_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_small(T3dheat(iters=1), n=2, size=16)
+
+
+class TestT3dheat:
+    def test_barrier_count_matches_structure(self):
+        wl = T3dheat(iters=2, inner_steps=3, spmv_splits=2, dot_splits=2)
+        res = run_small(wl)
+        expected_phases = 1 + 2 * (2 + 3 * 2)  # init + iters*(spmv_splits + steps*dot_splits)
+        assert res.ground_truth.barriers / res.n_processors == expected_phases
+
+    def test_balanced_load(self):
+        res = run_small(T3dheat(iters=1, inner_steps=2), n=4, size=32 * 1024)
+        per_cpu = [g.compute_instructions for g in res.per_cpu_ground_truth]
+        assert max(per_cpu) / min(per_cpu) < 1.2
+
+    def test_param_validation(self):
+        with pytest.raises(WorkloadError):
+            T3dheat(matrix_frac=0.95)
+        with pytest.raises(WorkloadError):
+            T3dheat(inner_steps=0)
+        with pytest.raises(WorkloadError):
+            T3dheat(gather_spread=2.0)
+        with pytest.raises(WorkloadError):
+            T3dheat(dot_splits=0)
+
+    def test_describe_params_complete(self):
+        p = T3dheat().describe_params()
+        assert {"iters", "inner_steps", "matrix_frac", "gather_spread"} <= set(p)
+
+
+class TestHydro2d:
+    def test_serial_sections_create_spin(self):
+        wl = Hydro2d(iters=2, serial_frac=0.2, imbalance_amp=0.0, shift_frac=0.0)
+        res = run_small(wl, n=4, size=16 * 1024)
+        assert res.ground_truth.spin_cycles > 0
+        # cpu0 does the serial work, so it spins least
+        spins = [g.spin_cycles for g in res.per_cpu_ground_truth]
+        assert spins[0] < max(spins[1:])
+
+    def test_no_serial_when_zero(self):
+        wl = Hydro2d(iters=1, serial_frac=0.0, imbalance_amp=0.0, shift_frac=0.0)
+        res = run_small(wl, n=2, size=16 * 1024)
+        assert res.ground_truth.spin_cycles < res.counters.cycles * 0.02
+
+    def test_shift_creates_coherence_misses(self):
+        base = run_small(Hydro2d(iters=2, shift_frac=0.0, serial_frac=0.0), n=4, size=16 * 1024)
+        shifted = run_small(Hydro2d(iters=2, shift_frac=0.5, serial_frac=0.0), n=4, size=16 * 1024)
+        assert shifted.ground_truth.coherence_misses > base.ground_truth.coherence_misses
+
+    def test_param_validation(self):
+        with pytest.raises(WorkloadError):
+            Hydro2d(serial_frac=0.6)
+        with pytest.raises(WorkloadError):
+            Hydro2d(shift_frac=1.5)
+        with pytest.raises(WorkloadError):
+            Hydro2d(sweeps_per_iter=0)
+
+
+class TestSwim:
+    def test_halo_sharing_pollutes_event31(self):
+        clean = run_small(Swim(iters=3, halo_blocks=0, imbalance_amp=0.0), n=4, size=16 * 1024)
+        shared = run_small(Swim(iters=3, halo_blocks=2, imbalance_amp=0.0), n=4, size=16 * 1024)
+        assert (
+            shared.counters.store_exclusive_to_shared
+            > clean.counters.store_exclusive_to_shared
+        )
+        assert shared.ground_truth.upgrades_data > 0
+
+    def test_jitter_creates_imbalance(self):
+        balanced = run_small(Swim(iters=3, imbalance_amp=0.0, halo_blocks=0), n=4, size=16 * 1024)
+        jittered = run_small(Swim(iters=3, imbalance_amp=0.4, halo_blocks=0), n=4, size=16 * 1024)
+        assert jittered.ground_truth.spin_cycles > balanced.ground_truth.spin_cycles
+
+    def test_no_sharing_on_uniprocessor(self):
+        res = run_small(Swim(iters=2), n=1, size=16 * 1024)
+        assert res.ground_truth.upgrades_data == 0
+
+    def test_param_validation(self):
+        with pytest.raises(WorkloadError):
+            Swim(halo_blocks=-1)
+        with pytest.raises(WorkloadError):
+            Swim(imbalance_amp=1.0)
+
+
+class TestSynthetic:
+    def test_serial_knob(self):
+        res = run_small(SyntheticWorkload(iters=2, serial_frac=0.3), n=4, size=16 * 1024)
+        assert res.ground_truth.spin_cycles > 0
+
+    def test_sharing_knob(self):
+        clean = run_small(SyntheticWorkload(iters=2, sharing_frac=0.0), n=4, size=16 * 1024)
+        shared = run_small(SyntheticWorkload(iters=2, sharing_frac=0.2), n=4, size=16 * 1024)
+        assert shared.ground_truth.coherence_misses > clean.ground_truth.coherence_misses
+
+    def test_barrier_knob(self):
+        few = run_small(SyntheticWorkload(iters=2, barriers_per_iter=1), n=4)
+        many = run_small(SyntheticWorkload(iters=2, barriers_per_iter=6), n=4)
+        assert many.ground_truth.barriers > few.ground_truth.barriers
+
+    def test_param_validation(self):
+        for bad in (
+            dict(barriers_per_iter=0),
+            dict(imbalance_amp=1.0),
+            dict(sharing_frac=0.9),
+            dict(serial_frac=0.7),
+        ):
+            with pytest.raises(WorkloadError):
+                SyntheticWorkload(**bad)
+
+
+class TestRegistry:
+    def test_lists_all(self):
+        names = available_workloads()
+        assert {"t3dheat", "hydro2d", "swim", "synthetic"} <= set(names)
+
+    def test_make_with_params(self):
+        wl = make_workload("swim", iters=2)
+        assert isinstance(wl, Swim) and wl.iters == 2
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_workload("linpack")
