@@ -10,8 +10,14 @@ Subcommands mirror the paper's workflow:
 * ``scaltool validate`` — compare the MP estimate against the simulated
   speedshop measurement;
 * ``scaltool whatif`` — machine-parameter experiments over a campaign;
+* ``scaltool profile`` — run a campaign + analysis under the observability
+  layer and print the span/metric profile report;
 * ``scaltool plan`` — print the Table 1 / Table 3 resource accounting;
 * ``scaltool list`` — available workloads.
+
+Every subcommand accepts ``--verbose`` (per-run campaign progress and
+debug logging on stderr) and ``--metrics-out PATH`` (write the session's
+JSONL metrics manifest after the command finishes).
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ import sys
 from .core import ScalTool, WhatIf, validate_mp
 from .core.runplan import table1_rows, table3_matrix
 from .errors import ReproError
+from .obs import configure_logging, export_jsonl, format_profile
+from .obs import runtime as obs_runtime
 from .runner import CampaignConfig, ScalToolCampaign, run_experiment
 from .runner.campaign import CampaignData
 from .runner.cache import cached_campaign
@@ -30,6 +38,12 @@ from .viz.tables import format_table
 from .workloads import available_workloads, make_workload
 
 __all__ = ["main", "build_parser"]
+
+_CACHE_EPILOG = (
+    "The campaign cache lives in $SCALTOOL_CACHE_DIR when that environment "
+    "variable is set, otherwise in .scaltool_cache/ under the current "
+    "directory; --cache-dir overrides both."
+)
 
 
 def _counts(text: str) -> tuple[int, ...]:
@@ -49,17 +63,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_list = sub.add_parser("list", help="list available workloads")
+    # Observability flags, accepted by every subcommand (after the command).
+    obs_common = argparse.ArgumentParser(add_help=False)
+    obs_common.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="per-run campaign progress and debug logging on stderr",
+    )
+    obs_common.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the observability session as a JSONL metrics manifest",
+    )
 
-    common = argparse.ArgumentParser(add_help=False)
+    p_list = sub.add_parser("list", parents=[obs_common], help="list available workloads")
+
+    common = argparse.ArgumentParser(add_help=False, parents=[obs_common])
     common.add_argument("workload", help="workload name (see `scaltool list`)")
     common.add_argument("--s0", type=int, default=None, help="base data-set size in bytes")
     common.add_argument(
         "--counts", type=_counts, default=(1, 2, 4, 8, 16, 32), help="processor counts, e.g. 1,2,4,8"
     )
-    common.add_argument("--cache-dir", default=None, help="campaign cache directory")
+    common.add_argument(
+        "--cache-dir", default=None,
+        help="campaign cache directory (default: $SCALTOOL_CACHE_DIR or .scaltool_cache)",
+    )
 
-    p_run = sub.add_parser("run", help="run one experiment, print its perfex report")
+    p_run = sub.add_parser(
+        "run", parents=[obs_common], help="run one experiment, print its perfex report"
+    )
     p_run.add_argument("workload")
     p_run.add_argument("--size", type=int, default=None, help="data-set size in bytes")
     p_run.add_argument("-n", "--processors", type=int, default=1)
@@ -67,7 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign = sub.add_parser("campaign", parents=[common], help="run the Table-3 campaign")
     p_campaign.add_argument("--out", required=True, help="directory for the counter files")
 
-    p_analyze = sub.add_parser("analyze", parents=[common], help="full bottleneck analysis")
+    p_analyze = sub.add_parser(
+        "analyze", parents=[common], help="full bottleneck analysis", epilog=_CACHE_EPILOG
+    )
     p_analyze.add_argument("--from-dir", default=None, help="load a saved campaign instead of running")
     p_analyze.add_argument("--markdown", action="store_true", help="emit a markdown report")
 
@@ -89,7 +121,24 @@ def build_parser() -> argparse.ArgumentParser:
         "sharing", parents=[common], help="sharing-corrected analysis (Section 6 extension)"
     )
 
-    p_topology = sub.add_parser("topology", help="tm(n) growth by interconnect topology")
+    p_profile = sub.add_parser(
+        "profile",
+        parents=[obs_common],
+        help="profile a campaign + analysis run (spans, metrics, component times)",
+    )
+    p_profile.add_argument("workload", help="workload name (see `scaltool list`)")
+    p_profile.add_argument("--s0", type=int, default=None, help="base data-set size in bytes")
+    p_profile.add_argument(
+        "--counts", type=_counts, default=(1, 2, 4),
+        help="processor counts to profile, e.g. 1,2,4 (kept small: profiling re-runs everything)",
+    )
+    p_profile.add_argument(
+        "--no-analysis", action="store_true", help="profile the campaign only, skip the estimators"
+    )
+
+    p_topology = sub.add_parser(
+        "topology", parents=[obs_common], help="tm(n) growth by interconnect topology"
+    )
     p_topology.add_argument("--counts", type=_counts, default=(2, 8, 32))
     p_topology.add_argument(
         "--topologies", default="hypercube,mesh,ring,crossbar", help="comma-separated list"
@@ -113,22 +162,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_whatif.add_argument("--cpi0", type=float, default=1.0, help="scale factor for cpi0")
     p_whatif.add_argument("--l2", type=float, default=None, help="L2 size factor k")
 
-    p_plan = sub.add_parser("plan", help="print Table 1 / Table 3 resource accounting")
+    p_plan = sub.add_parser(
+        "plan", parents=[obs_common], help="print Table 1 / Table 3 resource accounting"
+    )
     p_plan.add_argument("--n", type=int, default=6, help="number of processor counts (1..2^(n-1))")
     p_plan.add_argument("--s0", type=int, default=640 * 1024)
     return parser
+
+
+def _progress_printer(args):
+    """The --verbose campaign progress renderer: `run 7/23 hydro2d n=8`."""
+    if not getattr(args, "verbose", False):
+        return None
+
+    def render(i: int, total: int, rec) -> None:
+        print(f"run {i}/{total} {rec.workload} {rec.role} n={rec.n_processors}", file=sys.stderr)
+
+    return render
 
 
 def _campaign_for(args) -> tuple[CampaignData, object]:
     workload = make_workload(args.workload)
     s0 = args.s0 if args.s0 else workload.default_size()
     config = CampaignConfig(s0=s0, processor_counts=args.counts)
-    campaign = cached_campaign(workload, config, cache_dir=args.cache_dir)
+    campaign = cached_campaign(
+        workload, config, cache_dir=args.cache_dir, progress=_progress_printer(args)
+    )
     return campaign, workload
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    verbose = getattr(args, "verbose", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    configure_logging(verbose=verbose)
+    # An obs session is live whenever its data has somewhere to go: a
+    # metrics manifest, or the profile subcommand's report.
+    session = None
+    if metrics_out or args.command == "profile":
+        session = obs_runtime.enable()
     try:
         return _dispatch(args)
     except ReproError as exc:
@@ -137,6 +209,12 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # stdout closed early (e.g. piped into `head`): not an error
         return 0
+    finally:
+        if session is not None:
+            obs_runtime.disable()
+            if metrics_out:
+                path = export_jsonl(session, metrics_out, meta={"command": args.command})
+                print(f"metrics manifest written to {path}", file=sys.stderr)
 
 
 def _dispatch(args) -> int:
@@ -161,7 +239,9 @@ def _dispatch(args) -> int:
         workload = make_workload(args.workload)
         s0 = args.s0 if args.s0 else workload.default_size()
         config = CampaignConfig(s0=s0, processor_counts=args.counts)
-        data = ScalToolCampaign(workload, config, progress=lambda m: print(f"  {m}")).run()
+        data = ScalToolCampaign(workload, config, progress=lambda m: print(f"  {m}")).run(
+            progress=_progress_printer(args)
+        )
         manifest = data.save(args.out)
         print(f"wrote {len(data.records)} runs to {manifest.parent}")
         return 0
@@ -270,6 +350,24 @@ def _dispatch(args) -> int:
         print(format_table(prediction.rows(), title=prediction.label))
         if prediction.note:
             print(f"note: {prediction.note}")
+        return 0
+
+    if args.command == "profile":
+        from .obs.profile import profile_workload
+
+        result = profile_workload(
+            args.workload,
+            s0=args.s0,
+            processor_counts=args.counts,
+            run_analysis=not args.no_analysis,
+            progress=_progress_printer(args),
+        )
+        meta = {
+            "workload": args.workload,
+            "counts": list(args.counts),
+            "runs": len(result.campaign.records),
+        }
+        print(format_profile(result.session, meta=meta))
         return 0
 
     if args.command == "plan":

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import InsufficientDataError
+from ..obs import runtime as obs
 from ..runner.records import RunRecord
 from .model import solve_tm
 
@@ -245,18 +246,30 @@ def estimate_parameters(
     (tsyn(n) from the sync kernel) used only as the tm(n) fallback floor.
     """
     warnings: list[str] = []
-    small = cpi0_run(uniproc_runs, l2_bytes)
-    if small.size_bytes > l2_bytes:
-        warnings.append(
-            f"cpi0 run ({small.size_bytes} B) exceeds the L2 ({l2_bytes} B); "
-            "cpi0 may retain cache-stall bias"
-        )
-    cpi0_biased = small.counters.cpi
-    t2, tm1, diag = fit_t2_tm(uniproc_runs, cpi0_biased, l2_bytes)
-    if t2 < 0 or tm1 < 0:
-        warnings.append(f"negative latency fit (t2={t2:.2f}, tm={tm1:.2f}); data too noisy")
-    cpi0 = adjust_cpi0(cpi0_biased, small, t2, tm1)
-    tm_by_n = estimate_tm_by_n(base_runs, cpi0, t2, tm1, warnings, tm_growth)
+    tracer = obs.tracer()
+    with tracer.span("estimators.cpi0_biased"):
+        small = cpi0_run(uniproc_runs, l2_bytes)
+        if small.size_bytes > l2_bytes:
+            warnings.append(
+                f"cpi0 run ({small.size_bytes} B) exceeds the L2 ({l2_bytes} B); "
+                "cpi0 may retain cache-stall bias"
+            )
+        cpi0_biased = small.counters.cpi
+    with tracer.span("estimators.fit_t2_tm", runs=len(uniproc_runs)):
+        t2, tm1, diag = fit_t2_tm(uniproc_runs, cpi0_biased, l2_bytes)
+        if t2 < 0 or tm1 < 0:
+            warnings.append(f"negative latency fit (t2={t2:.2f}, tm={tm1:.2f}); data too noisy")
+    with tracer.span("estimators.adjust_cpi0"):
+        cpi0 = adjust_cpi0(cpi0_biased, small, t2, tm1)
+    with tracer.span("estimators.tm_by_n", runs=len(base_runs)):
+        tm_by_n = estimate_tm_by_n(base_runs, cpi0, t2, tm1, warnings, tm_growth)
+    reg = obs.registry()
+    reg.set_gauge("estimators.cpi0", cpi0)
+    reg.set_gauge("estimators.t2", t2)
+    reg.set_gauge("estimators.tm1", tm1)
+    reg.set_gauge("estimators.fit_residual_rms", diag["rms"])
+    if warnings:
+        reg.inc("estimators.warnings", len(warnings))
     return ParameterEstimates(
         cpi0_biased=cpi0_biased,
         cpi0=cpi0,

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import InsufficientDataError
+from ..obs import runtime as obs
 from ..runner.campaign import CampaignData
 from ..runner.records import RunRecord
 from .bottlenecks import BottleneckCurves, build_curves, cpi_inf_by_n, cpi_infinf_by_n
@@ -87,37 +88,49 @@ class ScalTool:
 
     def analyze(self) -> ScalToolAnalysis:
         campaign = self.campaign
-        base_runs = self._counters_only(campaign.require("base-size runs", campaign.base_runs()))
-        uniproc = self._counters_only(
-            campaign.require("uniprocessor runs", campaign.uniprocessor_runs())
-        )
-        sync_kernel = self._counters_only(campaign.sync_kernel_runs())
-        spin_kernel = self._counters_only(campaign.spin_kernel_runs())
+        tracer = obs.tracer()
+        with tracer.span(
+            "analysis.analyze", workload=campaign.workload, records=len(campaign.records)
+        ):
+            with tracer.span("analysis.collect"):
+                base_runs = self._counters_only(
+                    campaign.require("base-size runs", campaign.base_runs())
+                )
+                uniproc = self._counters_only(
+                    campaign.require("uniprocessor runs", campaign.uniprocessor_runs())
+                )
+                sync_kernel = self._counters_only(campaign.sync_kernel_runs())
+                spin_kernel = self._counters_only(campaign.spin_kernel_runs())
 
-        tm_growth: dict[int, float] | None = None
-        if sync_kernel and spin_kernel:
-            # The sync kernel's tsyn(n) doubles as the interconnect-latency
-            # growth profile used as the tm(n) fallback floor.
-            from .sync_analysis import cpi_imb_estimate, tsyn_by_n
+            tm_growth: dict[int, float] | None = None
+            if sync_kernel and spin_kernel:
+                # The sync kernel's tsyn(n) doubles as the interconnect-latency
+                # growth profile used as the tm(n) fallback floor.
+                from .sync_analysis import cpi_imb_estimate, tsyn_by_n
 
-            try:
-                tm_growth = tsyn_by_n(sync_kernel, cpi_imb_estimate(spin_kernel))
-            except InsufficientDataError:
-                tm_growth = None
+                with tracer.span("analysis.tm_growth"):
+                    try:
+                        tm_growth = tsyn_by_n(sync_kernel, cpi_imb_estimate(spin_kernel))
+                    except InsufficientDataError:
+                        tm_growth = None
 
-        params = estimate_parameters(
-            uniproc, base_runs, self.l1_bytes, self.l2_bytes, tm_growth=tm_growth
-        )
-        cache = analyze_cache_space(uniproc, base_runs, campaign.s0)
-        sync = analyze_sync(
-            base_runs,
-            sync_kernel,
-            spin_kernel,
-            params.cpi0,
-            cpi_inf_by_n(base_runs, params, cache),
-            cpi_infinf_by_n(base_runs, params, cache),
-        )
-        curves = build_curves(base_runs, params, cache, sync)
+            with tracer.span("analysis.estimate_parameters"):
+                params = estimate_parameters(
+                    uniproc, base_runs, self.l1_bytes, self.l2_bytes, tm_growth=tm_growth
+                )
+            with tracer.span("analysis.cache_space"):
+                cache = analyze_cache_space(uniproc, base_runs, campaign.s0)
+            with tracer.span("analysis.sync"):
+                sync = analyze_sync(
+                    base_runs,
+                    sync_kernel,
+                    spin_kernel,
+                    params.cpi0,
+                    cpi_inf_by_n(base_runs, params, cache),
+                    cpi_infinf_by_n(base_runs, params, cache),
+                )
+            with tracer.span("analysis.curves"):
+                curves = build_curves(base_runs, params, cache, sync)
         return ScalToolAnalysis(
             workload=campaign.workload,
             s0=campaign.s0,

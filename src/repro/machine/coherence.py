@@ -35,7 +35,33 @@ from .hierarchy import COHERENCE, COLD, CacheHierarchy
 from .interconnect import Interconnect
 from .memory import NumaMemory
 
-__all__ = ["CoherenceController"]
+__all__ = ["CoherenceController", "ProtocolTally"]
+
+
+class ProtocolTally:
+    """Observability tally of coherence protocol transitions.
+
+    Bumped inline by the controller on protocol actions (upgrades,
+    invalidations, interventions, downgrades) — all of which sit on the
+    L2-miss / upgrade cold paths, not the per-reference hot path — and
+    folded into the metrics registry by the machine at run boundaries.
+    """
+
+    __slots__ = ("upgrades", "invalidations", "interventions", "downgrades")
+
+    def __init__(self) -> None:
+        self.upgrades = 0
+        self.invalidations = 0
+        self.interventions = 0
+        self.downgrades = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "upgrades": self.upgrades,
+            "invalidations": self.invalidations,
+            "interventions": self.interventions,
+            "downgrades": self.downgrades,
+        }
 
 
 class CoherenceController:
@@ -88,6 +114,7 @@ class CoherenceController:
         self._victim_entries = cfg.victim_entries
         self._t_victim = 2.0 * t.t_l2_hit
         self._victims: list[dict[int, None]] = [dict() for _ in range(cfg.n_processors)]
+        self.tally = ProtocolTally()
 
     # -- the per-reference hot path -------------------------------------------
 
@@ -160,8 +187,11 @@ class CoherenceController:
         gt: GroundTruth,
     ) -> float:
         """Store to a SHARED line: invalidate other holders, go MODIFIED."""
+        tally = self.tally
+        tally.upgrades += 1
         for node in self.directory.sharers(block, exclude=cpu):
             self.hierarchies[node].coherence_invalidate(block)
+            tally.invalidations += 1
         self.directory.clear_others(block, keeper=cpu)
         self.directory.set_exclusive(block, cpu)
         hier.l2.set_state(block, MODIFIED)
@@ -188,8 +218,12 @@ class CoherenceController:
             gt.replacement_misses += 1
 
         home = self.memory.home_of(block, cpu)
-        hops = self.interconnect.table[cpu][home]
+        interconnect = self.interconnect
+        hops = interconnect.table[cpu][home]
         latency = self._t_mem + 2.0 * hops * self._t_hop
+        if hops:
+            interconnect.traversals += 1
+            interconnect.hop_total += hops
 
         tails = self._miss_tails[cpu]
         prefetched = (block - 1) in tails or (block - 2) in tails
@@ -198,10 +232,12 @@ class CoherenceController:
             del tails[next(iter(tails))]
 
         owner, mask = self.directory.lookup(block)
+        tally = self.tally
         intervened_dirty = False
         remote_action = False
         if owner >= 0 and owner != cpu:
             remote_action = True
+            tally.interventions += 1
             owner_hier = self.hierarchies[owner]
             owner_state = owner_hier.l2_state(block)
             if owner_state == 0:
@@ -211,21 +247,28 @@ class CoherenceController:
             if is_write:
                 owner_hier.coherence_invalidate(block)
                 self.directory.clear_others(block, keeper=cpu)
+                tally.invalidations += 1
             else:
                 was_dirty = owner_hier.coherence_downgrade(block)
                 self.directory.demote_owner(block)
                 intervened_dirty = was_dirty or owner_state == MODIFIED
+                tally.downgrades += 1
             if owner_state == MODIFIED:
                 # Cache-to-cache intervention: home forwards to the dirty
                 # owner, which supplies the line.
-                latency += self._t_dirty_remote + 2.0 * self.interconnect.table[home][owner] * self._t_hop
+                forward_hops = interconnect.table[home][owner]
+                latency += self._t_dirty_remote + 2.0 * forward_hops * self._t_hop
                 intervened_dirty = True
+                if forward_hops:
+                    interconnect.traversals += 1
+                    interconnect.hop_total += forward_hops
         elif is_write and mask:
             sharers = self.directory.sharers(block, exclude=cpu)
             if sharers:
                 remote_action = True
             for node in sharers:
                 self.hierarchies[node].coherence_invalidate(block)
+                tally.invalidations += 1
             self.directory.clear_others(block, keeper=cpu)
 
         # Directory update + fill state (Illinois: exclusive-clean on a read

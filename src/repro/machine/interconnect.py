@@ -48,6 +48,21 @@ class Interconnect:
             [self._router_hops(self._router[a], self._router[b]) for b in range(n_processors)]
             for a in range(n_processors)
         ]
+        # Traversal tallies (observability): the coherence controller bumps
+        # these inline on every network transaction it charges.  Two integer
+        # adds per L2 miss, orders of magnitude off the per-reference hot
+        # path, so they stay on unconditionally; reset per run.
+        self.traversals = 0
+        self.hop_total = 0
+
+    def reset_obs(self) -> None:
+        """Zero the traversal tallies (called at machine reset)."""
+        self.traversals = 0
+        self.hop_total = 0
+
+    def mean_traversal_hops(self) -> float:
+        """Mean hops per recorded traversal since the last reset."""
+        return self.hop_total / self.traversals if self.traversals else 0.0
 
     # -- per-topology router distances --------------------------------------
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..errors import SimulationError, WorkloadError
+from ..obs import runtime as obs
 from .coherence import CoherenceController
 from .config import MachineConfig
 from .counters import CounterSet, GroundTruth
@@ -113,6 +114,7 @@ class DsmMachine:
         self.clocks = [0.0] * cfg.n_processors
         self._code_warm = [False] * cfg.n_processors
         self.barrier_var: SyncVariable = self.sync.allocate_variable("global_barrier")
+        self.interconnect.reset_obs()
 
     # -- conveniences used by workloads -----------------------------------------
 
@@ -136,42 +138,54 @@ class DsmMachine:
 
     def run(self, workload: "Workload", size_bytes: int, check: bool = True) -> RunResult:
         """Execute ``workload`` at data-set size ``size_bytes``; fresh machine state."""
-        self.reset()
+        session = obs.active()
+        tracer = session.tracer if session is not None else obs.tracer()
         cfg = self.cfg
-        phases = workload.build(self, size_bytes)
-        phase_counters: list[tuple[str, CounterSet]] = []
-        barrier_log: list[BarrierOutcome] = []
-        before = CounterSet()
+        run_span = tracer.span(
+            "machine.run", workload=workload.name, size_bytes=size_bytes, n=cfg.n_processors
+        )
+        with run_span:
+            with tracer.span("machine.build"):
+                self.reset()
+                phases = workload.build(self, size_bytes)
+            phase_counters: list[tuple[str, CounterSet]] = []
+            barrier_log: list[BarrierOutcome] = []
+            before = CounterSet()
 
-        n_phases = 0
-        for phase in phases:
-            if phase.n_processors != cfg.n_processors:
-                raise WorkloadError(
-                    f"phase {phase.name!r} sized for {phase.n_processors} cpus "
-                    f"on a {cfg.n_processors}-cpu machine"
-                )
-            cpi0 = phase.cpi0_override if phase.cpi0_override is not None else workload.cpi0
-            self.runner.run_phase(phase, cpi0, self.clocks)
-            if cfg.model_instruction_misses:
-                self._charge_instruction_misses(phase)
-            if phase.barrier:
-                barrier_log.append(self.sync.barrier(self.barrier_var, self.clocks, cpi0))
+            n_phases = 0
+            for phase in phases:
+                if phase.n_processors != cfg.n_processors:
+                    raise WorkloadError(
+                        f"phase {phase.name!r} sized for {phase.n_processors} cpus "
+                        f"on a {cfg.n_processors}-cpu machine"
+                    )
+                cpi0 = phase.cpi0_override if phase.cpi0_override is not None else workload.cpi0
+                with tracer.span("machine.phase", phase=phase.name):
+                    self.runner.run_phase(phase, cpi0, self.clocks)
+                    if cfg.model_instruction_misses:
+                        self._charge_instruction_misses(phase)
+                    if phase.barrier:
+                        barrier_log.append(self.sync.barrier(self.barrier_var, self.clocks, cpi0))
+                for cpu in range(cfg.n_processors):
+                    self.counters[cpu].cycles = self.clocks[cpu]
+                snapshot = CounterSet.total(self.counters)
+                delta = snapshot + before.scaled(-1.0)
+                phase_counters.append((phase.name, delta))
+                before = snapshot
+                n_phases += 1
+
+            if n_phases == 0:
+                raise WorkloadError(f"workload {workload.name!r} produced no phases")
+
             for cpu in range(cfg.n_processors):
                 self.counters[cpu].cycles = self.clocks[cpu]
-            snapshot = CounterSet.total(self.counters)
-            delta = snapshot + before.scaled(-1.0)
-            phase_counters.append((phase.name, delta))
-            before = snapshot
-            n_phases += 1
 
-        if n_phases == 0:
-            raise WorkloadError(f"workload {workload.name!r} produced no phases")
+            if check:
+                with tracer.span("machine.self_check"):
+                    self._self_check()
 
-        for cpu in range(cfg.n_processors):
-            self.counters[cpu].cycles = self.clocks[cpu]
-
-        if check:
-            self._self_check()
+            if session is not None:
+                self._emit_obs(session, run_span, n_phases)
 
         return RunResult(
             workload_name=workload.name,
@@ -185,6 +199,80 @@ class DsmMachine:
             barrier_log=barrier_log,
             metadata={"workload_params": workload.describe_params(), "n_phases": n_phases},
         )
+
+    # -- observability -------------------------------------------------------------
+
+    # Fixed component order so exports are deterministic.
+    _OBS_COMPONENTS = ("compute", "cache", "memory", "interconnect", "coherence", "sync")
+
+    def _emit_obs(self, session, run_span, n_phases: int) -> None:
+        """Fold the run's tallies into component spans and registry metrics.
+
+        Per-component *time* cannot be measured directly (every reference
+        walks L1/L2/directory/network in one call), so each component's
+        span duration is the run's measured wall time attributed by its
+        share of the simulated cycle ledger; the attrs carry the simulated
+        cycles and event volumes, which are the exact quantities.
+        """
+        t = self.cfg.timing
+        gt = GroundTruth.total(self.ground_truth)
+        counters = CounterSet.total(self.counters)
+        ic = self.interconnect
+        tally = self.controller.tally
+
+        hop_cycles = 2.0 * ic.hop_total * t.t_hop
+        dirty_cycles = gt.dirty_remote_misses * t.t_dirty_remote
+        shares = {
+            "compute": gt.compute_cycles,
+            "cache": gt.l2_hit_stall_cycles + gt.writeback_cycles + gt.tlb_stall_cycles,
+            "memory": max(gt.memory_stall_cycles - hop_cycles - dirty_cycles, 0.0),
+            "interconnect": hop_cycles,
+            "coherence": gt.upgrade_cycles + dirty_cycles,
+            "sync": gt.sync_cycles + gt.spin_cycles,
+        }
+        extra = {
+            "cache": {
+                "l1_misses": counters.l1_data_misses,
+                "l2_misses": counters.l2_misses,
+                "writebacks": gt.writebacks,
+            },
+            "interconnect": {
+                "traversals": ic.traversals,
+                "hop_total": ic.hop_total,
+                "mean_hops": round(ic.mean_traversal_hops(), 4),
+            },
+            "coherence": tally.as_dict(),
+            "sync": {"barriers": gt.barriers, "lock_acquires": gt.lock_acquires},
+        }
+        total_cycles = sum(shares.values()) or 1.0
+        elapsed = run_span.elapsed()
+        tracer = session.tracer
+        for name in self._OBS_COMPONENTS:
+            cycles = shares[name]
+            tracer.emit(
+                f"machine.component.{name}",
+                elapsed * (cycles / total_cycles),
+                simulated_cycles=round(cycles, 1),
+                share=round(cycles / total_cycles, 6),
+                **extra.get(name, {}),
+            )
+
+        reg = session.registry
+        reg.inc("machine.runs")
+        reg.inc("machine.phases", n_phases)
+        reg.inc("machine.refs", counters.graduated_loads + counters.graduated_stores)
+        reg.inc("machine.cache.l1_misses", counters.l1_data_misses)
+        reg.inc("machine.cache.l2_misses", counters.l2_misses)
+        reg.inc("machine.coherence.upgrades", tally.upgrades)
+        reg.inc("machine.coherence.invalidations", tally.invalidations)
+        reg.inc("machine.coherence.interventions", tally.interventions)
+        reg.inc("machine.coherence.downgrades", tally.downgrades)
+        reg.inc("machine.interconnect.traversals", ic.traversals)
+        reg.inc("machine.interconnect.hops", ic.hop_total)
+        reg.inc("machine.sync.barriers", gt.barriers)
+        reg.observe("machine.run_seconds", elapsed)
+        if elapsed > 0:
+            reg.observe("machine.refs_per_second", (counters.graduated_loads + counters.graduated_stores) / elapsed)
 
     def _charge_instruction_misses(self, phase) -> None:
         t = self.cfg.timing

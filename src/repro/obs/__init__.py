@@ -1,0 +1,72 @@
+"""Observability for the Scal-Tool reproduction: spans, metrics, logs.
+
+The paper's thesis is that cheap, always-on hardware counters beat
+invasive instrumentation; this package applies the same discipline to
+the reproduction itself.  Three primitives:
+
+* **spans** (:mod:`repro.obs.spans`) — nested, monotonic-clock timed
+  regions (``machine.run`` > ``machine.phase``, ``campaign.run`` >
+  ``campaign.experiment``, ``analysis.*`` estimator stages);
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  histograms in a name-keyed registry with deterministic snapshots;
+* **structured logs** (:mod:`repro.obs.logs`) — stdlib logging under the
+  single ``repro`` namespace.
+
+Everything is **off by default** and near-free when off: the accessors
+in :mod:`repro.obs.runtime` return module-level no-op singletons, so an
+instrumentation point costs one no-op method call, and simulator hot
+loops carry no instrumentation at all (component event volume comes
+from always-on integer tallies folded into metrics at run boundaries).
+
+Library use::
+
+    from repro import obs
+
+    with obs.session() as s:
+        analysis, campaign = quick_analysis("swim")
+    obs.export_jsonl(s, "metrics.jsonl")
+    print(obs.format_profile(s))
+
+See ``docs/observability.md`` for the span/metric naming scheme and how
+to read the profile report.
+"""
+
+from .export import export_jsonl, format_profile, manifest_records
+from .logs import configure_logging, get_logger, kv
+from .metrics import Histogram, MetricsRegistry
+from .profile import ProfileResult, profile_workload
+from .runtime import (
+    ObsSession,
+    active,
+    disable,
+    enable,
+    is_enabled,
+    registry,
+    session,
+    tracer,
+)
+from .spans import Span, SpanRecord, Tracer
+
+__all__ = [
+    "ObsSession",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "Histogram",
+    "MetricsRegistry",
+    "ProfileResult",
+    "active",
+    "configure_logging",
+    "disable",
+    "enable",
+    "export_jsonl",
+    "format_profile",
+    "get_logger",
+    "is_enabled",
+    "kv",
+    "manifest_records",
+    "profile_workload",
+    "registry",
+    "session",
+    "tracer",
+]

@@ -1,0 +1,106 @@
+"""Export an observability session: JSONL manifest + text summary.
+
+The JSONL manifest is the machine-readable artifact (``scaltool
+--metrics-out PATH``): one JSON object per line, each tagged with a
+``kind`` (``meta`` / ``span`` / ``counter`` / ``gauge`` / ``histogram``).
+Export is deterministic given the observed data: spans appear in start
+order, metrics sort by name, and every object serialises with sorted
+keys — wall-clock readings live only in ``duration_s`` / ``*_seconds``
+*values*, never in names, keys, or ordering.
+
+The text summary (:func:`format_profile`) follows the perfex report
+idiom of this repository (dotted fill, right-aligned values,
+self-describing ``# meta:`` comment) so profile output reads like the
+counter reports the rest of the tooling produces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .runtime import ObsSession
+
+__all__ = ["manifest_records", "export_jsonl", "format_profile"]
+
+_HEADER = "# scaltool profile report"
+_META_PREFIX = "# meta: "
+
+
+def manifest_records(session: ObsSession, meta: dict | None = None) -> list[dict]:
+    """The session as a list of JSON-ready dicts (deterministic order)."""
+    records: list[dict] = []
+    if meta:
+        records.append({"kind": "meta", **{k: meta[k] for k in sorted(meta)}})
+    for span in session.tracer.in_start_order():
+        records.append(span.to_dict())
+    snap = session.registry.snapshot()
+    for name, value in snap["counters"].items():
+        records.append({"kind": "counter", "name": name, "value": value})
+    for name, value in snap["gauges"].items():
+        records.append({"kind": "gauge", "name": name, "value": value})
+    for name, summary in snap["histograms"].items():
+        records.append({"kind": "histogram", "name": name, **summary})
+    return records
+
+
+def export_jsonl(session: ObsSession, path: str | Path, meta: dict | None = None) -> Path:
+    """Write the session manifest as JSON lines; returns the path."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for rec in manifest_records(session, meta=meta):
+            fh.write(json.dumps(rec, sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} us"
+
+
+def format_profile(session: ObsSession, meta: dict | None = None) -> str:
+    """Perfex-style text rendering of a profiling session."""
+    lines = [_HEADER]
+    if meta:
+        lines.append(_META_PREFIX + json.dumps(meta, sort_keys=True))
+
+    spans = session.tracer.in_start_order()
+    if spans:
+        lines.append("")
+        lines.append("Spans (start order):")
+        for rec in spans:
+            label = "  " * rec.depth + rec.name
+            attrs = " ".join(f"{k}={rec.attrs[k]}" for k in sorted(rec.attrs))
+            line = f"  {label:.<52s} {_fmt_seconds(rec.duration_s)}"
+            if attrs:
+                line += f"  {attrs}"
+            lines.append(line)
+
+    snap = session.registry.snapshot()
+    if snap["counters"]:
+        lines.append("")
+        lines.append("Counters:")
+        for name, value in snap["counters"].items():
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"  {name:.<52s} {shown:>14}")
+    if snap["gauges"]:
+        lines.append("")
+        lines.append("Gauges:")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:.<52s} {value:>14.4f}")
+    if snap["histograms"]:
+        lines.append("")
+        lines.append("Histograms:")
+        for name, s in snap["histograms"].items():
+            lines.append(
+                f"  {name:.<52s} count={s['count']} mean={s['mean']:.4g} "
+                f"p50={s['p50']:.4g} p90={s['p90']:.4g} p99={s['p99']:.4g} max={s['max']:.4g}"
+            )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Structured logging under the single ``repro`` namespace.
+
+Library modules get their logger via :func:`get_logger` and attach
+structured context with :func:`kv`::
+
+    log = get_logger("runner.cache")
+    log.warning("cache manifest unreadable %s", kv(path=str(p), reason="corrupt"))
+
+By default the library emits nothing below WARNING and installs no
+handler (stdlib ``logging`` routes WARNING+ to stderr via its
+last-resort handler, so cache-corruption warnings surface even in
+unconfigured programs).  The CLI — or an embedding application — calls
+:func:`configure_logging` to attach one stderr handler with a compact
+``timestamp level name message`` format; ``verbose=True`` lowers the
+namespace to DEBUG, which is what makes per-run campaign progress
+visible.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["NAMESPACE", "get_logger", "configure_logging", "kv"]
+
+NAMESPACE = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the ``repro`` namespace (``repro.<name>``)."""
+    return logging.getLogger(f"{NAMESPACE}.{name}" if name else NAMESPACE)
+
+
+def kv(**fields) -> str:
+    """Render structured fields as ``key=value`` pairs, key-sorted."""
+    return " ".join(f"{k}={fields[k]}" for k in sorted(fields))
+
+
+class _ReproHandler(logging.StreamHandler):
+    """Marker subclass so configure_logging stays idempotent."""
+
+
+def configure_logging(verbose: bool = False, stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` namespace.
+
+    Safe to call repeatedly (the handler is installed once and its level
+    just updated); returns the namespace root logger.
+    """
+    root = logging.getLogger(NAMESPACE)
+    handler = next((h for h in root.handlers if isinstance(h, _ReproHandler)), None)
+    if handler is None:
+        handler = _ReproHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    root.setLevel(logging.DEBUG if verbose else logging.INFO)
+    root.propagate = False
+    return root

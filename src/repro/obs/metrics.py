@@ -1,0 +1,149 @@
+"""Metrics: counters, gauges, and histograms with deterministic export.
+
+The registry is a plain name-keyed store.  Names are dotted, lowercase,
+``component.thing`` style (see ``docs/observability.md`` for the scheme
+used across the package).  Snapshots are deterministic: names sort
+lexicographically and histogram summaries carry a fixed key set, so two
+sessions that observed the same values export identical structures
+(wall-clock only ever appears in *values* of ``*_seconds`` metrics,
+never in names or key order).
+
+:data:`NOOP_REGISTRY` is the disabled fast path — method calls that do
+nothing — mirroring the tracer's no-op singleton.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Histogram", "MetricsRegistry", "NoopRegistry", "NOOP_REGISTRY"]
+
+
+class Histogram:
+    """A value distribution; exact (stores observations), meant for
+    thousands of samples, not millions."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self._values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        if lo + 1 >= len(ordered):
+            return ordered[-1]
+        return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
+
+    def summary(self) -> dict:
+        """Fixed-shape summary (stable keys, deterministic given the data)."""
+        values = self._values
+        return {
+            "count": len(values),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": min(values) if values else 0.0,
+            "max": max(values) if values else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- writes -----------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Increment a monotonic counter."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to a histogram."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- reads ------------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def snapshot(self) -> dict:
+        """Deterministic nested dict: names sorted, fixed histogram keys."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].summary() for k in sorted(self._histograms)},
+        }
+
+
+class NoopRegistry:
+    """The disabled registry: accepts writes, stores nothing."""
+
+    __slots__ = ()
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def counter(self, name: str) -> float:
+        return 0.0
+
+    def gauge(self, name: str) -> None:
+        return None
+
+    def histogram(self, name: str) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NOOP_REGISTRY = NoopRegistry()

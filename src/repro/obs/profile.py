@@ -1,0 +1,88 @@
+"""Run-phase profiling: execute a campaign + analysis under observability.
+
+This is the engine behind ``scaltool profile <workload>``: it runs the
+Table-3 campaign for a workload with the obs layer live (so the
+simulator, runner, and estimators all report spans and metrics), then
+runs the Scal-Tool analysis over the freshly produced records, and
+returns everything — the session (for export/formatting), the campaign,
+and the analysis.
+
+The campaign is always executed, never loaded from the disk cache: the
+point of profiling is to observe the execution itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from . import runtime as obs
+from .logs import get_logger
+
+__all__ = ["ProfileResult", "profile_workload"]
+
+_log = get_logger("obs.profile")
+
+
+@dataclass
+class ProfileResult:
+    """What one profiling run produced."""
+
+    session: obs.ObsSession
+    campaign: object  # CampaignData
+    analysis: object | None  # ScalToolAnalysis, None when run_analysis=False
+
+
+def profile_workload(
+    workload_name: str,
+    s0: int | None = None,
+    processor_counts: tuple[int, ...] = (1, 2, 4),
+    machine_factory=None,
+    run_analysis: bool = True,
+    progress: "Callable[[int, int, object], None] | None" = None,
+    **workload_params,
+) -> ProfileResult:
+    """Profile one workload end to end.
+
+    Reuses the already-active obs session when there is one (the CLI
+    enables it to honour ``--metrics-out``); otherwise enables a private
+    session for the duration and leaves its data readable afterwards.
+    """
+    # Imports deferred: obs is a leaf dependency of the layers it observes.
+    from ..core import ScalTool
+    from ..runner import CampaignConfig, ScalToolCampaign
+    from ..workloads import make_workload
+
+    session = obs.active()
+    owns_session = session is None
+    if owns_session:
+        session = obs.enable()
+    try:
+        workload = make_workload(workload_name, **workload_params)
+        size = s0 if s0 is not None else workload.default_size()
+        config = CampaignConfig(s0=size, processor_counts=tuple(processor_counts))
+        with session.tracer.span(
+            "profile", workload=workload.name, s0=size, counts=list(processor_counts)
+        ):
+            t0 = time.perf_counter()
+            campaign = ScalToolCampaign(
+                workload, config, machine_factory=machine_factory
+            ).run(progress=progress)
+            session.registry.set_gauge("profile.campaign_seconds", time.perf_counter() - t0)
+
+            analysis = None
+            if run_analysis:
+                t1 = time.perf_counter()
+                analysis = ScalTool(campaign).analyze()
+                session.registry.set_gauge("profile.analysis_seconds", time.perf_counter() - t1)
+        _log.debug(
+            "profiled %s: %d runs, %d spans",
+            workload.name,
+            len(campaign.records),
+            len(session.tracer.records),
+        )
+        return ProfileResult(session=session, campaign=campaign, analysis=analysis)
+    finally:
+        if owns_session:
+            obs.disable()

@@ -1,0 +1,199 @@
+"""Span tracing: nested, monotonic-clock timed regions of work.
+
+A :class:`Span` is a context manager; entering pushes it on the tracer's
+stack (so children know their parent path), exiting records a
+:class:`SpanRecord` with the elapsed monotonic time.  The tracer also
+supports *synthetic* spans via :meth:`Tracer.emit` — pre-measured or
+attributed durations (the simulator uses these to report per-component
+time shares, which cannot be timed directly because every reference
+walks all components in one call).
+
+The disabled fast path is :data:`NOOP_TRACER` / :data:`NOOP_SPAN`:
+module-level singletons whose methods do nothing and allocate nothing,
+so instrumented code can call ``tracer.span(...)`` unconditionally at
+run/phase granularity and pay only a no-op method call when
+observability is off.  Hot loops (per-reference code) must not call the
+tracer at all; they are observed through always-on integer tallies that
+the machine folds into metrics at run boundaries.
+
+The clock is injectable (``Tracer(clock=...)``) so tests can assert on
+exact durations and exports can be made byte-for-byte deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["SpanRecord", "Span", "Tracer", "NoopSpan", "NOOP_SPAN", "NoopTracer", "NOOP_TRACER"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or emitted) span."""
+
+    name: str
+    path: str  # dotted ancestry, e.g. "campaign.run/machine.run/machine.phase"
+    depth: int
+    seq: int  # start order, 0-based, unique within a tracer
+    duration_s: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "span",
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "seq": self.seq,
+            "duration_s": self.duration_s,
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+
+
+_PATH_SEP = "/"
+
+
+class Span:
+    """A live span; use as a context manager."""
+
+    __slots__ = ("_tracer", "name", "path", "depth", "seq", "attrs", "_t0", "duration_s")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.path = name
+        self.depth = 0
+        self.seq = -1
+        self._t0 = 0.0
+        self.duration_s = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes after the span has started."""
+        self.attrs.update(attrs)
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since the span started (it must be entered)."""
+        return self._tracer._clock() - self._t0
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        if stack:
+            parent = stack[-1]
+            self.path = parent.path + _PATH_SEP + self.name
+            self.depth = parent.depth + 1
+        self.seq = tracer._next_seq
+        tracer._next_seq += 1
+        stack.append(self)
+        self._t0 = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = self._tracer._clock() - self._t0
+        tracer = self._tracer
+        top = tracer._stack.pop()
+        if top is not self:  # pragma: no cover - misuse guard
+            raise RuntimeError(f"span {self.name!r} exited out of order (top was {top.name!r})")
+        tracer.records.append(
+            SpanRecord(
+                name=self.name,
+                path=self.path,
+                depth=self.depth,
+                seq=self.seq,
+                duration_s=self.duration_s,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans; one per observability session."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._next_seq = 0
+        self.records: list[SpanRecord] = []  # completion order (children first)
+
+    def span(self, name: str, **attrs) -> Span:
+        """Create a span; time runs while the ``with`` block is open."""
+        return Span(self, name, attrs)
+
+    def emit(self, name: str, duration_s: float, **attrs) -> SpanRecord:
+        """Record a pre-measured span under the currently open span (if any)."""
+        if self._stack:
+            parent = self._stack[-1]
+            path = parent.path + _PATH_SEP + name
+            depth = parent.depth + 1
+        else:
+            path, depth = name, 0
+        seq = self._next_seq
+        self._next_seq += 1
+        rec = SpanRecord(
+            name=name, path=path, depth=depth, seq=seq, duration_s=duration_s, attrs=attrs
+        )
+        self.records.append(rec)
+        return rec
+
+    # -- query helpers (reports and tests) ------------------------------------
+
+    def by_name(self, name: str) -> list[SpanRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        return sum(r.duration_s for r in self.by_name(name))
+
+    def in_start_order(self) -> list[SpanRecord]:
+        return sorted(self.records, key=lambda r: r.seq)
+
+
+class NoopSpan:
+    """The disabled span: every method is a no-op; a shared singleton."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "NoopSpan":
+        return self
+
+    def elapsed(self) -> float:
+        return 0.0
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: hands out :data:`NOOP_SPAN`, records nothing."""
+
+    __slots__ = ()
+
+    records: list = []  # shared, always empty by construction
+
+    def span(self, name: str, **attrs) -> NoopSpan:
+        return NOOP_SPAN
+
+    def emit(self, name: str, duration_s: float, **attrs) -> None:
+        return None
+
+    def by_name(self, name: str) -> list:
+        return []
+
+    def total_seconds(self, name: str) -> float:
+        return 0.0
+
+    def in_start_order(self) -> list:
+        return []
+
+
+NOOP_TRACER = NoopTracer()

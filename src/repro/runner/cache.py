@@ -13,14 +13,19 @@ import json
 import os
 from pathlib import Path
 
-from .campaign import CampaignConfig, CampaignData, ScalToolCampaign
+from .campaign import CampaignConfig, CampaignData, ProgressCallback, ScalToolCampaign
 from .experiment import MachineFactory, default_machine_factory
 from .records import load_records, save_records
+from ..errors import CounterFormatError
+from ..obs import runtime as obs
+from ..obs.logs import get_logger, kv
 from ..workloads.base import Workload
 
 __all__ = ["campaign_cache_dir", "cached_campaign"]
 
 _ENV_VAR = "SCALTOOL_CACHE_DIR"
+
+_log = get_logger("runner.cache")
 
 
 def campaign_cache_dir() -> Path:
@@ -65,18 +70,46 @@ def cached_campaign(
     machine_factory: MachineFactory | None = None,
     cache_dir: str | Path | None = None,
     refresh: bool = False,
+    progress: ProgressCallback | None = None,
 ) -> CampaignData:
-    """Run (or reload) the campaign for ``workload`` under ``config``."""
+    """Run (or reload) the campaign for ``workload`` under ``config``.
+
+    A manifest that exists but cannot be read back (corrupt JSONL, I/O
+    error) or holds no records is *not* silently re-executed: the
+    fall-through is logged with the path and reason and counted as a
+    ``cache.corrupt`` metric, then the campaign re-runs and overwrites
+    the bad manifest.  ``progress`` is forwarded to
+    :meth:`ScalToolCampaign.run` when the campaign actually executes
+    (cache hits produce no progress events).
+    """
     factory = machine_factory or default_machine_factory()
     key = _campaign_key(workload, config, _machine_summary(factory))
     root = Path(cache_dir) if cache_dir else campaign_cache_dir()
     manifest = root / f"{workload.name}_{key}.jsonl"
+    reg = obs.registry()
 
     if manifest.exists() and not refresh:
-        records = load_records(manifest)
-        if records:
-            return CampaignData(workload=workload.name, s0=config.s0, records=records)
+        try:
+            records = load_records(manifest)
+        except (CounterFormatError, OSError) as exc:
+            reg.inc("cache.corrupt")
+            _log.warning(
+                "campaign cache manifest unreadable, re-running campaign %s",
+                kv(path=manifest, reason=exc),
+            )
+        else:
+            if records:
+                reg.inc("cache.hit")
+                _log.debug("campaign cache hit %s", kv(path=manifest, records=len(records)))
+                return CampaignData(workload=workload.name, s0=config.s0, records=records)
+            reg.inc("cache.corrupt")
+            _log.warning(
+                "campaign cache manifest empty, re-running campaign %s",
+                kv(path=manifest, reason="no records"),
+            )
+    else:
+        reg.inc("cache.refresh" if manifest.exists() else "cache.miss")
 
-    data = ScalToolCampaign(workload, config, machine_factory=factory).run()
+    data = ScalToolCampaign(workload, config, machine_factory=factory).run(progress=progress)
     save_records(data.records, manifest)
     return data

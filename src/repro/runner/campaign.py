@@ -18,11 +18,14 @@ manifest and as individual perfex-format text files.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
 from ..errors import ConfigError, InsufficientDataError
+from ..obs import runtime as obs
+from ..obs.logs import get_logger, kv
 from ..tools.perfex import format_report
 from ..workloads.base import Workload
 from ..workloads.kernels import SpinKernel, SyncKernel
@@ -37,7 +40,12 @@ from .records import (
     save_records,
 )
 
-__all__ = ["CampaignConfig", "CampaignData", "ScalToolCampaign"]
+__all__ = ["CampaignConfig", "CampaignData", "ScalToolCampaign", "ProgressCallback"]
+
+_log = get_logger("runner.campaign")
+
+# Called after each completed run with (run_index_1_based, total_runs, record).
+ProgressCallback = Callable[[int, int, RunRecord], None]
 
 
 @dataclass(frozen=True)
@@ -190,23 +198,48 @@ class ScalToolCampaign:
         sizes.add(floor)
         return sorted(sizes, reverse=True)
 
-    def run(self) -> CampaignData:
-        """Execute the plan; returns all records."""
+    def run(self, progress: ProgressCallback | None = None) -> CampaignData:
+        """Execute the plan; returns all records.
+
+        ``progress`` (if given) is called after every completed run with
+        ``(i, total, record)``, ``i`` 1-based — the hook long campaigns
+        use to report ``run 7/23 hydro2d n=8``-style liveness.
+        """
         cfg = self.config
         data = CampaignData(workload=self.workload.name, s0=cfg.s0)
         sync_kernel = SyncKernel(n_barriers=cfg.sync_kernel_barriers)
         spin_kernel = SpinKernel(episodes=cfg.spin_kernel_episodes)
 
-        for role, size, n in self.planned_runs():
-            self._progress(f"{self.workload.name}: {role} size={size} n={n}")
-            if role == ROLE_SYNC_KERNEL:
-                wl: Workload = sync_kernel
-            elif role == ROLE_SPIN_KERNEL:
-                wl = spin_kernel
-            else:
-                wl = self.workload
-            rec = run_experiment(
-                wl, size, n, machine_factory=self.machine_factory, role=role
-            )
-            data.records.append(rec)
+        plan = self.planned_runs()
+        total = len(plan)
+        tracer = obs.tracer()
+        reg = obs.registry()
+        _log.debug("campaign start %s", kv(workload=self.workload.name, s0=cfg.s0, runs=total))
+        with tracer.span("campaign.run", workload=self.workload.name, s0=cfg.s0, runs=total):
+            for i, (role, size, n) in enumerate(plan, start=1):
+                self._progress(f"{self.workload.name}: {role} size={size} n={n}")
+                if role == ROLE_SYNC_KERNEL:
+                    wl: Workload = sync_kernel
+                elif role == ROLE_SPIN_KERNEL:
+                    wl = spin_kernel
+                else:
+                    wl = self.workload
+                t0 = time.perf_counter()
+                with tracer.span("campaign.experiment", role=role, size=size, n=n):
+                    rec = run_experiment(
+                        wl, size, n, machine_factory=self.machine_factory, role=role
+                    )
+                dt = time.perf_counter() - t0
+                reg.inc("campaign.runs")
+                reg.inc(f"campaign.runs.{role}")
+                reg.observe("campaign.run_seconds", dt)
+                _log.debug(
+                    "campaign run %d/%d %s",
+                    i,
+                    total,
+                    kv(workload=wl.name, role=role, size=size, n=n, seconds=f"{dt:.3f}"),
+                )
+                data.records.append(rec)
+                if progress is not None:
+                    progress(i, total, rec)
         return data

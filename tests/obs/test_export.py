@@ -1,0 +1,102 @@
+"""JSONL export determinism and the profile text report."""
+
+import itertools
+import json
+
+from repro.obs import export_jsonl, format_profile, manifest_records
+from repro.obs.runtime import ObsSession
+
+
+def tick_clock():
+    counter = itertools.count()
+    return lambda: float(next(counter))
+
+
+def build_session(clock=None) -> ObsSession:
+    """A session exercising every record kind, deterministically."""
+    s = ObsSession(clock=clock or tick_clock())
+    with s.tracer.span("campaign.run", workload="synthetic", runs=2):
+        with s.tracer.span("machine.run", n=2):
+            s.tracer.emit("machine.component.cache", 0.5, l2_misses=7)
+    s.registry.inc("cache.hit", 1)
+    s.registry.inc("campaign.runs", 2)
+    s.registry.set_gauge("estimators.t2", 3.5)
+    s.registry.observe("campaign.run_seconds", 0.25)
+    s.registry.observe("campaign.run_seconds", 0.75)
+    return s
+
+
+class TestManifestRecords:
+    def test_kinds_and_order(self):
+        records = manifest_records(build_session(), meta={"command": "profile"})
+        kinds = [r["kind"] for r in records]
+        # meta first, then spans in start order, then metrics by kind.
+        assert kinds == ["meta", "span", "span", "span", "counter", "counter", "gauge", "histogram"]
+        span_names = [r["name"] for r in records if r["kind"] == "span"]
+        assert span_names == ["campaign.run", "machine.run", "machine.component.cache"]
+        counter_names = [r["name"] for r in records if r["kind"] == "counter"]
+        assert counter_names == sorted(counter_names)
+
+    def test_byte_identical_with_deterministic_clock(self, tmp_path):
+        a = export_jsonl(build_session(), tmp_path / "a.jsonl")
+        b = export_jsonl(build_session(), tmp_path / "b.jsonl")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_every_line_has_sorted_keys(self, tmp_path):
+        path = export_jsonl(build_session(), tmp_path / "m.jsonl", meta={"command": "x"})
+        for line in path.read_text().splitlines():
+            obj = json.loads(line)
+            assert list(obj) == sorted(obj)
+            if "attrs" in obj:
+                assert list(obj["attrs"]) == sorted(obj["attrs"])
+
+    def test_no_wall_clock_in_keys_or_structure(self):
+        """Two sessions doing identical work under *different* clocks must
+        differ only in timing values — never in keys, names, or ordering."""
+        slow = build_session(clock=lambda c=itertools.count(): next(c) * 123.456)
+        fast = build_session()
+
+        def strip_timing(records):
+            out = []
+            for r in records:
+                r = dict(r)
+                r.pop("duration_s", None)
+                if r["kind"] == "histogram" or r.get("name", "").endswith("_seconds"):
+                    r = {k: v for k, v in r.items() if k in ("kind", "name", "count")}
+                out.append(r)
+            return out
+
+        assert strip_timing(manifest_records(slow)) == strip_timing(manifest_records(fast))
+
+    def test_meta_line_first(self, tmp_path):
+        path = export_jsonl(build_session(), tmp_path / "m.jsonl", meta={"command": "profile"})
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"kind": "meta", "command": "profile"}
+
+
+class TestFormatProfile:
+    def test_report_sections(self):
+        text = format_profile(build_session(), meta={"workload": "synthetic"})
+        assert text.startswith("# scaltool profile report")
+        assert "# meta: " in text
+        assert "Spans (start order):" in text
+        assert "Counters:" in text
+        assert "Gauges:" in text
+        assert "Histograms:" in text
+
+    def test_span_indentation_follows_depth(self):
+        lines = format_profile(build_session()).splitlines()
+        campaign = next(l for l in lines if "campaign.run" in l)
+        machine = next(l for l in lines if "machine.run" in l)
+        assert campaign.index("campaign.run") < machine.index("machine.run")
+
+    def test_counters_render_as_integers(self):
+        text = format_profile(build_session())
+        cache_line = next(l for l in text.splitlines() if "cache.hit" in l)
+        assert cache_line.rstrip().endswith("1")
+
+    def test_empty_session_is_just_header(self):
+        s = ObsSession(clock=tick_clock())
+        text = format_profile(s)
+        assert text.startswith("# scaltool profile report")
+        assert "Spans" not in text and "Counters" not in text

@@ -1,0 +1,154 @@
+"""Span tracer: nesting, ordering, timing, and the disabled fast path."""
+
+import itertools
+
+import pytest
+
+from repro.obs.spans import NOOP_SPAN, NOOP_TRACER, NoopSpan, NoopTracer, Span, Tracer
+
+
+def tick_clock(step=1.0):
+    """A deterministic monotonic clock: 0, step, 2*step, ..."""
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+class TestSpanNesting:
+    def test_paths_and_depths(self):
+        tracer = Tracer(clock=tick_clock())
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        paths = {r.name: r.path for r in tracer.records}
+        assert paths["outer"] == "outer"
+        assert paths["middle"] == "outer/middle"
+        assert paths["inner"] == "outer/middle/inner"
+        assert paths["sibling"] == "outer/sibling"
+        depths = {r.name: r.depth for r in tracer.records}
+        assert depths == {"outer": 0, "middle": 1, "inner": 2, "sibling": 1}
+
+    def test_records_complete_children_first(self):
+        tracer = Tracer(clock=tick_clock())
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        assert [r.name for r in tracer.records] == ["child", "parent"]
+
+    def test_start_order_is_seq(self):
+        tracer = Tracer(clock=tick_clock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        ordered = tracer.in_start_order()
+        assert [r.name for r in ordered] == ["a", "b", "c"]
+        assert [r.seq for r in ordered] == [0, 1, 2]
+
+    def test_sequential_spans_do_not_nest(self):
+        tracer = Tracer(clock=tick_clock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert all(r.depth == 0 for r in tracer.records)
+        assert tracer.records[1].path == "second"
+
+
+class TestSpanTiming:
+    def test_duration_from_injected_clock(self):
+        # Clock ticks once on enter and once on exit: duration == 1 tick.
+        tracer = Tracer(clock=tick_clock(step=0.5))
+        with tracer.span("timed"):
+            pass
+        assert tracer.records[0].duration_s == pytest.approx(0.5)
+
+    def test_parent_duration_covers_children(self):
+        tracer = Tracer(clock=tick_clock())
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        child, parent = tracer.records
+        assert parent.duration_s > child.duration_s
+
+    def test_elapsed_while_open(self):
+        tracer = Tracer(clock=tick_clock())
+        with tracer.span("open") as span:
+            assert span.elapsed() >= 1.0
+
+    def test_total_seconds_sums_by_name(self):
+        tracer = Tracer(clock=tick_clock())
+        for _ in range(3):
+            with tracer.span("rep"):
+                pass
+        assert tracer.total_seconds("rep") == pytest.approx(3.0)
+        assert len(tracer.by_name("rep")) == 3
+
+
+class TestSpanAttrs:
+    def test_attrs_at_creation_and_set(self):
+        tracer = Tracer(clock=tick_clock())
+        with tracer.span("s", n=4) as span:
+            span.set(extra="yes")
+        rec = tracer.records[0]
+        assert rec.attrs == {"n": 4, "extra": "yes"}
+
+    def test_to_dict_sorts_attr_keys(self):
+        tracer = Tracer(clock=tick_clock())
+        with tracer.span("s", zebra=1, apple=2):
+            pass
+        d = tracer.records[0].to_dict()
+        assert list(d["attrs"]) == ["apple", "zebra"]
+        assert d["kind"] == "span"
+
+
+class TestEmit:
+    def test_emit_under_open_span(self):
+        tracer = Tracer(clock=tick_clock())
+        with tracer.span("run"):
+            rec = tracer.emit("component.cache", 0.25, cycles=100)
+        assert rec.path == "run/component.cache"
+        assert rec.depth == 1
+        assert rec.duration_s == 0.25
+        assert rec.attrs == {"cycles": 100}
+
+    def test_emit_top_level(self):
+        tracer = Tracer(clock=tick_clock())
+        rec = tracer.emit("solo", 1.5)
+        assert rec.path == "solo" and rec.depth == 0
+
+    def test_span_survives_exception(self):
+        tracer = Tracer(clock=tick_clock())
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert [r.name for r in tracer.records] == ["failing"]
+        # The stack unwound: a new span is top-level again.
+        with tracer.span("after"):
+            pass
+        assert tracer.records[-1].depth == 0
+
+
+class TestNoop:
+    def test_noop_singletons(self):
+        assert isinstance(NOOP_SPAN, NoopSpan)
+        assert isinstance(NOOP_TRACER, NoopTracer)
+        assert NOOP_TRACER.span("anything", n=1) is NOOP_SPAN
+
+    def test_noop_records_nothing(self):
+        with NOOP_TRACER.span("x") as span:
+            span.set(a=1)
+            assert span.elapsed() == 0.0
+        NOOP_TRACER.emit("y", 1.0)
+        assert NOOP_TRACER.records == []
+        assert NOOP_TRACER.by_name("x") == []
+        assert NOOP_TRACER.total_seconds("x") == 0.0
+        assert NOOP_TRACER.in_start_order() == []
+
+    def test_noop_span_allocates_nothing(self):
+        # The disabled fast path hands back the same object every time.
+        spans = {id(NOOP_TRACER.span(f"s{i}")) for i in range(10)}
+        assert len(spans) == 1

@@ -1,8 +1,11 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import runtime as obs_runtime
 
 
 class TestParser:
@@ -174,3 +177,80 @@ class TestNewCommands:
         assert main(args) == 0
         out = capsys.readouterr().out
         assert "load balance" in out and "verdict" in out
+
+
+class TestObservability:
+    def test_profile_prints_report(self, capsys):
+        args = ["profile", "synthetic", "--s0", "163840", "--counts", "1,2"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "# scaltool profile report" in out
+        assert "campaign.run" in out
+        assert "machine.component.cache" in out
+        assert "machine.component.coherence" in out
+        assert "machine.component.interconnect" in out
+        assert "estimators.fit_t2_tm" in out
+        assert "campaign.run_seconds" in out
+        # The CLI session is torn down afterwards.
+        assert obs_runtime.active() is None
+
+    def test_profile_metrics_out_writes_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "m.jsonl"
+        args = [
+            "profile", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--metrics-out", str(out_path),
+        ]
+        assert main(args) == 0
+        assert str(out_path) in capsys.readouterr().err
+        lines = [json.loads(l) for l in out_path.read_text().splitlines()]
+        kinds = {l["kind"] for l in lines}
+        assert {"meta", "span", "counter", "histogram"} <= kinds
+        names = {l.get("name") for l in lines}
+        # per-component simulator spans + campaign + estimator timings
+        assert "machine.component.cache" in names
+        assert "machine.component.coherence" in names
+        assert "machine.component.interconnect" in names
+        assert "campaign.experiment" in names
+        assert "analysis.estimate_parameters" in names
+        assert "campaign.run_seconds" in names
+        for line in lines:
+            assert list(line) == sorted(line)
+
+    def test_profile_no_analysis(self, capsys):
+        args = ["profile", "synthetic", "--s0", "163840", "--counts", "1,2", "--no-analysis"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "campaign.run" in out
+        assert "analysis.analyze" not in out
+
+    def test_verbose_campaign_progress(self, tmp_path, capsys):
+        args = [
+            "analyze", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path), "--verbose",
+        ]
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "run 1/" in err
+        assert "synthetic" in err
+        # Cache hit on the second invocation: no progress lines.
+        assert main(args) == 0
+        assert "run 1/" not in capsys.readouterr().err
+
+    def test_metrics_out_on_analyze(self, tmp_path, capsys):
+        out_path = tmp_path / "analyze.jsonl"
+        args = [
+            "analyze", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path), "--metrics-out", str(out_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        names = {
+            json.loads(l).get("name") for l in out_path.read_text().splitlines()
+        }
+        assert "analysis.estimate_parameters" in names
+        assert "cache.miss" in names
+
+    def test_analyze_help_documents_cache_env_var(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--help"])
+        assert "SCALTOOL_CACHE_DIR" in capsys.readouterr().out
