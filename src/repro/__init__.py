@@ -53,18 +53,23 @@ def quick_analysis(
     processor_counts: tuple[int, ...] = (1, 2, 4, 8),
     s0: int | None = None,
     cache_dir: str | None = None,
+    jobs: int = 1,
     **workload_params,
 ):
     """Run a full campaign + analysis for a named workload.
 
     Returns ``(analysis, campaign)``.  The campaign is cached on disk when
-    ``cache_dir`` is given (or $SCALTOOL_CACHE_DIR is set).
+    ``cache_dir`` is given (or $SCALTOOL_CACHE_DIR is set); ``jobs > 1``
+    fans the runs out over that many worker processes.
     """
     from .runner.cache import cached_campaign
+    from .runner.engine import default_executor
 
     workload = make_workload(workload_name, **workload_params)
     size = s0 if s0 is not None else workload.default_size()
     config = CampaignConfig(s0=size, processor_counts=tuple(processor_counts))
-    campaign = cached_campaign(workload, config, cache_dir=cache_dir)
+    campaign = cached_campaign(
+        workload, config, cache_dir=cache_dir, executor=default_executor(jobs)
+    )
     analysis = ScalTool(campaign).analyze()
     return analysis, campaign

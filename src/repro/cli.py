@@ -32,7 +32,8 @@ from .obs import configure_logging, export_jsonl, format_profile
 from .obs import runtime as obs_runtime
 from .runner import CampaignConfig, ScalToolCampaign, run_experiment
 from .runner.campaign import CampaignData
-from .runner.cache import cached_campaign
+from .runner.cache import cached_campaign, campaign_cache_dir
+from .runner.engine import RunCache, default_executor
 from .tools.perfex import format_report
 from .viz.tables import format_table
 from .workloads import available_workloads, make_workload
@@ -86,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="campaign cache directory (default: $SCALTOOL_CACHE_DIR or .scaltool_cache)",
     )
+    common.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run campaign experiments on N worker processes (default: 1, serial)",
+    )
 
     p_run = sub.add_parser(
         "run", parents=[obs_common], help="run one experiment, print its perfex report"
@@ -135,6 +140,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--no-analysis", action="store_true", help="profile the campaign only, skip the estimators"
     )
+    p_profile.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run campaign experiments on N worker processes (default: 1, serial)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        parents=[obs_common],
+        help="run a (workload params) x (machine params) grid, print a metric table",
+        epilog=_CACHE_EPILOG,
+    )
+    p_sweep.add_argument("workload", help="workload name (see `scaltool list`)")
+    p_sweep.add_argument("--size", type=int, default=None, help="data-set size in bytes")
+    p_sweep.add_argument("-n", "--processors", type=int, default=8)
+    p_sweep.add_argument(
+        "--workload-axis", action="append", default=None, metavar="NAME=V1,V2",
+        help="workload constructor axis, e.g. --workload-axis halo_blocks=0,1,2 (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--machine-axis", action="append", default=None, metavar="NAME=V1,V2",
+        help="machine configuration axis, e.g. --machine-axis protocol=mesi,msi (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--metric", action="append", default=None, metavar="NAME",
+        help="counter to tabulate per grid point (CounterSet field or 'cpi'; "
+        "repeatable; default: cpi)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="per-run cache directory (default: $SCALTOOL_CACHE_DIR or .scaltool_cache)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run grid points on N worker processes (default: 1, serial)",
+    )
 
     p_topology = sub.add_parser(
         "topology", parents=[obs_common], help="tm(n) growth by interconnect topology"
@@ -181,14 +221,43 @@ def _progress_printer(args):
     return render
 
 
+def _executor_for(args):
+    """The engine executor the command asked for (serial unless --jobs > 1)."""
+    return default_executor(getattr(args, "jobs", 1))
+
+
 def _campaign_for(args) -> tuple[CampaignData, object]:
     workload = make_workload(args.workload)
     s0 = args.s0 if args.s0 else workload.default_size()
     config = CampaignConfig(s0=s0, processor_counts=args.counts)
     campaign = cached_campaign(
-        workload, config, cache_dir=args.cache_dir, progress=_progress_printer(args)
+        workload,
+        config,
+        cache_dir=args.cache_dir,
+        progress=_progress_printer(args),
+        executor=_executor_for(args),
     )
     return campaign, workload
+
+
+def _axis_value(text: str):
+    """Axis values parse as int, then float, then bare string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axes(specs: list[str] | None, flag: str) -> dict:
+    axes: dict = {}
+    for spec in specs or []:
+        name, _, values = spec.partition("=")
+        if not name or not values:
+            raise ReproError(f"bad {flag} {spec!r}; expected NAME=V1,V2,...")
+        axes[name] = [_axis_value(v) for v in values.split(",")]
+    return axes
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -240,7 +309,7 @@ def _dispatch(args) -> int:
         s0 = args.s0 if args.s0 else workload.default_size()
         config = CampaignConfig(s0=s0, processor_counts=args.counts)
         data = ScalToolCampaign(workload, config, progress=lambda m: print(f"  {m}")).run(
-            progress=_progress_printer(args)
+            progress=_progress_printer(args), executor=_executor_for(args)
         )
         manifest = data.save(args.out)
         print(f"wrote {len(data.records)} runs to {manifest.parent}")
@@ -352,6 +421,47 @@ def _dispatch(args) -> int:
             print(f"note: {prediction.note}")
         return 0
 
+    if args.command == "sweep":
+        from dataclasses import fields as dc_fields
+        from pathlib import Path
+
+        from .machine.counters import CounterSet
+        from .runner.sweep import ParameterSweep
+
+        allowed = {f.name for f in dc_fields(CounterSet)} | {"cpi"}
+        names = args.metric or ["cpi"]
+        bad = [m for m in names if m not in allowed]
+        if bad:
+            raise ReproError(
+                f"unknown metric(s) {', '.join(bad)}; available: {', '.join(sorted(allowed))}"
+            )
+        metrics = {m: (lambda rec, _m=m: getattr(rec.counters, _m)) for m in names}
+        workload = make_workload(args.workload)
+        size = args.size if args.size else workload.default_size()
+        sweep = ParameterSweep(
+            base_workload=lambda **p: make_workload(args.workload, **p),
+            size=size,
+            n_processors=args.processors,
+            workload_grid=_parse_axes(args.workload_axis, "--workload-axis"),
+            machine_grid=_parse_axes(args.machine_axis, "--machine-axis"),
+        )
+        cache_root = Path(args.cache_dir) if args.cache_dir else campaign_cache_dir()
+        progress = _progress_printer(args)
+        total = len(sweep.points())
+
+        def _report(outcome) -> None:
+            if progress is not None:
+                progress(outcome.index + 1, total, outcome.record)
+
+        rows = sweep.run(
+            metrics,
+            executor=_executor_for(args),
+            cache=RunCache(cache_root / "runs"),
+            on_outcome=_report,
+        )
+        print(format_table(rows, title=f"{args.workload} sweep (n={args.processors})"))
+        return 0
+
     if args.command == "profile":
         from .obs.profile import profile_workload
 
@@ -361,6 +471,7 @@ def _dispatch(args) -> int:
             processor_counts=args.counts,
             run_analysis=not args.no_analysis,
             progress=_progress_printer(args),
+            executor=_executor_for(args),
         )
         meta = {
             "workload": args.workload,

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..errors import InsufficientDataError
 from ..runner.campaign import CampaignData
+from ..runner.engine import Executor, SerialExecutor
 from ..units import clamp
 from .bottlenecks import build_curves, cpi_inf_by_n, cpi_infinf_by_n
 from .scaltool import ScalToolAnalysis
@@ -114,6 +115,13 @@ def _perturbed_analysis(
     return out
 
 
+def _perturb_apply(
+    item: tuple[ScalToolAnalysis, CampaignData, str, float],
+) -> ScalToolAnalysis:
+    """Executor task body (module-level so parallel maps can pickle it)."""
+    return _perturbed_analysis(*item)
+
+
 def _resolve_fractions(analysis, base_runs, sync):
     """Recompute Eq. 9/10 with perturbed tsyn / cpi_imb."""
     from ..units import safe_div
@@ -168,16 +176,25 @@ def analyze_sensitivity(
     delta: float = 0.10,
     parameters: tuple[str, ...] = PERTURBABLE,
     probe_n: int | None = None,
+    executor: Executor | None = None,
 ) -> SensitivityReport:
-    """Perturb each input by ``delta`` and report the MP-estimate movement."""
+    """Perturb each input by ``delta`` and report the MP-estimate movement.
+
+    The (independent) perturbations run through the shared executor;
+    passing a :class:`~repro.runner.engine.ParallelExecutor` fans them out
+    across workers with the report order unchanged.
+    """
     if not (0.0 < abs(delta) < 1.0):
         raise InsufficientDataError("delta must be a nonzero relative perturbation below 1")
     n = probe_n if probe_n is not None else analysis.curves.processor_counts[-1]
     if n not in analysis.curves.base:
         raise InsufficientDataError(f"no measured point at n={n}")
     report = SensitivityReport(workload=analysis.workload, probe_n=n)
-    for parameter in parameters:
-        perturbed = _perturbed_analysis(analysis, campaign, parameter, delta)
+    executor = executor or SerialExecutor()
+    perturbed_all = executor.map(
+        _perturb_apply, [(analysis, campaign, p, delta) for p in parameters]
+    )
+    for parameter, perturbed in zip(parameters, perturbed_all):
         report.results.append(
             SensitivityResult(
                 parameter=parameter,

@@ -18,10 +18,17 @@ from dataclasses import dataclass, field
 
 from ..errors import ValidationError
 from ..runner.campaign import CampaignData
+from ..runner.engine import Executor, SerialExecutor
 from ..tools.speedshop import profile_record
 from .scaltool import ScalToolAnalysis
 
 __all__ = ["ValidationComparison", "validate_mp"]
+
+
+def _profile_apply(item):
+    """Executor task body (module-level so parallel maps can pickle it)."""
+    record, sampling_period, seed, exact = item
+    return profile_record(record, sampling_period=sampling_period, seed=seed, exact=exact)
 
 
 @dataclass
@@ -81,12 +88,15 @@ def validate_mp(
     campaign: CampaignData,
     sampling_period: int = 10000,
     exact: bool = False,
+    executor: Executor | None = None,
 ) -> ValidationComparison:
     """Compare the analysis's MP estimate to speedshop measurements.
 
     The campaign must have kept ground truth on its base runs (the default);
     this is the validation side, so using it is legitimate — it stands in
-    for re-running the application under the profiler.
+    for re-running the application under the profiler.  The per-count
+    profiling passes run through the shared executor (each keeps its
+    ``seed=n``, so the sampled profile is identical under any executor).
     """
     base_runs = campaign.base_runs()
     if not base_runs:
@@ -95,9 +105,12 @@ def validate_mp(
     if not counts:
         raise ValidationError("no overlapping processor counts between analysis and campaign")
 
+    executor = executor or SerialExecutor()
+    profiles = executor.map(
+        _profile_apply, [(base_runs[n], sampling_period, n, exact) for n in counts]
+    )
     cmp = ValidationComparison(workload=analysis.workload, processor_counts=counts)
-    for n in counts:
-        profile = profile_record(base_runs[n], sampling_period=sampling_period, seed=n, exact=exact)
+    for n, profile in zip(counts, profiles):
         cmp.base[n] = analysis.curves.base[n]
         cmp.estimated_mp[n] = analysis.curves.mp_cost(n)
         cmp.measured_mp[n] = profile.mp_cycles

@@ -27,12 +27,19 @@ from dataclasses import dataclass
 
 from ..errors import InsufficientDataError
 from ..runner.campaign import CampaignData
+from ..runner.engine import Executor, SerialExecutor
 from ..units import clamp
 from .cache_analysis import interpolate_uniproc
 from .model import MemoryRates, cpi_from_rates, cpi_linear
 from .scaltool import ScalToolAnalysis
 
 __all__ = ["WhatIf", "WhatIfPrediction"]
+
+
+def _apply_experiment(item: tuple["WhatIf", dict]) -> "WhatIfPrediction":
+    """Executor task body (module-level so parallel maps can pickle it)."""
+    whatif, experiment = item
+    return whatif.predict(experiment)
 
 
 @dataclass(frozen=True)
@@ -73,6 +80,40 @@ class WhatIf:
         }
         if not self.base_runs:
             raise InsufficientDataError("campaign has no base runs")
+
+    # -- batch execution through the shared engine ---------------------------------
+
+    def predict(self, experiment: dict) -> WhatIfPrediction:
+        """One experiment described as data (the engine's task unit).
+
+        ``{"kind": "scale", "t2_factor": 0.5, ...}`` routes to
+        :meth:`scale_parameters`, ``{"kind": "l2", "k": 4}`` to
+        :meth:`scale_l2`, and ``{"kind": "sync", "tsyn": 40.0}`` to
+        :meth:`new_sync_primitive`.
+        """
+        exp = dict(experiment)
+        kind = exp.pop("kind", "scale")
+        if kind == "scale":
+            return self.scale_parameters(**exp)
+        if kind == "l2":
+            return self.scale_l2(exp["k"], label=exp.get("label"))
+        if kind == "sync":
+            return self.new_sync_primitive(exp["tsyn"], label=exp.get("label"))
+        raise InsufficientDataError(
+            f"unknown what-if kind {kind!r}; expected 'scale', 'l2', or 'sync'"
+        )
+
+    def run_experiments(
+        self, experiments: list[dict], executor: Executor | None = None
+    ) -> list[WhatIfPrediction]:
+        """Evaluate a batch of experiments via the shared executor.
+
+        Deterministic input order is preserved; with a
+        :class:`~repro.runner.engine.ParallelExecutor` the (independent)
+        experiments fan out across workers.
+        """
+        executor = executor or SerialExecutor()
+        return executor.map(_apply_experiment, [(self, exp) for exp in experiments])
 
     # -- core reconstruction -------------------------------------------------------
 

@@ -61,5 +61,16 @@ class CounterFormatError(ReproError):
     """A counter report file could not be parsed."""
 
 
+class TransientRunError(ReproError):
+    """A run failed for a reason that retrying may fix.
+
+    Raised (or wrapped) around per-run failures that are not deterministic
+    properties of the run spec — a worker process dying, an I/O hiccup
+    while spilling a record.  The execution engine retries these a bounded
+    number of times before giving up; deterministic errors (bad config,
+    bad workload) propagate immediately.
+    """
+
+
 class ValidationError(ReproError):
     """A validation comparison was requested on mismatched runs."""

@@ -21,7 +21,6 @@ from dataclasses import dataclass, replace
 from ..errors import ConfigError
 from .config import InterconnectConfig, MachineConfig, MemoryConfig
 from .interconnect import Interconnect
-from .system import DsmMachine
 
 __all__ = ["analytic_tm", "TopologyPoint", "topology_survey"]
 
@@ -68,17 +67,24 @@ def topology_survey(
     topologies: tuple[str, ...] = ("hypercube", "mesh", "ring", "crossbar"),
     kernel_refs: int = 4000,
     footprint_factor: int = 8,
+    executor=None,
+    cache=None,
 ) -> list[TopologyPoint]:
     """Measure mean L2-miss latency per topology and processor count.
 
     Runs the pointer-chase kernel over a footprint ``footprint_factor``
     times the L2 with round-robin page placement (every miss has a
     uniformly-placed home) and compares the simulator's observed mean miss
-    latency against :func:`analytic_tm`.
+    latency against :func:`analytic_tm`.  Every (topology, n) cell is an
+    independent :class:`~repro.runner.engine.RunSpec`, so the survey can
+    fan out over a parallel executor and memoise per cell in a run cache.
     """
+    # Lazy: repro.runner.engine imports machine.config from this package.
+    from ..runner.engine import RunSpec, SerialExecutor
     from ..workloads.kernels import MemoryLatencyKernel
 
-    points: list[TopologyPoint] = []
+    cells: list[tuple[str, int, MachineConfig]] = []
+    specs: list[RunSpec] = []
     for topology in topologies:
         for n in processor_counts:
             cfg = replace(
@@ -89,22 +95,27 @@ def topology_survey(
                 memory=MemoryConfig(page_size=base_cfg.memory.page_size,
                                     placement="round_robin"),
             )
-            machine = DsmMachine(cfg)
             wl = MemoryLatencyKernel(n_refs=kernel_refs, passes=1)
             size = footprint_factor * cfg.l2.size * n
-            result = machine.run(wl, size)
-            gt = result.ground_truth
-            misses = result.counters.l2_misses
-            measured = gt.memory_stall_cycles / misses if misses else 0.0
-            ic = Interconnect(cfg.interconnect, n)
-            points.append(
-                TopologyPoint(
-                    topology=topology,
-                    n_processors=n,
-                    mean_distance=ic.mean_distance(),
-                    diameter=ic.diameter(),
-                    analytic_tm=analytic_tm(cfg, n, remote_fraction=(n - 1) / n),
-                    measured_tm=measured,
-                )
+            cells.append((topology, n, cfg))
+            specs.append(RunSpec.compile(wl, size, n, machine=cfg))
+
+    executor = executor or SerialExecutor()
+    records = executor.run(specs, cache=cache)
+
+    points: list[TopologyPoint] = []
+    for (topology, n, cfg), rec in zip(cells, records):
+        misses = rec.counters.l2_misses
+        measured = rec.ground_truth.memory_stall_cycles / misses if misses else 0.0
+        ic = Interconnect(cfg.interconnect, n)
+        points.append(
+            TopologyPoint(
+                topology=topology,
+                n_processors=n,
+                mean_distance=ic.mean_distance(),
+                diameter=ic.diameter(),
+                analytic_tm=analytic_tm(cfg, n, remote_fraction=(n - 1) / n),
+                measured_tm=measured,
             )
+        )
     return points

@@ -41,6 +41,7 @@ def profile_workload(
     machine_factory=None,
     run_analysis: bool = True,
     progress: "Callable[[int, int, object], None] | None" = None,
+    executor=None,
     **workload_params,
 ) -> ProfileResult:
     """Profile one workload end to end.
@@ -48,6 +49,9 @@ def profile_workload(
     Reuses the already-active obs session when there is one (the CLI
     enables it to honour ``--metrics-out``); otherwise enables a private
     session for the duration and leaves its data readable afterwards.
+    Note that with a parallel ``executor`` the per-component simulator
+    spans happen in worker processes and are not visible to this session;
+    the engine/campaign spans and metrics still are.
     """
     # Imports deferred: obs is a leaf dependency of the layers it observes.
     from ..core import ScalTool
@@ -68,7 +72,7 @@ def profile_workload(
             t0 = time.perf_counter()
             campaign = ScalToolCampaign(
                 workload, config, machine_factory=machine_factory
-            ).run(progress=progress)
+            ).run(progress=progress, executor=executor)
             session.registry.set_gauge("profile.campaign_seconds", time.perf_counter() - t0)
 
             analysis = None

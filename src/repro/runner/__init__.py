@@ -7,6 +7,17 @@ run — matching the resource accounting of Table 1.
 """
 
 from .campaign import CampaignConfig, CampaignData, ScalToolCampaign
+from .engine import (
+    Executor,
+    ParallelExecutor,
+    RunCache,
+    RunOutcome,
+    RunSpec,
+    SerialExecutor,
+    default_executor,
+    default_run_cache,
+    execute_spec,
+)
 from .experiment import run_experiment
 from .records import RunRecord
 
@@ -16,4 +27,13 @@ __all__ = [
     "ScalToolCampaign",
     "CampaignConfig",
     "CampaignData",
+    "RunSpec",
+    "RunOutcome",
+    "RunCache",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_spec",
+    "default_executor",
+    "default_run_cache",
 ]

@@ -1,67 +1,68 @@
-"""On-disk memoisation of campaigns.
+"""On-disk memoisation of campaigns, built on the engine's per-run cache.
 
-Campaigns are deterministic (seeded simulator, seeded workloads), so a
-campaign is fully identified by its inputs.  The cache keys on a hash of
-(workload name + parameters, machine summary, campaign plan) and stores
-the JSONL manifest, letting benchmarks and examples re-run instantly.
+Campaigns are deterministic (seeded simulator, seeded workloads), so every
+run is fully identified by its :class:`~repro.runner.engine.RunSpec`.
+Caching happens at *run* granularity in the engine's content-addressed
+:class:`~repro.runner.engine.RunCache` (``<cache root>/runs/``): a changed
+grid point, processor count, or machine parameter re-executes only the
+affected runs, and sweeps/what-ifs that share runs with a past campaign
+reuse them for free.
+
+The campaign JSONL manifest is still written — one per campaign, keyed by
+a hash of (workload + parameters, the full machine configuration at every
+planned processor count, campaign plan) — but it is an *export format*
+for ``CampaignData.load`` / external tooling, not the cache itself.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
+from dataclasses import asdict
 from pathlib import Path
 
 from .campaign import CampaignConfig, CampaignData, ProgressCallback, ScalToolCampaign
+from .engine import Executor, RunCache, default_cache_root
 from .experiment import MachineFactory, default_machine_factory
-from .records import load_records, save_records
-from ..errors import CounterFormatError
+from .records import save_records
 from ..obs import runtime as obs
 from ..obs.logs import get_logger, kv
 from ..workloads.base import Workload
 
 __all__ = ["campaign_cache_dir", "cached_campaign"]
 
-_ENV_VAR = "SCALTOOL_CACHE_DIR"
-
 _log = get_logger("runner.cache")
 
 
 def campaign_cache_dir() -> Path:
     """Cache root: $SCALTOOL_CACHE_DIR or .scaltool_cache in the cwd."""
-    return Path(os.environ.get(_ENV_VAR, ".scaltool_cache"))
+    return default_cache_root()
 
 
-def _campaign_key(workload: Workload, config: CampaignConfig, machine_summary: dict) -> str:
+def _machine_ident(factory: MachineFactory, counts: tuple[int, ...]) -> dict:
+    """The *full* machine configuration at every planned processor count.
+
+    Summarising ``factory(1)`` alone is not enough: a factory may vary
+    victim buffers, protocol, timing — anything — with ``n_processors``,
+    and the key must see it.
+    """
+    return {str(n): asdict(factory(n)) for n in sorted(set(counts) | {1})}
+
+
+def _campaign_key(workload: Workload, config: CampaignConfig, machine_ident: dict) -> str:
     ident = {
         "workload": workload.name,
         "params": workload.describe_params(),
-        "machine": machine_summary,
+        "machine": machine_ident,
         "s0": config.s0,
         "counts": list(config.processor_counts),
         "min_fraction_bytes": config.min_fraction_bytes,
         "sync_kernel_barriers": config.sync_kernel_barriers,
         "spin_kernel_episodes": config.spin_kernel_episodes,
         "run_kernels": config.run_kernels,
-        "format": 3,
+        "format": 4,
     }
     return hashlib.sha256(json.dumps(ident, sort_keys=True).encode()).hexdigest()[:20]
-
-
-def _machine_summary(factory: MachineFactory) -> dict:
-    cfg = factory(1)
-    return {
-        "l1": cfg.l1.size,
-        "l2": cfg.l2.size,
-        "line": cfg.line_size,
-        "assoc": (cfg.l1.associativity, cfg.l2.associativity),
-        "topology": cfg.interconnect.topology,
-        "timing": cfg.timing.__dict__,
-        "page": cfg.memory.page_size,
-        "placement": cfg.memory.placement,
-        "seed": cfg.seed,
-    }
 
 
 def cached_campaign(
@@ -71,45 +72,58 @@ def cached_campaign(
     cache_dir: str | Path | None = None,
     refresh: bool = False,
     progress: ProgressCallback | None = None,
+    executor: Executor | None = None,
 ) -> CampaignData:
-    """Run (or reload) the campaign for ``workload`` under ``config``.
+    """Run the campaign for ``workload`` under ``config``, reusing cached runs.
 
-    A manifest that exists but cannot be read back (corrupt JSONL, I/O
-    error) or holds no records is *not* silently re-executed: the
-    fall-through is logged with the path and reason and counted as a
-    ``cache.corrupt`` metric, then the campaign re-runs and overwrites
-    the bad manifest.  ``progress`` is forwarded to
-    :meth:`ScalToolCampaign.run` when the campaign actually executes
-    (cache hits produce no progress events).
+    Every planned run resolves against the engine's per-run cache under
+    ``<cache dir>/runs/``: hits load from disk (and *still* report through
+    ``progress``, so verbose campaigns never look hung on a warm cache),
+    misses execute — serially or via ``executor`` — and are stored.  A
+    corrupt cache entry is never silently fatal: it is logged with path
+    and reason, counted (``engine.cache.corrupt``), and re-executed.  The
+    campaign-level ``cache.hit`` / ``cache.miss`` / ``cache.partial`` /
+    ``cache.refresh`` metrics summarise how the batch resolved, and the
+    JSONL manifest is (re)exported after every call.
     """
     factory = machine_factory or default_machine_factory()
-    key = _campaign_key(workload, config, _machine_summary(factory))
     root = Path(cache_dir) if cache_dir else campaign_cache_dir()
+    run_cache = RunCache(root / "runs")
+    campaign = ScalToolCampaign(workload, config, machine_factory=factory)
+    key = _campaign_key(workload, config, _machine_ident(factory, config.processor_counts))
     manifest = root / f"{workload.name}_{key}.jsonl"
     reg = obs.registry()
 
-    if manifest.exists() and not refresh:
-        try:
-            records = load_records(manifest)
-        except (CounterFormatError, OSError) as exc:
-            reg.inc("cache.corrupt")
-            _log.warning(
-                "campaign cache manifest unreadable, re-running campaign %s",
-                kv(path=manifest, reason=exc),
-            )
-        else:
-            if records:
-                reg.inc("cache.hit")
-                _log.debug("campaign cache hit %s", kv(path=manifest, records=len(records)))
-                return CampaignData(workload=workload.name, s0=config.s0, records=records)
-            reg.inc("cache.corrupt")
-            _log.warning(
-                "campaign cache manifest empty, re-running campaign %s",
-                kv(path=manifest, reason="no records"),
-            )
-    else:
-        reg.inc("cache.refresh" if manifest.exists() else "cache.miss")
+    hits = 0
+    misses = 0
 
-    data = ScalToolCampaign(workload, config, machine_factory=factory).run(progress=progress)
+    def _count(outcome) -> None:
+        nonlocal hits, misses
+        if outcome.cached:
+            hits += 1
+        else:
+            misses += 1
+
+    data = campaign.run(
+        progress=progress,
+        executor=executor,
+        cache=run_cache,
+        refresh=refresh,
+        on_outcome=_count,
+    )
+
+    if refresh:
+        reg.inc("cache.refresh")
+    elif misses == 0 and hits:
+        reg.inc("cache.hit")
+        _log.debug("campaign cache hit %s", kv(manifest=manifest, records=hits))
+    elif hits == 0:
+        reg.inc("cache.miss")
+    else:
+        reg.inc("cache.partial")
+        _log.debug(
+            "campaign cache partial %s", kv(manifest=manifest, hits=hits, misses=misses)
+        )
+
     save_records(data.records, manifest)
     return data

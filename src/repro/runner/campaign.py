@@ -18,7 +18,6 @@ manifest and as individual perfex-format text files.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -29,7 +28,8 @@ from ..obs.logs import get_logger, kv
 from ..tools.perfex import format_report
 from ..workloads.base import Workload
 from ..workloads.kernels import SpinKernel, SyncKernel
-from .experiment import MachineFactory, default_machine_factory, run_experiment
+from .engine import Executor, OnOutcome, RunCache, RunSpec, SerialExecutor
+from .experiment import MachineFactory, default_machine_factory
 from .records import (
     ROLE_APP_BASE,
     ROLE_APP_FRAC,
@@ -198,48 +198,99 @@ class ScalToolCampaign:
         sizes.add(floor)
         return sorted(sizes, reverse=True)
 
-    def run(self, progress: ProgressCallback | None = None) -> CampaignData:
-        """Execute the plan; returns all records.
+    def compile_plan(self) -> list[RunSpec]:
+        """The full plan as engine specs, one per Table-3 cell / kernel run.
+
+        Each spec carries the *complete* machine configuration produced by
+        the factory at that run's processor count, so machine families
+        that vary anything with ``n`` hash (and cache) correctly.
+        """
+        cfg = self.config
+        sync_kernel = SyncKernel(n_barriers=cfg.sync_kernel_barriers)
+        spin_kernel = SpinKernel(episodes=cfg.spin_kernel_episodes)
+        specs: list[RunSpec] = []
+        for role, size, n in self.planned_runs():
+            if role == ROLE_SYNC_KERNEL:
+                wl: Workload = sync_kernel
+            elif role == ROLE_SPIN_KERNEL:
+                wl = spin_kernel
+            else:
+                wl = self.workload
+            specs.append(
+                RunSpec.compile(wl, size, n, machine=self.machine_factory(n), role=role)
+            )
+        return specs
+
+    def run(
+        self,
+        progress: ProgressCallback | None = None,
+        executor: Executor | None = None,
+        cache: RunCache | None = None,
+        refresh: bool = False,
+        on_outcome: OnOutcome | None = None,
+    ) -> CampaignData:
+        """Execute the plan through the shared engine; returns all records.
 
         ``progress`` (if given) is called after every completed run with
         ``(i, total, record)``, ``i`` 1-based — the hook long campaigns
-        use to report ``run 7/23 hydro2d n=8``-style liveness.
+        use to report ``run 7/23 hydro2d n=8``-style liveness.  Runs
+        loaded from ``cache`` report through the same callback, so warm
+        campaigns stay visibly live.  ``executor`` defaults to serial
+        execution; a :class:`~repro.runner.engine.ParallelExecutor`
+        produces an identical record list (the plan order), just faster.
+        ``on_outcome`` (if given) additionally receives every
+        :class:`~repro.runner.engine.RunOutcome`.
         """
         cfg = self.config
         data = CampaignData(workload=self.workload.name, s0=cfg.s0)
-        sync_kernel = SyncKernel(n_barriers=cfg.sync_kernel_barriers)
-        spin_kernel = SpinKernel(episodes=cfg.spin_kernel_episodes)
-
-        plan = self.planned_runs()
-        total = len(plan)
+        specs = self.compile_plan()
+        total = len(specs)
+        executor = executor or SerialExecutor()
         tracer = obs.tracer()
         reg = obs.registry()
         _log.debug("campaign start %s", kv(workload=self.workload.name, s0=cfg.s0, runs=total))
+        for spec in specs:
+            self._progress(
+                f"{spec.workload}: {spec.role} size={spec.size_bytes} n={spec.n_processors}"
+            )
+
+        completed = 0
+
+        def _on_outcome(outcome) -> None:
+            nonlocal completed
+            completed += 1
+            rec = outcome.record
+            reg.inc("campaign.runs")
+            reg.inc(f"campaign.runs.{rec.role}")
+            reg.observe("campaign.run_seconds", outcome.seconds)
+            tracer.emit(
+                "campaign.experiment",
+                outcome.seconds,
+                role=rec.role,
+                size=rec.size_bytes,
+                n=rec.n_processors,
+                cached=outcome.cached,
+            )
+            _log.debug(
+                "campaign run %d/%d %s",
+                completed,
+                total,
+                kv(
+                    workload=rec.workload,
+                    role=rec.role,
+                    size=rec.size_bytes,
+                    n=rec.n_processors,
+                    cached=outcome.cached,
+                    seconds=f"{outcome.seconds:.3f}",
+                ),
+            )
+            if progress is not None:
+                progress(completed, total, rec)
+            if on_outcome is not None:
+                on_outcome(outcome)
+
         with tracer.span("campaign.run", workload=self.workload.name, s0=cfg.s0, runs=total):
-            for i, (role, size, n) in enumerate(plan, start=1):
-                self._progress(f"{self.workload.name}: {role} size={size} n={n}")
-                if role == ROLE_SYNC_KERNEL:
-                    wl: Workload = sync_kernel
-                elif role == ROLE_SPIN_KERNEL:
-                    wl = spin_kernel
-                else:
-                    wl = self.workload
-                t0 = time.perf_counter()
-                with tracer.span("campaign.experiment", role=role, size=size, n=n):
-                    rec = run_experiment(
-                        wl, size, n, machine_factory=self.machine_factory, role=role
-                    )
-                dt = time.perf_counter() - t0
-                reg.inc("campaign.runs")
-                reg.inc(f"campaign.runs.{role}")
-                reg.observe("campaign.run_seconds", dt)
-                _log.debug(
-                    "campaign run %d/%d %s",
-                    i,
-                    total,
-                    kv(workload=wl.name, role=role, size=size, n=n, seconds=f"{dt:.3f}"),
-                )
-                data.records.append(rec)
-                if progress is not None:
-                    progress(i, total, rec)
+            data.records = executor.run(
+                specs, cache=cache, refresh=refresh, on_outcome=_on_outcome
+            )
         return data

@@ -1,0 +1,483 @@
+"""The run-execution engine: RunSpec -> Executor with per-run caching.
+
+The paper's whole method is a *run matrix* (Table 3 plus the two
+micro-kernels): dozens of independent program executions whose counters
+feed the Section 2 model.  Every execution site in this repository —
+campaign rows, sweep grid points, topology probes — compiles its work
+into :class:`RunSpec` values and hands them to an :class:`Executor`:
+
+* :class:`RunSpec` is a frozen, hashable, serialisable description of
+  exactly one run: workload name + constructor parameters + data-set
+  size + processor count + role + the **full** :class:`MachineConfig`
+  used for that run + the workload seed.  Its :meth:`RunSpec.key` is a
+  content address over all of that, so two specs collide iff the runs
+  are byte-identical by construction (the simulator is deterministic).
+* :class:`RunCache` memoises finished :class:`RunRecord` values on disk
+  under ``<cache root>/runs/<key>.json`` — one file per run, exactly the
+  paper's "one output file" accounting.  A corrupt entry is never fatal:
+  it is logged, counted (``engine.cache.corrupt``), and re-executed.
+* :class:`SerialExecutor` runs specs in order in-process;
+  :class:`ParallelExecutor` fans them out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and reassembles the
+  results in spec order, so both produce *identical* record lists for
+  the same plan.  Both retry transient per-run failures
+  (:class:`~repro.errors.TransientRunError`, :class:`OSError`) a bounded
+  number of times.
+
+Observability: the engine emits ``engine.run`` (one per batch),
+``engine.execute`` (one per executed run) and ``engine.map`` spans, and
+the ``engine.runs`` / ``engine.retries`` / ``engine.run_seconds`` /
+``engine.cache.{hit,miss,corrupt}`` metrics.  Callers see per-run
+completions through the ``on_outcome`` callback (cache hits included),
+which is how ``scaltool -v`` stays live on warm caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..errors import ConfigError, CounterFormatError, TransientRunError
+from ..machine.config import MachineConfig
+from ..obs import runtime as obs
+from ..obs.logs import get_logger, kv
+from ..workloads.base import Workload
+from ..workloads.registry import make_workload
+from .experiment import run_experiment
+from .records import ROLE_APP_BASE, RunRecord
+
+__all__ = [
+    "RunSpec",
+    "RunOutcome",
+    "RunCache",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_spec",
+    "default_cache_root",
+    "default_run_cache",
+    "default_executor",
+    "TRANSIENT_EXCEPTIONS",
+]
+
+_log = get_logger("runner.engine")
+
+#: Cache-key format version; bump when the record or identity layout changes.
+SPEC_FORMAT = 1
+
+_ENV_VAR = "SCALTOOL_CACHE_DIR"
+
+#: Exception types the executors treat as retryable.
+TRANSIENT_EXCEPTIONS: tuple[type[BaseException], ...] = (TransientRunError, OSError)
+
+#: Called after every completed run (executed or loaded from cache).
+OnOutcome = Callable[["RunOutcome"], None]
+
+
+def default_cache_root() -> Path:
+    """Cache root: $SCALTOOL_CACHE_DIR or .scaltool_cache in the cwd."""
+    return Path(os.environ.get(_ENV_VAR, ".scaltool_cache"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One run, fully specified: hash it, ship it to a worker, cache it.
+
+    ``params`` is a canonical (sorted) tuple of ``(name, value)`` pairs
+    that reconstructs the workload through the registry; ``machine`` is
+    the *complete* configuration actually used at this processor count —
+    not a summary — so any machine-factory variation with ``n`` lands in
+    the cache key.
+    """
+
+    workload: str
+    params: tuple
+    size_bytes: int
+    n_processors: int
+    machine: MachineConfig
+    role: str = ROLE_APP_BASE
+    seed: int = 1234
+    keep_ground_truth: bool = True
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        workload: Workload,
+        size_bytes: int,
+        n_processors: int,
+        machine: MachineConfig,
+        role: str = ROLE_APP_BASE,
+        keep_ground_truth: bool = True,
+    ) -> "RunSpec":
+        """Compile a workload instance into a spec, verifying it round-trips.
+
+        The spec must be able to rebuild the workload in another process
+        from ``(name, params)`` alone, so compilation rebuilds it once and
+        rejects workloads whose ``describe_params`` does not reproduce
+        them (those cannot be cached or parallelised safely).
+        """
+        params = dict(workload.describe_params())
+        params.setdefault("seed", workload.seed)
+        spec = cls(
+            workload=workload.name,
+            params=tuple(sorted(params.items())),
+            size_bytes=int(size_bytes),
+            n_processors=int(n_processors),
+            machine=machine.with_processors(int(n_processors)),
+            role=role,
+            seed=int(params["seed"]),
+            keep_ground_truth=keep_ground_truth,
+        )
+        rebuilt = spec.build_workload()
+        if (
+            rebuilt.describe_params() != workload.describe_params()
+            or rebuilt.seed != workload.seed
+        ):
+            raise ConfigError(
+                f"workload {workload.name!r} cannot be reconstructed from its "
+                f"describe_params(); engine execution requires a faithful "
+                f"(name, params) round-trip"
+            )
+        return spec
+
+    def workload_params(self) -> dict:
+        return dict(self.params)
+
+    def build_workload(self) -> Workload:
+        """Rebuild the workload through the registry (works in any process)."""
+        return make_workload(self.workload, **self.workload_params())
+
+    # -- identity ---------------------------------------------------------------
+
+    def ident(self) -> dict:
+        """The canonical JSON-able identity the cache key hashes."""
+        return {
+            "format": SPEC_FORMAT,
+            "workload": self.workload,
+            "params": self.workload_params(),
+            "size_bytes": self.size_bytes,
+            "n_processors": self.n_processors,
+            "role": self.role,
+            "seed": self.seed,
+            "keep_ground_truth": self.keep_ground_truth,
+            "machine": asdict(self.machine),
+        }
+
+    def key(self) -> str:
+        """Content address of this run (sha256 over the full identity)."""
+        try:
+            blob = json.dumps(self.ident(), sort_keys=True)
+        except TypeError as exc:
+            raise ConfigError(f"run spec is not serialisable: {exc}") from exc
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+    def describe(self) -> str:
+        return f"{self.workload} {self.role} size={self.size_bytes} n={self.n_processors}"
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Execute one spec (the engine's unit of work; safe in any process)."""
+    workload = spec.build_workload()
+    return run_experiment(
+        workload,
+        spec.size_bytes,
+        spec.n_processors,
+        machine_factory=lambda n: spec.machine.with_processors(n),
+        role=spec.role,
+        keep_ground_truth=spec.keep_ground_truth,
+    )
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One completed run as the executor saw it."""
+
+    index: int  # 0-based position in the submitted spec list
+    total: int
+    spec: RunSpec
+    record: RunRecord
+    cached: bool
+    seconds: float
+    attempts: int = 1
+
+
+class RunCache:
+    """Content-addressed on-disk memoisation of individual runs."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.key()}.json"
+
+    def get(self, spec: RunSpec) -> RunRecord | None:
+        """The cached record, or None (missing *or* unreadable — re-run)."""
+        path = self.path(spec)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            obs.registry().inc("engine.cache.corrupt")
+            _log.warning(
+                "run cache entry unreadable, re-running %s", kv(path=path, reason=exc)
+            )
+            return None
+        try:
+            return RunRecord.from_json(text)
+        except CounterFormatError as exc:
+            obs.registry().inc("engine.cache.corrupt")
+            _log.warning(
+                "run cache entry corrupt, re-running %s", kv(path=path, reason=exc)
+            )
+            return None
+
+    def put(self, spec: RunSpec, record: RunRecord) -> Path:
+        """Store atomically (write-then-rename) so readers never see a torn file."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(spec)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(record.to_json() + "\n")
+        os.replace(tmp, path)
+        return path
+
+
+def default_run_cache() -> RunCache:
+    return RunCache(default_cache_root() / "runs")
+
+
+def _timed_execute(execute_fn: Callable[[RunSpec], RunRecord], spec: RunSpec):
+    """Worker body: run one spec, report its wall time (module-level: picklable)."""
+    t0 = time.perf_counter()
+    record = execute_fn(spec)
+    return record, time.perf_counter() - t0
+
+
+class Executor:
+    """Shared batch logic: cache resolution, obs, deterministic reassembly.
+
+    Subclasses implement :meth:`_execute_many` (yield completed misses in
+    any order) and :meth:`map` (generic deterministic-order task map used
+    by the analysis-side loops: what-if, sensitivity, validation).
+    """
+
+    def __init__(
+        self,
+        retries: int = 2,
+        transient: tuple[type[BaseException], ...] = TRANSIENT_EXCEPTIONS,
+        execute_fn: Callable[[RunSpec], RunRecord] = execute_spec,
+    ) -> None:
+        if retries < 0:
+            raise ConfigError("retries must be >= 0")
+        self.retries = retries
+        self.transient = transient
+        self._execute_fn = execute_fn
+
+    # -- subclass hooks ---------------------------------------------------------
+
+    def _execute_many(
+        self, pending: list[tuple[int, RunSpec]]
+    ) -> Iterator[tuple[int, RunRecord, float, int]]:
+        raise NotImplementedError
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        raise NotImplementedError
+
+    # -- the engine entry point -------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        cache: RunCache | None = None,
+        refresh: bool = False,
+        on_outcome: OnOutcome | None = None,
+    ) -> list[RunRecord]:
+        """Execute ``specs``; the result list is index-aligned with the input.
+
+        With a ``cache``, previously executed specs load from disk (and
+        still produce an outcome event, so progress rendering never goes
+        silent on a warm cache); misses execute and are stored.
+        ``refresh=True`` bypasses cache reads but rewrites entries.
+        """
+        specs = list(specs)
+        total = len(specs)
+        tracer = obs.tracer()
+        reg = obs.registry()
+        results: list[RunRecord | None] = [None] * total
+        with tracer.span(
+            "engine.run",
+            runs=total,
+            executor=type(self).__name__,
+            jobs=getattr(self, "jobs", 1),
+            cached_reads=cache is not None and not refresh,
+        ) as span:
+            pending: list[tuple[int, RunSpec]] = []
+            hits = 0
+            for i, spec in enumerate(specs):
+                record = None
+                if cache is not None and not refresh:
+                    t0 = time.perf_counter()
+                    record = cache.get(spec)
+                    if record is not None:
+                        hits += 1
+                        reg.inc("engine.cache.hit")
+                        results[i] = record
+                        if on_outcome is not None:
+                            on_outcome(
+                                RunOutcome(
+                                    index=i,
+                                    total=total,
+                                    spec=spec,
+                                    record=record,
+                                    cached=True,
+                                    seconds=time.perf_counter() - t0,
+                                    attempts=0,
+                                )
+                            )
+                if record is None:
+                    if cache is not None:
+                        reg.inc("engine.cache.miss")
+                    pending.append((i, spec))
+            span.set(cache_hits=hits)
+            for i, record, seconds, attempts in self._execute_many(pending):
+                reg.inc("engine.runs")
+                reg.observe("engine.run_seconds", seconds)
+                if cache is not None:
+                    cache.put(specs[i], record)
+                results[i] = record
+                if on_outcome is not None:
+                    on_outcome(
+                        RunOutcome(
+                            index=i,
+                            total=total,
+                            spec=specs[i],
+                            record=record,
+                            cached=False,
+                            seconds=seconds,
+                            attempts=attempts,
+                        )
+                    )
+        return results  # type: ignore[return-value]  # every slot is filled above
+
+    # -- shared retry bookkeeping ------------------------------------------------
+
+    def _note_retry(self, spec: RunSpec, attempt: int, exc: BaseException) -> None:
+        obs.registry().inc("engine.retries")
+        _log.warning(
+            "transient run failure, retrying %s",
+            kv(spec=spec.describe(), attempt=attempt, max=self.retries + 1, reason=exc),
+        )
+
+
+class SerialExecutor(Executor):
+    """In-order, in-process execution (the default)."""
+
+    jobs = 1
+
+    def _execute_one(self, spec: RunSpec) -> tuple[RunRecord, float, int]:
+        tracer = obs.tracer()
+        attempts = 0
+        while True:
+            attempts += 1
+            t0 = time.perf_counter()
+            try:
+                with tracer.span(
+                    "engine.execute",
+                    workload=spec.workload,
+                    role=spec.role,
+                    size=spec.size_bytes,
+                    n=spec.n_processors,
+                ):
+                    record = self._execute_fn(spec)
+                return record, time.perf_counter() - t0, attempts
+            except self.transient as exc:
+                if attempts > self.retries:
+                    raise
+                self._note_retry(spec, attempts, exc)
+
+    def _execute_many(self, pending):
+        for i, spec in pending:
+            record, seconds, attempts = self._execute_one(spec)
+            yield i, record, seconds, attempts
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        with obs.tracer().span("engine.map", tasks=len(items), jobs=1):
+            return [fn(item) for item in items]
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with deterministic result ordering.
+
+    Workers rebuild each spec's workload and machine from the spec itself
+    (everything is picklable), so a worker run is bit-for-bit the run a
+    :class:`SerialExecutor` would have produced — the simulator is seeded
+    and single-threaded.  Results are reassembled in spec order
+    regardless of completion order.  Worker processes do not share the
+    parent's observability session; the engine accounts for their work in
+    the parent (``engine.runs``, ``engine.run_seconds`` measured inside
+    the worker and shipped back with the record).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        retries: int = 2,
+        transient: tuple[type[BaseException], ...] = TRANSIENT_EXCEPTIONS,
+        execute_fn: Callable[[RunSpec], RunRecord] = execute_spec,
+    ) -> None:
+        super().__init__(retries=retries, transient=transient, execute_fn=execute_fn)
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+
+    def _execute_many(self, pending):
+        if not pending:
+            return
+        attempts = {i: 0 for i, _ in pending}
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+            futures = {}
+            for i, spec in pending:
+                attempts[i] += 1
+                futures[pool.submit(_timed_execute, self._execute_fn, spec)] = (i, spec)
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i, spec = futures.pop(fut)
+                    try:
+                        record, seconds = fut.result()
+                    except self.transient as exc:
+                        if attempts[i] > self.retries:
+                            raise
+                        self._note_retry(spec, attempts[i], exc)
+                        attempts[i] += 1
+                        futures[pool.submit(_timed_execute, self._execute_fn, spec)] = (
+                            i,
+                            spec,
+                        )
+                        continue
+                    yield i, record, seconds, attempts[i]
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Order-preserving parallel map; ``fn`` and items must be picklable."""
+        items = list(items)
+        if not items:
+            return []
+        with obs.tracer().span("engine.map", tasks=len(items), jobs=self.jobs):
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+                return list(pool.map(fn, items, chunksize=1))
+
+
+def default_executor(jobs: int = 1, **kwargs) -> Executor:
+    """``jobs <= 1`` -> :class:`SerialExecutor`, else :class:`ParallelExecutor`."""
+    if jobs <= 1:
+        return SerialExecutor(**kwargs)
+    return ParallelExecutor(jobs=jobs, **kwargs)

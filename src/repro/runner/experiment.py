@@ -9,9 +9,20 @@ from ..machine.system import DsmMachine, RunResult
 from ..workloads.base import Workload
 from .records import ROLE_APP_BASE, RunRecord
 
-__all__ = ["run_experiment", "default_machine_factory"]
+__all__ = ["run_experiment", "default_machine_factory", "build_machine"]
 
 MachineFactory = Callable[[int], MachineConfig]
+
+
+def build_machine(config: MachineConfig) -> DsmMachine:
+    """Construct the simulator for ``config``.
+
+    The sanctioned construction site: everything outside the execution
+    engine (and the engine itself) obtains machines through here or
+    through :func:`run_experiment`, never by calling ``DsmMachine``
+    directly, so run execution stays auditable in one layer.
+    """
+    return DsmMachine(config)
 
 
 def default_machine_factory(scale: int = 64, seed: int = 0) -> MachineFactory:
@@ -38,6 +49,6 @@ def run_experiment(
     execution.
     """
     factory = machine_factory or default_machine_factory()
-    machine = DsmMachine(factory(n_processors))
+    machine = build_machine(factory(n_processors))
     result: RunResult = machine.run(workload, size_bytes)
     return RunRecord.from_result(result, role=role, keep_ground_truth=keep_ground_truth)

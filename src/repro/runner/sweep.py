@@ -2,7 +2,14 @@
 
 Ablations keep re-running the same pattern: a grid of workload and/or
 machine variations, one run each, gathered into a tidy table.  This module
-provides that harness with deterministic caching-friendly structure.
+provides that harness on top of the shared execution engine: every grid
+point compiles to a :class:`~repro.runner.engine.RunSpec` and executes
+through :func:`~repro.runner.experiment.run_experiment` — so sweep runs
+emit the same obs spans/metrics and simulator self-checks as campaign
+runs, can fan out over a
+:class:`~repro.runner.engine.ParallelExecutor`, and memoise per run in a
+:class:`~repro.runner.engine.RunCache` (an unchanged grid re-runs with
+zero machine executions).
 
 Example::
 
@@ -14,7 +21,7 @@ Example::
         size=Swim().default_size(),
     )
     rows = grid.run(metrics={
-        "event31": lambda res: res.counters.store_exclusive_to_shared,
+        "event31": lambda rec: rec.counters.store_exclusive_to_shared,
     })
 """
 
@@ -26,11 +33,14 @@ from typing import Callable
 
 from ..errors import ConfigError
 from ..machine.config import MachineConfig, origin2000_scaled
-from ..machine.system import DsmMachine, RunResult
+from ..obs import runtime as obs
+from .engine import Executor, OnOutcome, RunCache, RunSpec, SerialExecutor
+from .records import RunRecord
 
 __all__ = ["ParameterSweep", "sweep_grid"]
 
-Metric = Callable[[RunResult], float]
+#: Metrics read the completed :class:`RunRecord` (``rec.counters.*`` etc.).
+Metric = Callable[[RunRecord], float]
 
 
 def sweep_grid(**axes) -> list[dict]:
@@ -72,17 +82,45 @@ class ParameterSweep:
                 raise ConfigError(f"bad machine parameter: {exc}") from exc
         return cfg
 
-    def run(self, metrics: dict[str, Metric]) -> list[dict]:
-        """Execute the grid; one row per point with the requested metrics."""
+    def compile_specs(self) -> list[RunSpec]:
+        """One engine spec per grid point, in :meth:`points` order."""
+        return [
+            RunSpec.compile(
+                self.base_workload(**wp),
+                self.size,
+                self.n_processors,
+                machine=self._machine_config(mp),
+            )
+            for wp, mp in self.points()
+        ]
+
+    def run(
+        self,
+        metrics: dict[str, Metric],
+        executor: Executor | None = None,
+        cache: RunCache | None = None,
+        refresh: bool = False,
+        on_outcome: OnOutcome | None = None,
+    ) -> list[dict]:
+        """Execute the grid; one row per point with the requested metrics.
+
+        With a ``cache``, previously executed points load from disk
+        (``engine.cache.hit``) and an unchanged grid re-runs without a
+        single machine execution.
+        """
         if not metrics:
             raise ConfigError("at least one metric is required")
+        points = self.points()
+        specs = self.compile_specs()
+        executor = executor or SerialExecutor()
+        with obs.tracer().span("sweep.run", points=len(specs)):
+            records = executor.run(
+                specs, cache=cache, refresh=refresh, on_outcome=on_outcome
+            )
         rows = []
-        for workload_params, machine_params in self.points():
-            workload = self.base_workload(**workload_params)
-            machine = DsmMachine(self._machine_config(machine_params))
-            result = machine.run(workload, self.size)
+        for (workload_params, machine_params), record in zip(points, records):
             row: dict = {**workload_params, **machine_params}
             for name, fn in metrics.items():
-                row[name] = fn(result)
+                row[name] = fn(record)
             rows.append(row)
         return rows

@@ -130,9 +130,9 @@ def record_workload(
     Workloads that interact with the machine between phases (lock-based
     codes) cannot be captured faithfully and are rejected.
     """
-    from ..machine.system import DsmMachine
+    from ..runner.experiment import build_machine
 
-    machine = DsmMachine(machine_cfg)
+    machine = build_machine(machine_cfg)
     before = machine.clocks[:]
     trace = RecordedTrace(
         workload_name=workload.name,

@@ -106,3 +106,12 @@ class TestValidation:
         for n in v.processor_counts:
             assert v.estimated_base_minus_mp(n) <= v.base[n]
             assert v.measured_base_minus_mp(n) <= v.base[n]
+
+    def test_parallel_profiling_matches_serial(self, analysis, mini_campaign):
+        from repro.runner.engine import ParallelExecutor
+
+        serial = validate_mp(analysis, mini_campaign, exact=True)
+        parallel = validate_mp(
+            analysis, mini_campaign, exact=True, executor=ParallelExecutor(jobs=2)
+        )
+        assert serial.rows() == parallel.rows()

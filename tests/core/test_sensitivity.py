@@ -69,3 +69,14 @@ class TestSensitivity:
     def test_most_sensitive_is_perturbable(self, analysis, mini_campaign):
         report = analyze_sensitivity(analysis, mini_campaign)
         assert report.most_sensitive() in PERTURBABLE
+
+
+class TestExecutorRouting:
+    def test_parallel_matches_serial(self, analysis, mini_campaign):
+        from repro.runner.engine import ParallelExecutor
+
+        serial = analyze_sensitivity(analysis, mini_campaign, delta=0.1)
+        parallel = analyze_sensitivity(
+            analysis, mini_campaign, delta=0.1, executor=ParallelExecutor(jobs=2)
+        )
+        assert serial.rows() == parallel.rows()

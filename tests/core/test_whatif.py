@@ -71,3 +71,30 @@ class TestNewSyncPrimitive:
 
     def test_notes_imbalance_caveat(self, whatif):
         assert "imbalance" in whatif.new_sync_primitive(1.0).note
+
+
+class TestBatchExecution:
+    EXPERIMENTS = [
+        {"kind": "scale", "tm_factor": 0.5},
+        {"kind": "l2", "k": 4.0},
+        {"kind": "sync", "tsyn": 0.0, "label": "free sync"},
+    ]
+
+    def test_predict_dispatches_by_kind(self, whatif):
+        scale, l2, sync = whatif.run_experiments(self.EXPERIMENTS)
+        assert scale.label == whatif.scale_parameters(tm_factor=0.5).label
+        assert l2.label == whatif.scale_l2(4.0).label
+        assert sync.label == "free sync"
+
+    def test_unknown_kind_rejected(self, whatif):
+        with pytest.raises(InsufficientDataError, match="kind"):
+            whatif.predict({"kind": "overclock"})
+
+    def test_parallel_matches_serial(self, whatif):
+        from repro.runner.engine import ParallelExecutor
+
+        serial = whatif.run_experiments(self.EXPERIMENTS)
+        parallel = whatif.run_experiments(
+            self.EXPERIMENTS, executor=ParallelExecutor(jobs=2)
+        )
+        assert serial == parallel

@@ -44,40 +44,67 @@ def manifest_of(tmp_path):
     return manifests[0]
 
 
-class TestCorruptManifest:
-    def test_corrupt_manifest_reruns_with_warning(self, tmp_path, caplog):
+def run_entries_of(tmp_path):
+    entries = sorted((tmp_path / "runs").glob("*.json"))
+    assert entries
+    return entries
+
+
+class TestCorruptRunCache:
+    def test_corrupt_run_entry_reruns_with_warning(self, tmp_path, caplog):
+        wl, cfg = small_synthetic(), quick_config()
+        first = cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
+        victim = run_entries_of(tmp_path)[0]
+        victim.write_text("this is { not json\n")
+
+        with obs.session() as s:
+            with caplog.at_level(logging.WARNING, logger="repro.runner.engine"):
+                again = cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
+
+        assert len(again.records) == len(first.records)
+        assert s.registry.counter("engine.cache.corrupt") == 1.0
+        # Exactly the one corrupt entry re-executed; everything else hit.
+        assert s.registry.counter("engine.runs") == 1.0
+        assert s.registry.counter("cache.partial") == 1.0
+        warning = next(r for r in caplog.records if r.levelno == logging.WARNING)
+        assert str(victim) in warning.getMessage()
+        assert "re-running" in warning.getMessage()
+        # The re-run repaired the entry in place.
+        with obs.session() as s2:
+            third = cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
+        assert len(third.records) == len(first.records)
+        assert s2.registry.counter("engine.runs") == 0.0
+
+    def test_empty_run_entry_reruns_with_warning(self, tmp_path, caplog):
+        wl, cfg = small_synthetic(), quick_config()
+        cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
+        victim = run_entries_of(tmp_path)[0]
+        victim.write_text("")
+
+        with obs.session() as s:
+            with caplog.at_level(logging.WARNING, logger="repro.runner.engine"):
+                again = cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
+
+        assert again.records
+        assert s.registry.counter("engine.cache.corrupt") == 1.0
+        warning = next(r for r in caplog.records if r.levelno == logging.WARNING)
+        assert "re-running" in warning.getMessage()
+
+    def test_corrupt_manifest_is_harmless(self, tmp_path):
+        # The JSONL manifest is an export, not the cache: breaking it must
+        # not force a re-run, and it is rewritten on the next call.
         wl, cfg = small_synthetic(), quick_config()
         first = cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
         manifest = manifest_of(tmp_path)
         manifest.write_text("this is { not json\n")
-
         with obs.session() as s:
-            with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
-                again = cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
-
+            again = cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
         assert len(again.records) == len(first.records)
-        assert s.registry.counter("cache.corrupt") == 1.0
-        warning = next(r for r in caplog.records if r.levelno == logging.WARNING)
-        assert str(manifest) in warning.getMessage()
-        assert "re-running" in warning.getMessage()
-        # The re-run repaired the manifest in place.
-        third = cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
-        assert len(third.records) == len(first.records)
+        assert s.registry.counter("engine.runs") == 0.0
+        assert s.registry.counter("cache.hit") == 1.0
+        from repro.runner.records import load_records
 
-    def test_empty_manifest_reruns_with_warning(self, tmp_path, caplog):
-        wl, cfg = small_synthetic(), quick_config()
-        cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
-        manifest = manifest_of(tmp_path)
-        manifest.write_text("")
-
-        with obs.session() as s:
-            with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
-                again = cached_campaign(wl, cfg, machine_factory=factory, cache_dir=tmp_path)
-
-        assert again.records
-        assert s.registry.counter("cache.corrupt") == 1.0
-        warning = next(r for r in caplog.records if r.levelno == logging.WARNING)
-        assert "no records" in warning.getMessage()
+        assert len(load_records(manifest)) == len(first.records)
 
     def test_hit_and_miss_metrics(self, tmp_path):
         wl, cfg = small_synthetic(), quick_config()
@@ -115,13 +142,15 @@ class TestProgressHook:
             progress=lambda i, t, r: events.append(i),
         )
         assert events  # campaign actually executed
-        # A cache hit produces no progress events.
+        # Cache hits report through the same callback: a warm campaign
+        # emits the full 1..total progress sequence instead of going silent.
+        cold = list(events)
         events.clear()
         cached_campaign(
             wl, cfg, machine_factory=factory, cache_dir=tmp_path,
             progress=lambda i, t, r: events.append(i),
         )
-        assert events == []
+        assert events == cold
 
     def test_campaign_spans_when_enabled(self):
         campaign = ScalToolCampaign(small_synthetic(), quick_config(), machine_factory=factory)

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.errors import ConfigError
+from repro.obs import runtime as obs
+from repro.runner.engine import ParallelExecutor, RunCache
 from repro.runner.sweep import ParameterSweep, sweep_grid
 
 from ..conftest import small_synthetic, tiny_machine_config
@@ -74,3 +76,40 @@ class TestSweep:
         a = sweep.run(metrics={"cycles": lambda r: r.counters.cycles})
         b = sweep.run(metrics={"cycles": lambda r: r.counters.cycles})
         assert a == b
+
+    def test_compile_specs_match_points(self):
+        sweep = self.make(
+            workload_grid={"sharing_frac": [0.0, 0.1]},
+            machine_grid={"protocol": ["mesi", "msi"]},
+        )
+        specs = sweep.compile_specs()
+        assert len(specs) == len(sweep.points())
+        assert len({s.key() for s in specs}) == len(specs)  # all distinct
+
+    def test_parallel_rows_identical(self):
+        sweep = self.make(workload_grid={"sharing_frac": [0.0, 0.1]})
+        metrics = {"cycles": lambda r: r.counters.cycles}
+        assert sweep.run(metrics) == sweep.run(metrics, executor=ParallelExecutor(jobs=2))
+
+    def test_warm_sweep_runs_nothing(self, tmp_path):
+        """Acceptance: a warm re-run is served entirely from the per-run
+        cache — engine.cache.hit counts every point, engine.runs stays 0."""
+        sweep = self.make(workload_grid={"sharing_frac": [0.0, 0.1]})
+        metrics = {"cycles": lambda r: r.counters.cycles}
+        cache = RunCache(tmp_path)
+        cold = sweep.run(metrics, cache=cache)
+        with obs.session() as s:
+            warm = sweep.run(metrics, cache=cache)
+        assert warm == cold
+        assert s.registry.counter("engine.cache.hit") == len(sweep.points())
+        assert s.registry.counter("engine.runs") == 0.0
+
+    def test_sweep_emits_span_and_engine_metrics(self):
+        sweep = self.make(workload_grid={"sharing_frac": [0.0, 0.1]})
+        with obs.session() as s:
+            sweep.run(metrics={"cycles": lambda r: r.counters.cycles})
+        (span,) = s.tracer.by_name("sweep.run")
+        assert span.attrs["points"] == 2
+        # Grid points route through the same engine path as campaign runs.
+        assert len(s.tracer.by_name("engine.execute")) == 2
+        assert s.registry.counter("engine.runs") == 2.0

@@ -83,6 +83,65 @@ class TestCommands:
         assert main(args) == 0
         assert "Scal-Tool analysis" in capsys.readouterr().out
 
+    def test_analyze_with_jobs(self, tmp_path, capsys):
+        args = [
+            "analyze", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--cache-dir", str(tmp_path), "--jobs", "2",
+        ]
+        assert main(args) == 0
+        assert "Scal-Tool analysis" in capsys.readouterr().out
+
+    def test_jobs_produces_same_cache_as_serial(self, tmp_path, capsys):
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        base = ["analyze", "synthetic", "--s0", "163840", "--counts", "1,2"]
+        assert main(base + ["--cache-dir", str(serial_dir)]) == 0
+        assert main(base + ["--cache-dir", str(parallel_dir), "--jobs", "2"]) == 0
+        capsys.readouterr()
+        serial_runs = {p.name: p.read_text() for p in (serial_dir / "runs").glob("*.json")}
+        parallel_runs = {p.name: p.read_text() for p in (parallel_dir / "runs").glob("*.json")}
+        assert serial_runs == parallel_runs
+
+    def test_sweep_prints_metric_table(self, tmp_path, capsys):
+        args = [
+            "sweep", "synthetic", "--size", "16384", "-n", "2",
+            "--workload-axis", "sharing_frac=0.0,0.1",
+            "--metric", "cycles", "--metric", "cpi",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "sharing_frac" in out
+        assert "cycles" in out and "cpi" in out
+        # warm re-run serves from the per-run cache and prints the same table
+        assert main(args) == 0
+        assert "sharing_frac" in capsys.readouterr().out
+        assert list((tmp_path / "runs").glob("*.json"))
+
+    def test_sweep_default_metric_is_cpi(self, tmp_path, capsys):
+        args = [
+            "sweep", "synthetic", "--size", "16384", "-n", "2",
+            "--workload-axis", "sharing_frac=0.0,0.1",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        assert "cpi" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_metric(self, tmp_path, capsys):
+        args = [
+            "sweep", "synthetic", "--size", "16384",
+            "--metric", "flops", "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 1
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_axis(self, tmp_path, capsys):
+        args = [
+            "sweep", "synthetic", "--size", "16384",
+            "--workload-axis", "nonsense", "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 1
+        assert "NAME=V1,V2" in capsys.readouterr().err
+
     def test_validate(self, tmp_path, capsys):
         args = [
             "validate", "synthetic", "--s0", "163840", "--counts", "1,2",
@@ -232,9 +291,13 @@ class TestObservability:
         err = capsys.readouterr().err
         assert "run 1/" in err
         assert "synthetic" in err
-        # Cache hit on the second invocation: no progress lines.
+        # Cache hits still report progress: a warm re-run prints the same
+        # run 1/N .. N/N sequence instead of looking hung.
         assert main(args) == 0
-        assert "run 1/" not in capsys.readouterr().err
+        warm = capsys.readouterr().err
+        assert "run 1/" in warm
+        count = err.count("run ")
+        assert warm.count("run ") == count
 
     def test_metrics_out_on_analyze(self, tmp_path, capsys):
         out_path = tmp_path / "analyze.jsonl"
