@@ -27,7 +27,9 @@ from .machine import DsmMachine, MachineConfig, origin2000_full, origin2000_scal
 from .runner import CampaignConfig, RunRecord, ScalToolCampaign, run_experiment
 from .workloads import available_workloads, make_workload
 
-__version__ = "1.0.0"
+# Single source of truth for the package version: pyproject.toml reads it
+# back through `[tool.setuptools.dynamic]`, and `scaltool --version` prints it.
+__version__ = "1.1.0"
 
 __all__ = [
     "ScalTool",

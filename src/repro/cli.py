@@ -13,7 +13,14 @@ Subcommands mirror the paper's workflow:
 * ``scaltool profile`` — run a campaign + analysis under the observability
   layer and print the span/metric profile report;
 * ``scaltool plan`` — print the Table 1 / Table 3 resource accounting;
-* ``scaltool list`` — available workloads.
+* ``scaltool list`` — available workloads;
+* ``scaltool serve`` / ``submit`` / ``status`` / ``result`` — the analysis
+  service (see :mod:`repro.service` and ``docs/service.md``): serve the
+  HTTP JSON API, submit a request to it, and read a job back.
+
+The ``analyze``, ``sweep``, ``whatif`` and ``predict`` subcommands execute
+through the same :mod:`repro.service.requests` handlers the service uses,
+so a service job's result is byte-identical to the direct CLI output.
 
 Every subcommand accepts ``--verbose`` (per-run campaign progress and
 debug logging on stderr) and ``--metrics-out PATH`` (write the session's
@@ -25,15 +32,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import ScalTool, WhatIf, validate_mp
+from . import __version__
+from .core import ScalTool, validate_mp
 from .core.runplan import table1_rows, table3_matrix
 from .errors import ReproError
 from .obs import configure_logging, export_jsonl, format_profile
 from .obs import runtime as obs_runtime
 from .runner import CampaignConfig, ScalToolCampaign, run_experiment
 from .runner.campaign import CampaignData
-from .runner.cache import cached_campaign, campaign_cache_dir
-from .runner.engine import RunCache, default_executor
+from .runner.cache import cached_campaign
+from .runner.engine import default_executor
 from .tools.perfex import format_report
 from .viz.tables import format_table
 from .workloads import available_workloads, make_workload
@@ -61,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scaltool",
         description="Scal-Tool: isolate and quantify scalability bottlenecks (SC'99 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -207,6 +218,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_plan.add_argument("--n", type=int, default=6, help="number of processor counts (1..2^(n-1))")
     p_plan.add_argument("--s0", type=int, default=640 * 1024)
+
+    # -- the analysis service (see docs/service.md) --------------------------------
+    p_serve = sub.add_parser(
+        "serve", parents=[obs_common], help="serve the analysis HTTP JSON API",
+        epilog=_CACHE_EPILOG,
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8032)
+    p_serve.add_argument(
+        "--cache-dir", default=None,
+        help="cache root (runs + job store); default: $SCALTOOL_CACHE_DIR or .scaltool_cache",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="engine executor width: run batched experiments on N worker processes",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N", help="concurrent jobs in flight"
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=32, metavar="N",
+        help="admission bound on queued+running jobs (429 beyond it)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="fail a job still running after this long",
+    )
+
+    client_common = argparse.ArgumentParser(add_help=False, parents=[obs_common])
+    client_common.add_argument(
+        "--url", default=None,
+        help="service base URL (default: $SCALTOOL_SERVICE_URL or http://127.0.0.1:8032)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit", parents=[client_common], help="submit a request to a running service"
+    )
+    p_submit.add_argument("kind", help="analyze | campaign | sweep | whatif | predict")
+    p_submit.add_argument("workload", help="workload name (see `scaltool list`)")
+    p_submit.add_argument("--s0", type=int, default=None, help="base data-set size in bytes")
+    p_submit.add_argument("--size", type=int, default=None, help="data-set size (sweep)")
+    p_submit.add_argument("--counts", type=_counts, default=None, help="processor counts, e.g. 1,2,4")
+    p_submit.add_argument("-n", "--processors", type=int, default=None, help="processor count (sweep)")
+    p_submit.add_argument("--to", type=_counts, default=None, help="counts to predict, e.g. 64,128")
+    p_submit.add_argument(
+        "--arg", action="append", default=None, metavar="NAME=VALUE",
+        help="extra payload field, e.g. --arg tm=0.5 or --arg markdown=true (repeatable)",
+    )
+    p_submit.add_argument("--priority", type=int, default=None, help="lower runs sooner")
+    p_submit.add_argument(
+        "--wait", action="store_true", help="block until the job finishes, print its output"
+    )
+    p_submit.add_argument("--timeout", type=float, default=600.0, help="--wait timeout in seconds")
+
+    p_status = sub.add_parser(
+        "status", parents=[client_common], help="print a service job's status as JSON"
+    )
+    p_status.add_argument("job_id")
+
+    p_result = sub.add_parser(
+        "result", parents=[client_common], help="print a finished service job's output"
+    )
+    p_result.add_argument("job_id")
+    p_result.add_argument("--wait", action="store_true", help="block until the job finishes")
+    p_result.add_argument("--timeout", type=float, default=600.0, help="--wait timeout in seconds")
     return parser
 
 
@@ -224,6 +300,23 @@ def _progress_printer(args):
 def _executor_for(args):
     """The engine executor the command asked for (serial unless --jobs > 1)."""
     return default_executor(getattr(args, "jobs", 1))
+
+
+def _execute_request(args, kind: str, payload: dict):
+    """Run one service-style request inline (the CLI fast path).
+
+    This is the same handler the analysis service executes for a job of
+    the same kind/payload, which is what keeps ``scaltool result`` output
+    byte-identical to the direct CLI command.
+    """
+    from .service.requests import compile_request
+
+    request = compile_request(kind, payload)
+    return request.execute(
+        cache_root=args.cache_dir,
+        executor=_executor_for(args),
+        progress=_progress_printer(args),
+    )
 
 
 def _campaign_for(args) -> tuple[CampaignData, object]:
@@ -318,15 +411,25 @@ def _dispatch(args) -> int:
     if args.command == "analyze":
         if args.from_dir:
             campaign = CampaignData.load(args.from_dir)
-        else:
-            campaign, _ = _campaign_for(args)
-        analysis = ScalTool(campaign).analyze()
-        if args.markdown:
-            from .core.report import export_markdown
+            analysis = ScalTool(campaign).analyze()
+            if args.markdown:
+                from .core.report import export_markdown
 
-            print(export_markdown(analysis))
-        else:
-            print(analysis.report())
+                print(export_markdown(analysis))
+            else:
+                print(analysis.report())
+            return 0
+        result = _execute_request(
+            args,
+            "analyze",
+            {
+                "workload": args.workload,
+                "s0": args.s0,
+                "counts": list(args.counts),
+                "markdown": args.markdown,
+            },
+        )
+        sys.stdout.write(result.output)
         return 0
 
     if args.command == "segments":
@@ -370,15 +473,17 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "predict":
-        from .core.prediction import ScalabilityPredictor
-
-        campaign, _ = _campaign_for(args)
-        analysis = ScalTool(campaign).analyze()
-        predictor = ScalabilityPredictor(analysis)
-        rows = predictor.rows(list(predictor.measured_counts) + list(args.to))
-        print(format_table(rows, title=f"{analysis.workload}: measured + predicted scaling"))
-        print(f"\npredicted saturation at ~{predictor.saturation_count()} processors")
-        print(format_table(predictor.leave_one_out(), title="leave-one-out validation"))
+        result = _execute_request(
+            args,
+            "predict",
+            {
+                "workload": args.workload,
+                "s0": args.s0,
+                "counts": list(args.counts),
+                "to": list(args.to),
+            },
+        )
+        sys.stdout.write(result.output)
         return 0
 
     if args.command == "balance":
@@ -407,59 +512,37 @@ def _dispatch(args) -> int:
         return 0
 
     if args.command == "whatif":
-        campaign, _ = _campaign_for(args)
-        analysis = ScalTool(campaign).analyze()
-        whatif = WhatIf(analysis, campaign)
-        if args.l2 is not None:
-            prediction = whatif.scale_l2(args.l2)
-        else:
-            prediction = whatif.scale_parameters(
-                cpi0_factor=args.cpi0, t2_factor=args.t2, tm_factor=args.tm, tsyn_factor=args.tsyn
-            )
-        print(format_table(prediction.rows(), title=prediction.label))
-        if prediction.note:
-            print(f"note: {prediction.note}")
+        result = _execute_request(
+            args,
+            "whatif",
+            {
+                "workload": args.workload,
+                "s0": args.s0,
+                "counts": list(args.counts),
+                "t2": args.t2,
+                "tm": args.tm,
+                "tsyn": args.tsyn,
+                "cpi0": args.cpi0,
+                "l2": args.l2,
+            },
+        )
+        sys.stdout.write(result.output)
         return 0
 
     if args.command == "sweep":
-        from dataclasses import fields as dc_fields
-        from pathlib import Path
-
-        from .machine.counters import CounterSet
-        from .runner.sweep import ParameterSweep
-
-        allowed = {f.name for f in dc_fields(CounterSet)} | {"cpi"}
-        names = args.metric or ["cpi"]
-        bad = [m for m in names if m not in allowed]
-        if bad:
-            raise ReproError(
-                f"unknown metric(s) {', '.join(bad)}; available: {', '.join(sorted(allowed))}"
-            )
-        metrics = {m: (lambda rec, _m=m: getattr(rec.counters, _m)) for m in names}
-        workload = make_workload(args.workload)
-        size = args.size if args.size else workload.default_size()
-        sweep = ParameterSweep(
-            base_workload=lambda **p: make_workload(args.workload, **p),
-            size=size,
-            n_processors=args.processors,
-            workload_grid=_parse_axes(args.workload_axis, "--workload-axis"),
-            machine_grid=_parse_axes(args.machine_axis, "--machine-axis"),
+        result = _execute_request(
+            args,
+            "sweep",
+            {
+                "workload": args.workload,
+                "size": args.size,
+                "n": args.processors,
+                "workload_axes": _parse_axes(args.workload_axis, "--workload-axis"),
+                "machine_axes": _parse_axes(args.machine_axis, "--machine-axis"),
+                "metrics": args.metric or ["cpi"],
+            },
         )
-        cache_root = Path(args.cache_dir) if args.cache_dir else campaign_cache_dir()
-        progress = _progress_printer(args)
-        total = len(sweep.points())
-
-        def _report(outcome) -> None:
-            if progress is not None:
-                progress(outcome.index + 1, total, outcome.record)
-
-        rows = sweep.run(
-            metrics,
-            executor=_executor_for(args),
-            cache=RunCache(cache_root / "runs"),
-            on_outcome=_report,
-        )
-        print(format_table(rows, title=f"{args.workload} sweep (n={args.processors})"))
+        sys.stdout.write(result.output)
         return 0
 
     if args.command == "profile":
@@ -479,6 +562,84 @@ def _dispatch(args) -> int:
             "runs": len(result.campaign.records),
         }
         print(format_profile(result.session, meta=meta))
+        return 0
+
+    if args.command == "serve":
+        from .service import ServiceConfig
+        from .service.http import serve
+
+        config = ServiceConfig(
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            job_timeout=args.job_timeout,
+        )
+        server = serve(config, host=args.host, port=args.port)
+        print(f"scaltool service listening on {server.url}", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("draining and shutting down ...", file=sys.stderr)
+        return 0
+
+    if args.command == "submit":
+        from .service.client import ServiceClient
+
+        payload: dict = {"workload": args.workload}
+        if args.s0 is not None:
+            payload["s0"] = args.s0
+        if args.size is not None:
+            payload["size"] = args.size
+        if args.counts is not None:
+            payload["counts"] = list(args.counts)
+        if args.processors is not None:
+            payload["n"] = args.processors
+        if args.to is not None:
+            payload["to"] = list(args.to)
+        for spec in args.arg or []:
+            name, _, value = spec.partition("=")
+            if not name or not value:
+                raise ReproError(f"bad --arg {spec!r}; expected NAME=VALUE")
+            if value in ("true", "false"):
+                payload[name] = value == "true"
+            else:
+                payload[name] = _axis_value(value)
+        client = ServiceClient(args.url)
+        submitted = client.submit(args.kind, payload, priority=args.priority)
+        dedup = " (deduplicated)" if submitted.get("deduped") else ""
+        print(f"job {submitted['id']} {submitted['state']}{dedup}", file=sys.stderr)
+        if not args.wait:
+            print(submitted["id"])
+            return 0
+        view = client.wait(submitted["id"], timeout=args.timeout)
+        if view["state"] != "done":
+            raise ReproError(f"job {view['id']} failed: {view.get('error')}")
+        sys.stdout.write(view["result"]["output"])
+        return 0
+
+    if args.command == "status":
+        import json as _json
+
+        from .service.client import ServiceClient
+
+        print(_json.dumps(ServiceClient(args.url).status(args.job_id), indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "result":
+        from .service.client import ServiceClient
+
+        client = ServiceClient(args.url)
+        if args.wait:
+            view = client.wait(args.job_id, timeout=args.timeout)
+        else:
+            view = client.result(args.job_id)
+        if view["state"] == "failed":
+            raise ReproError(f"job {view['id']} failed: {view.get('error')}")
+        if view["state"] != "done":
+            print(f"job {view['id']} is {view['state']}", file=sys.stderr)
+            return 2
+        sys.stdout.write(view["result"]["output"])
         return 0
 
     if args.command == "plan":

@@ -74,3 +74,25 @@ class TransientRunError(ReproError):
 
 class ValidationError(ReproError):
     """A validation comparison was requested on mismatched runs."""
+
+
+class ServiceError(ReproError):
+    """The analysis service rejected or could not complete a request."""
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected a request: the job queue is at capacity.
+
+    ``retry_after`` is the advisory back-off in seconds (the HTTP layer
+    maps this to a 429 with a ``Retry-After`` header, or a 503 when the
+    service is draining and will not accept work again).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0, draining: bool = False):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.draining = draining
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in the job store."""

@@ -37,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
@@ -218,6 +219,10 @@ class RunCache:
     def path(self, spec: RunSpec) -> Path:
         return self.root / f"{spec.key()}.json"
 
+    def contains(self, spec: RunSpec) -> bool:
+        """Whether an entry exists on disk (without reading or validating it)."""
+        return self.path(spec).exists()
+
     def get(self, spec: RunSpec) -> RunRecord | None:
         """The cached record, or None (missing *or* unreadable — re-run)."""
         path = self.path(spec)
@@ -241,10 +246,14 @@ class RunCache:
             return None
 
     def put(self, spec: RunSpec, record: RunRecord) -> Path:
-        """Store atomically (write-then-rename) so readers never see a torn file."""
+        """Store atomically (write-then-rename) so readers never see a torn file.
+
+        The temp name carries pid *and* thread id: service jobs write
+        concurrently from threads of one process.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(spec)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
         tmp.write_text(record.to_json() + "\n")
         os.replace(tmp, path)
         return path

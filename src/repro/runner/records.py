@@ -10,6 +10,8 @@ that only the validation tools read.
 from __future__ import annotations
 
 import json
+import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -153,13 +155,21 @@ class RunRecord:
 
 
 def save_records(records: list[RunRecord], path: str | Path) -> None:
-    """Write records as JSON lines (one file per campaign manifest)."""
+    """Write records as JSON lines (one file per campaign manifest).
+
+    The write is atomic (write-then-rename): concurrent exporters of the
+    same manifest — e.g. two service jobs that resolved to the same
+    campaign — never leave a torn file behind.  The temp name includes
+    the thread id because those concurrent exporters share a pid.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as fh:
+    tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+    with tmp.open("w") as fh:
         for rec in records:
             fh.write(rec.to_json())
             fh.write("\n")
+    os.replace(tmp, path)
 
 
 def load_records(path: str | Path) -> list[RunRecord]:

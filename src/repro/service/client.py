@@ -1,0 +1,128 @@
+"""A minimal urllib client for the analysis service HTTP API.
+
+Mirrors the server's backpressure semantics: a 429/503 raises
+:class:`~repro.errors.QueueFullError` carrying the server's
+``Retry-After`` advice, and :meth:`ServiceClient.submit` can optionally
+retry-with-backoff on the caller's behalf.  Used by ``scaltool submit``
+/ ``status`` / ``result`` and the service load benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+from ..errors import JobNotFoundError, QueueFullError, ServiceError
+
+__all__ = ["ServiceClient", "DEFAULT_URL", "default_service_url"]
+
+DEFAULT_URL = "http://127.0.0.1:8032"
+_ENV_VAR = "SCALTOOL_SERVICE_URL"
+
+
+def default_service_url() -> str:
+    """$SCALTOOL_SERVICE_URL, or the local default."""
+    return os.environ.get(_ENV_VAR, DEFAULT_URL)
+
+
+class ServiceClient:
+    """Talk to a running ``scaltool serve`` instance."""
+
+    def __init__(self, base_url: str | None = None, timeout: float = 30.0) -> None:
+        self.base_url = (base_url or default_service_url()).rstrip("/")
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                payload = {}
+            message = payload.get("error", f"HTTP {exc.code}")
+            if exc.code in (429, 503):
+                raise QueueFullError(
+                    message,
+                    retry_after=float(
+                        payload.get("retry_after", exc.headers.get("Retry-After", 1))
+                    ),
+                    draining=exc.code == 503,
+                ) from None
+            if exc.code == 404:
+                raise JobNotFoundError(message) from None
+            raise ServiceError(message) from None
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceError(f"cannot reach service at {self.base_url}: {exc}") from exc
+
+    # -- API --------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")[1]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")[1]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")[1]["jobs"]
+
+    def submit(
+        self,
+        kind: str,
+        payload: dict | None = None,
+        priority: int | None = None,
+        retries: int = 0,
+    ) -> dict:
+        """Submit a request; returns ``{"id", "state", "deduped"}``.
+
+        ``retries > 0`` makes the client honour 429 backpressure itself:
+        it sleeps the server's ``Retry-After`` and resubmits, up to
+        ``retries`` times, before letting :class:`QueueFullError` out.
+        """
+        body: dict = {"kind": kind, "payload": payload or {}}
+        if priority is not None:
+            body["priority"] = priority
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/v1/jobs", body)[1]
+            except QueueFullError as exc:
+                if exc.draining or attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(exc.retry_after)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")[1]
+
+    def result(self, job_id: str) -> dict:
+        """The result view: may still be pending (``state`` != done/failed)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")[1]
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.1) -> dict:
+        """Poll until the job is done or failed; returns the result view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.result(job_id)
+            if view["state"] in ("done", "failed"):
+                return view
+            if time.monotonic() >= deadline:
+                raise ServiceError(f"timed out waiting for job {job_id}")
+            time.sleep(poll)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        body = {} if timeout is None else {"timeout": timeout}
+        return self._request("POST", "/v1/drain", body)[1]["drained"]

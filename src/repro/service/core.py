@@ -1,0 +1,522 @@
+""":class:`AnalysisService` — the async job engine behind ``scaltool serve``.
+
+Shape (one box per component, all inside one process)::
+
+    submit()  ──admission──►  asyncio.PriorityQueue
+                                   │  worker tasks (config.workers)
+                                   ▼
+                            _execute_job (thread pool)
+                                   │  planner: cache / in-flight dedup
+                                   ▼
+                            _SpecBatcher (asyncio task)
+                                   │  coalesces claimed specs across jobs
+                                   ▼
+                            Executor.run(batch, cache=RunCache)
+                                   │
+                                   ▼
+                            result assembly (all cache hits) -> JobStore
+
+Guarantees:
+
+* **admission control** — at most ``max_queue`` jobs queued+running;
+  beyond that :class:`~repro.errors.QueueFullError` (HTTP 429 with
+  ``Retry-After``), and while draining every submit is rejected (503).
+* **idempotent submits** — the job id is a content address over the
+  canonical request, so resubmitting an identical request returns the
+  existing job instead of duplicating work.
+* **dedup + batching** — the planner drops specs already on disk, waits
+  on specs claimed by other jobs, and the batcher merges what remains
+  from concurrently admitted jobs into single ``Executor.run`` calls.
+* **durability** — every state transition is persisted atomically; a
+  restarted service re-queues interrupted jobs and keeps serving
+  ``status``/``result`` for finished ones.
+* **graceful lifecycle** — ``drain()`` stops admission and waits for
+  in-flight jobs; per-job ``job_timeout``; transient failures
+  (:data:`~repro.runner.engine.TRANSIENT_EXCEPTIONS`) retried a bounded
+  number of times on top of the engine's own per-run retries.
+
+The simulator itself is CPU-bound and deterministic, so job *threads*
+exist to overlap planning/waiting, while actual runs execute through the
+configured engine executor (``jobs > 1`` -> a process pool) — the same
+split an inference server makes between request handling and the
+compute backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import JobNotFoundError, QueueFullError, ServiceError
+from ..obs import runtime as obs
+from ..obs.logs import get_logger, kv
+from ..runner.engine import (
+    TRANSIENT_EXCEPTIONS,
+    RunCache,
+    RunSpec,
+    SerialExecutor,
+    default_cache_root,
+    default_executor,
+)
+from . import requests as _requests
+from .planner import RequestPlanner
+from .store import ACTIVE_STATES, TERMINAL_STATES, Job, JobStore
+
+__all__ = ["ServiceConfig", "AnalysisService"]
+
+_log = get_logger("service.core")
+
+#: Queue sentinel that sorts after every real job (priorities are finite).
+_STOP = (float("inf"), 0, None)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`AnalysisService`."""
+
+    cache_dir: str | Path | None = None  # default: $SCALTOOL_CACHE_DIR / .scaltool_cache
+    jobs: int = 1  # engine executor width (1 = serial, N = process pool)
+    workers: int = 2  # concurrent jobs in flight
+    max_queue: int = 32  # admission bound on queued+running jobs
+    job_timeout: float = 600.0  # seconds before a running job is failed
+    retries: int = 1  # service-level retries of transient job failures
+    batch_window: float = 0.02  # seconds the batcher waits to coalesce claims
+    retry_after: float = 1.0  # advisory back-off handed to rejected clients
+    default_priority: int = 5  # lower sorts sooner
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError("workers must be >= 1")
+        if self.max_queue < 1:
+            raise ServiceError("max_queue must be >= 1")
+        if self.retries < 0:
+            raise ServiceError("retries must be >= 0")
+
+
+class _SpecBatcher:
+    """Coalesces claimed spec lists from concurrent jobs into engine batches.
+
+    Lives on the service event loop.  ``submit()`` parks the caller until
+    the batch containing its specs has executed (and therefore populated
+    the run cache).  One batch executes at a time, through the service's
+    configured executor, in a dedicated thread so the loop stays free.
+    """
+
+    def __init__(self, service: "AnalysisService") -> None:
+        self._service = service
+        self._pending: list[tuple[list[RunSpec], asyncio.Future]] = []
+        self._wakeup = asyncio.Event()
+        self._stopping = False
+
+    async def submit(self, specs: list[RunSpec]) -> None:
+        if self._stopping:
+            raise ServiceError("service is shutting down")
+        fut = asyncio.get_running_loop().create_future()
+        self._pending.append((specs, fut))
+        self._wakeup.set()
+        await fut
+
+    def stop(self) -> None:
+        self._stopping = True
+        self._wakeup.set()
+
+    async def run(self) -> None:
+        svc = self._service
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if self._pending and svc.config.batch_window > 0:
+                # Give concurrently admitted jobs a beat to join the batch.
+                await asyncio.sleep(svc.config.batch_window)
+            batch, self._pending = self._pending, []
+            if not batch:
+                if self._stopping:
+                    return
+                continue
+            specs: list[RunSpec] = []
+            seen: set[str] = set()
+            for spec_list, _ in batch:
+                for spec in spec_list:
+                    if spec.key() not in seen:
+                        seen.add(spec.key())
+                        specs.append(spec)
+            svc._tally("batches")
+            svc._tally("batch.specs", len(specs))
+            obs.registry().observe("service.batch.size", len(specs))
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    svc._batch_pool, svc._run_batch, specs
+                )
+            except Exception as exc:  # noqa: BLE001 - fan the failure out to the jobs
+                for _, fut in batch:
+                    if not fut.done():
+                        fut.set_exception(exc)
+            else:
+                for _, fut in batch:
+                    if not fut.done():
+                        fut.set_result(None)
+
+
+class AnalysisService:
+    """The serving layer: accepts requests, executes them through the engine."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.root = (
+            Path(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else default_cache_root()
+        )
+        self.store = JobStore(self.root / "service" / "jobs")
+        self.run_cache = RunCache(self.root / "runs")
+        self.planner = RequestPlanner(self.run_cache)
+        self.executor = default_executor(self.config.jobs)
+
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._counters: collections.Counter = collections.Counter()
+        self._seq = itertools.count()
+        self._draining = False
+        self._started = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._queue: asyncio.PriorityQueue | None = None
+        self._batcher: _SpecBatcher | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._job_pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="scaltool-job"
+        )
+        self._batch_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="scaltool-batch"
+        )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "AnalysisService":
+        """Start the event loop, workers, and batcher; recover stored jobs."""
+        if self._started:
+            return self
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="scaltool-service", daemon=True
+        )
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self._setup(), self._loop).result(timeout=10)
+        self._started = True
+        self._recover()
+        _log.debug(
+            "service started %s",
+            kv(root=self.root, workers=self.config.workers, jobs=self.config.jobs),
+        )
+        return self
+
+    async def _setup(self) -> None:
+        self._queue = asyncio.PriorityQueue()
+        self._batcher = _SpecBatcher(self)
+        self._tasks = [asyncio.create_task(self._batcher.run())]
+        for _ in range(self.config.workers):
+            self._tasks.append(asyncio.create_task(self._worker()))
+
+    def _recover(self) -> None:
+        """Re-register stored jobs; interrupted ones go back on the queue."""
+        requeue: list[Job] = []
+        with self._lock:
+            for job in self.store.load_all():
+                self._jobs[job.id] = job
+                if job.state in ACTIVE_STATES:
+                    job.state = "queued"
+                    self.store.put(job)
+                    requeue.append(job)
+        for job in requeue:
+            self._tally("jobs.recovered")
+            self._enqueue(job)
+        if requeue:
+            _log.debug("recovered %d interrupted job(s)", len(requeue))
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting work and wait for queued+running jobs to finish.
+
+        Returns True once no job is active; False if ``timeout`` expired
+        first (remaining jobs stay persisted as queued/running and are
+        recovered by the next start).
+        """
+        with self._lock:
+            self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                active = sum(1 for j in self._jobs.values() if j.state in ACTIVE_STATES)
+            if not active:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+
+    def close(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Drain (optionally), stop all tasks, and tear the loop down."""
+        if not self._started:
+            return
+        if drain:
+            self.drain(timeout=timeout)
+        loop = self._loop
+        assert loop is not None and self._queue is not None
+        try:
+            asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result(
+                timeout=timeout
+            )
+        except TimeoutError:  # pragma: no cover - jobs stuck past the deadline
+            _log.warning("service shutdown timed out; abandoning worker tasks")
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._job_pool.shutdown(wait=False)
+        self._batch_pool.shutdown(wait=False)
+        self._started = False
+        _log.debug("service stopped")
+
+    async def _shutdown(self) -> None:
+        assert self._queue is not None and self._batcher is not None
+        for _ in range(self.config.workers):
+            self._queue.put_nowait(_STOP)
+        self._batcher.stop()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    # -- the public request surface ---------------------------------------------------
+
+    def submit(
+        self, kind: str, payload: dict | None = None, priority: int | None = None
+    ) -> tuple[Job, bool]:
+        """Admit one request; returns ``(job, deduped)``.
+
+        ``deduped`` is True when an identical request was already queued,
+        running, or done — the existing job is returned and no new work
+        is created.  A previously *failed* identical request is re-queued.
+        Raises :class:`~repro.errors.QueueFullError` when the queue is at
+        capacity or the service is draining.
+        """
+        if not self._started:
+            raise ServiceError("service is not started")
+        request = _requests.compile_request(kind, payload)
+        job_id = request.fingerprint()
+        priority = self.config.default_priority if priority is None else int(priority)
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.state != "failed":
+                self._tally_locked("jobs.deduped")
+                return existing, True
+            if self._draining:
+                raise QueueFullError(
+                    "service is draining and not accepting new jobs",
+                    retry_after=self.config.retry_after,
+                    draining=True,
+                )
+            active = sum(1 for j in self._jobs.values() if j.state in ACTIVE_STATES)
+            if active >= self.config.max_queue:
+                self._tally_locked("admission.rejected")
+                raise QueueFullError(
+                    f"job queue is full ({active}/{self.config.max_queue})",
+                    retry_after=self.config.retry_after,
+                )
+            if existing is not None:  # failed -> re-queue under the same id
+                job = existing
+                job.state = "queued"
+                job.error = None
+                job.result = None
+                job.finished = None
+                job.priority = priority
+            else:
+                job = Job(id=job_id, kind=kind, payload=request.canonical, priority=priority)
+            self._jobs[job.id] = job
+            self.store.put(job)
+            self._tally_locked("jobs.submitted")
+        self._enqueue(job)
+        return job, False
+
+    def status(self, job_id: str) -> Job:
+        """The job as last persisted (idempotent; survives restarts)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            job = self.store.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no job {job_id!r}")
+        return job
+
+    def result(self, job_id: str) -> Job:
+        """Like :meth:`status`; callers read ``job.result`` / ``job.error``."""
+        return self.status(job_id)
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.02) -> Job:
+        """Block until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job.state in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(f"timed out waiting for job {job_id}")
+            time.sleep(poll)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created)
+
+    def stats(self) -> dict:
+        """Always-on service tallies plus current queue occupancy."""
+        with self._lock:
+            states = collections.Counter(j.state for j in self._jobs.values())
+            counters = dict(self._counters)
+            draining = self._draining
+        executed = counters.get("batch.specs", 0)
+        planned = counters.get("plan.specs", 0)
+        return {
+            "draining": draining,
+            "jobs": {state: states.get(state, 0) for state in ("queued", "running", "done", "failed")},
+            "counters": counters,
+            "dedup_hit_ratio": round(1.0 - executed / planned, 4) if planned else 0.0,
+        }
+
+    # -- internals --------------------------------------------------------------------
+
+    def _enqueue(self, job: Job) -> None:
+        assert self._loop is not None and self._queue is not None
+        with self._lock:
+            seq = next(self._seq)
+        asyncio.run_coroutine_threadsafe(
+            self._queue.put((job.priority, seq, job.id)), self._loop
+        ).result(timeout=5)
+        obs.registry().set_gauge("service.queue.depth", self._queue.qsize())
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                job_id = item[2]
+                with self._lock:
+                    job = self._jobs.get(job_id)
+                    if job is None or job.state != "queued":
+                        continue  # stale queue entry (deduped resubmit, recovery)
+                    job.state = "running"
+                    job.started = time.time()
+                    self.store.put(job)
+                t0 = time.perf_counter()
+                try:
+                    result = await asyncio.wait_for(
+                        loop.run_in_executor(self._job_pool, self._execute_job, job),
+                        timeout=self.config.job_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    self._finish(
+                        job,
+                        "failed",
+                        error=f"job timed out after {self.config.job_timeout:g}s",
+                        seconds=time.perf_counter() - t0,
+                    )
+                except Exception as exc:  # noqa: BLE001 - job failure, not service failure
+                    self._finish(
+                        job, "failed", error=str(exc), seconds=time.perf_counter() - t0
+                    )
+                else:
+                    self._finish(job, "done", result=result, seconds=time.perf_counter() - t0)
+            finally:
+                self._queue.task_done()
+
+    def _finish(
+        self,
+        job: Job,
+        state: str,
+        result: dict | None = None,
+        error: str | None = None,
+        seconds: float = 0.0,
+    ) -> None:
+        with self._lock:
+            job.state = state
+            job.result = result
+            job.error = error
+            job.finished = time.time()
+            self.store.put(job)
+            self._tally_locked("jobs.done" if state == "done" else "jobs.failed")
+        obs.registry().observe("service.job_seconds", seconds)
+        obs.registry().set_gauge("service.queue.depth", self._queue.qsize() if self._queue else 0)
+        _log.debug(
+            "job finished %s",
+            kv(job=job.id, kind=job.kind, state=state, seconds=f"{seconds:.3f}", error=error),
+        )
+
+    def _execute_job(self, job: Job) -> dict:
+        """The job body (runs in a job-pool thread): plan, batch, assemble."""
+        with obs.tracer().span("service.job", kind=job.kind, job=job.id):
+            request = _requests.compile_request(job.kind, job.payload)
+            last_exc: BaseException | None = None
+            for attempt in range(self.config.retries + 1):
+                with self._lock:
+                    job.attempts += 1
+                    self.store.put(job)
+                if attempt:
+                    self._tally("jobs.retries")
+                    _log.warning(
+                        "retrying job %s",
+                        kv(job=job.id, attempt=attempt + 1, max=self.config.retries + 1),
+                    )
+                try:
+                    return self._execute_once(request).to_dict()
+                except TRANSIENT_EXCEPTIONS as exc:
+                    last_exc = exc
+            assert last_exc is not None
+            raise last_exc
+
+    def _execute_once(self, request: _requests.CompiledRequest) -> _requests.RequestResult:
+        plan = self.planner.plan(request)
+        self._tally("plan.specs", len(plan.specs))
+        self._tally("plan.cache_hits", plan.cache_hits)
+        self._tally("plan.inflight_waits", len(plan.waiting))
+        if plan.claimed:
+            assert self._loop is not None and self._batcher is not None
+            fut = asyncio.run_coroutine_threadsafe(
+                self._batcher.submit(plan.claimed), self._loop
+            )
+            try:
+                fut.result()
+            except Exception as exc:  # noqa: BLE001 - assembly below retries serially
+                self._tally("batch.failures")
+                _log.warning("spec batch failed %s", kv(reason=exc))
+            finally:
+                self.planner.complete(plan)
+        if plan.waiting:
+            self.planner.wait(plan, timeout=self.config.job_timeout)
+        # Everything is (normally) cached now; assembly re-reads the records
+        # in request order and runs the pure-analysis stage.  Anything still
+        # missing — a failed batch, a corrupt entry — executes serially here,
+        # with the engine's own transient-retry logic.
+        with obs.tracer().span("service.assemble", kind=request.kind):
+            return request.execute(
+                cache_root=self.root, executor=SerialExecutor(), progress=None
+            )
+
+    def _run_batch(self, specs: list[RunSpec]) -> None:
+        """Batch body (runs in the dedicated batch thread)."""
+        with obs.tracer().span("service.batch", specs=len(specs)):
+            self.executor.run(specs, cache=self.run_cache)
+
+    def _tally(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._tally_locked(name, value)
+
+    def _tally_locked(self, name: str, value: int = 1) -> None:
+        self._counters[name] += value
+        obs.registry().inc(f"service.{name}", value)

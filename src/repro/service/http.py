@@ -1,0 +1,218 @@
+"""The stdlib HTTP JSON API in front of :class:`AnalysisService`.
+
+Routes (all JSON)::
+
+    GET  /healthz               -> {"status": "ok" | "draining", ...}
+    GET  /v1/stats              -> service tallies + queue occupancy
+    GET  /v1/jobs               -> {"jobs": [<summary>, ...]}
+    POST /v1/jobs               -> 202 {"id", "state", "deduped"}
+         body: {"kind": ..., "payload": {...}, "priority": 5}
+    GET  /v1/jobs/<id>          -> 200 <summary> | 404
+    GET  /v1/jobs/<id>/result   -> 200 {"id","state","result"}   (done)
+                                   200 {"id","state","error"}    (failed)
+                                   202 {"id","state"}            (pending)
+    POST /v1/drain              -> 200 {"drained": true|false}
+
+Backpressure semantics: a full queue answers **429** and a draining
+service **503**, both with a ``Retry-After`` header carrying the
+service's advisory back-off — well-behaved clients (the bundled
+:class:`~repro.service.client.ServiceClient`) sleep and retry.  Invalid
+requests (unknown kind, bad payload, unknown workload) answer **400**
+with the validation error.
+
+The server is a :class:`ThreadingHTTPServer`: request handling threads
+only validate and enqueue; all heavy work happens on the service's own
+queue/batcher machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import JobNotFoundError, QueueFullError, ReproError
+from ..obs import runtime as obs
+from ..obs.logs import get_logger, kv
+from .core import AnalysisService, ServiceConfig
+from .store import Job
+
+__all__ = ["ServiceServer", "serve"]
+
+_log = get_logger("service.http")
+
+
+def _result_view(job: Job) -> tuple[int, dict]:
+    if job.state == "done":
+        return 200, {"id": job.id, "state": job.state, "result": job.result}
+    if job.state == "failed":
+        return 200, {"id": job.id, "state": job.state, "error": job.error}
+    return 202, {"id": job.id, "state": job.state}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "scaltool-service"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # quiet by default
+        _log.debug("http %s", kv(client=self.client_address[0], line=fmt % args))
+
+    def _send(self, status: int, body: dict, headers: dict | None = None) -> None:
+        payload = (json.dumps(body, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ReproError("request body must be a JSON object")
+        return body
+
+    # -- routes -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib API
+        obs.registry().inc("service.http.requests")
+        try:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts == ["healthz"]:
+                stats = self.service.stats()
+                self._send(
+                    200,
+                    {
+                        "status": "draining" if stats["draining"] else "ok",
+                        "jobs": stats["jobs"],
+                    },
+                )
+            elif parts == ["v1", "stats"]:
+                self._send(200, self.service.stats())
+            elif parts == ["v1", "jobs"]:
+                self._send(200, {"jobs": [job.summary() for job in self.service.jobs()]})
+            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                self._send(200, self.service.status(parts[2]).summary())
+            elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
+                status, body = _result_view(self.service.result(parts[2]))
+                self._send(status, body)
+            else:
+                self._send(404, {"error": f"no route {self.path!r}"})
+        except JobNotFoundError as exc:
+            self._send(404, {"error": str(exc)})
+        except ReproError as exc:
+            self._send(400, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib API
+        obs.registry().inc("service.http.requests")
+        try:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts == ["v1", "jobs"]:
+                body = self._body()
+                kind = body.get("kind")
+                if not isinstance(kind, str):
+                    raise ReproError("request needs a string 'kind'")
+                job, deduped = self.service.submit(
+                    kind, body.get("payload") or {}, priority=body.get("priority")
+                )
+                self._send(
+                    202, {"id": job.id, "state": job.state, "deduped": deduped}
+                )
+            elif parts == ["v1", "drain"]:
+                body = self._body()
+                timeout = body.get("timeout")
+                drained = self.service.drain(
+                    timeout=float(timeout) if timeout is not None else None
+                )
+                self._send(200, {"drained": drained})
+            else:
+                self._send(404, {"error": f"no route {self.path!r}"})
+        except QueueFullError as exc:
+            obs.registry().inc("service.http.rejected")
+            self._send(
+                503 if exc.draining else 429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{max(1, round(exc.retry_after))}"},
+            )
+        except ReproError as exc:
+            self._send(400, {"error": str(exc)})
+
+
+class ServiceServer:
+    """An :class:`AnalysisService` bound to a ThreadingHTTPServer.
+
+    ``start()`` runs the HTTP loop on a background thread (tests, embedded
+    use); ``serve_forever()`` runs it in the foreground (``scaltool
+    serve``).  ``shutdown()`` drains the service before stopping, so an
+    orderly exit never abandons admitted jobs.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = AnalysisService(config)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="scaltool-http",
+            daemon=True,
+            kwargs={"poll_interval": 0.05},
+        )
+        self._thread.start()
+        _log.debug("http server listening %s", kv(url=self.url))
+        return self
+
+    def serve_forever(self) -> None:
+        self.service.start()
+        _log.debug("http server listening %s", kv(url=self.url))
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self.shutdown()
+
+    def shutdown(self, drain_timeout: float | None = 30.0) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.service.close(drain=True, timeout=drain_timeout)
+
+
+def serve(
+    config: ServiceConfig | None = None, host: str = "127.0.0.1", port: int = 8032
+) -> ServiceServer:
+    """Build (but do not start) a server — the ``scaltool serve`` entry."""
+    return ServiceServer(config, host=host, port=port)

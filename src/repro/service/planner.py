@@ -1,0 +1,136 @@
+"""The request planner: spec-level dedup across concurrent jobs.
+
+Two service jobs frequently need the same runs — an ``analyze`` and a
+``predict`` over the same workload share the entire Table-3 campaign;
+two sweeps share their grid intersection.  The engine's
+:class:`~repro.runner.engine.RunCache` already dedups *completed* runs;
+the planner closes the remaining window by dedupping runs that are
+*currently executing* on behalf of another job:
+
+* specs whose cache entry exists are counted as cache hits and dropped
+  from the work list;
+* specs another job has already claimed are *waited on* (the claiming
+  job's batch will populate the cache);
+* the remainder is *claimed* by this job and handed to the batcher.
+
+Claiming is atomic over the whole key set (one lock), so two jobs that
+plan concurrently partition the overlap instead of both executing it.
+A claim is always released — even when the claiming batch fails — and a
+waiter re-checks the cache afterwards: if the owner failed, the waiter
+simply executes the spec itself during result assembly, so a crashed
+job never wedges its peers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..obs import runtime as obs
+from ..runner.engine import RunCache, RunSpec
+from .requests import CompiledRequest
+
+__all__ = ["InFlightTable", "RequestPlan", "RequestPlanner"]
+
+
+class InFlightTable:
+    """Thread-safe registry of run-spec keys currently being executed."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: dict[str, threading.Event] = {}
+
+    def claim(self, keys: list[str]) -> tuple[list[str], dict[str, threading.Event]]:
+        """Partition ``keys`` into (claimed by me, already in flight).
+
+        Claimed keys get a fresh event that :meth:`release` will set;
+        in-flight keys map to the owner's event to wait on.
+        """
+        claimed: list[str] = []
+        waiting: dict[str, threading.Event] = {}
+        with self._lock:
+            for key in keys:
+                event = self._events.get(key)
+                if event is None:
+                    self._events[key] = threading.Event()
+                    claimed.append(key)
+                else:
+                    waiting[key] = event
+        return claimed, waiting
+
+    def release(self, keys: list[str]) -> None:
+        """Mark claimed keys finished (success *or* failure) and wake waiters."""
+        with self._lock:
+            events = [self._events.pop(key, None) for key in keys]
+        for event in events:
+            if event is not None:
+                event.set()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+@dataclass
+class RequestPlan:
+    """How one request's spec set resolved at planning time."""
+
+    specs: list[RunSpec]  # unique specs, in request order
+    claimed: list[RunSpec]  # this job executes these (via the batcher)
+    waiting: dict[str, threading.Event] = field(default_factory=dict)
+    cache_hits: int = 0
+
+    @property
+    def claimed_keys(self) -> list[str]:
+        return [spec.key() for spec in self.claimed]
+
+
+class RequestPlanner:
+    """Compile a request into a deduplicated execution plan."""
+
+    def __init__(self, cache: RunCache, inflight: InFlightTable | None = None) -> None:
+        self.cache = cache
+        self.inflight = inflight or InFlightTable()
+
+    def plan(self, request: CompiledRequest) -> RequestPlan:
+        reg = obs.registry()
+        with obs.tracer().span("service.plan", kind=request.kind) as span:
+            unique: dict[str, RunSpec] = {}
+            for spec in request.specs():
+                unique.setdefault(spec.key(), spec)
+            cached = {k for k, s in unique.items() if self.cache.contains(s)}
+            claimed_keys, waiting = self.inflight.claim(
+                [k for k in unique if k not in cached]
+            )
+            plan = RequestPlan(
+                specs=list(unique.values()),
+                claimed=[unique[k] for k in claimed_keys],
+                waiting=waiting,
+                cache_hits=len(cached),
+            )
+            span.set(
+                specs=len(unique),
+                cache_hits=plan.cache_hits,
+                claimed=len(plan.claimed),
+                waiting=len(waiting),
+            )
+        reg.inc("service.plan.specs", len(unique))
+        reg.inc("service.plan.cache_hits", plan.cache_hits)
+        reg.inc("service.plan.claimed", len(plan.claimed))
+        reg.inc("service.plan.inflight_waits", len(waiting))
+        return plan
+
+    def complete(self, plan: RequestPlan) -> None:
+        """Release this plan's claims (call exactly once, success or not)."""
+        self.inflight.release(plan.claimed_keys)
+
+    def wait(self, plan: RequestPlan, timeout: float | None = None) -> bool:
+        """Block until every spec claimed by *other* jobs has settled.
+
+        Returns False if ``timeout`` expired first; result assembly then
+        just executes whatever is still missing itself.
+        """
+        ok = True
+        for event in plan.waiting.values():
+            ok = event.wait(timeout) and ok
+        return ok

@@ -1,0 +1,122 @@
+"""The persistent job store: one atomic JSON file per job.
+
+Jobs live under ``<cache root>/service/jobs/<job id>.json`` and are
+rewritten (write-then-rename, the same idiom as
+:class:`~repro.runner.engine.RunCache`) on every state transition, so
+
+* a restarted service recovers exactly the jobs that were queued or
+  running when it died (interrupted jobs are re-queued, finished jobs
+  keep serving ``status`` / ``result`` idempotently), and
+* the store can neither lose nor duplicate an entry: the job id *is*
+  the file name, and a job id is a content address over the canonical
+  request (:func:`~repro.service.requests.request_fingerprint`).
+
+A corrupt job file is never fatal: it is logged, counted
+(``service.store.corrupt``), and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..errors import ServiceError
+from ..obs import runtime as obs
+from ..obs.logs import get_logger, kv
+
+__all__ = ["Job", "JobStore", "JOB_STATES", "ACTIVE_STATES", "TERMINAL_STATES"]
+
+_log = get_logger("service.store")
+
+#: Job lifecycle: queued -> running -> done | failed.
+JOB_STATES = ("queued", "running", "done", "failed")
+ACTIVE_STATES = ("queued", "running")
+TERMINAL_STATES = ("done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted request and everything that happened to it."""
+
+    id: str
+    kind: str
+    payload: dict  # canonical payload (defaults resolved)
+    priority: int = 5
+    state: str = "queued"
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    attempts: int = 0
+    error: str | None = None
+    result: dict | None = None  # RequestResult.to_dict() once done
+
+    def summary(self) -> dict:
+        """The status view: everything but the (possibly large) result."""
+        out = asdict(self)
+        out.pop("result")
+        out["has_result"] = self.result is not None
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Job":
+        try:
+            data = json.loads(text)
+            if data["state"] not in JOB_STATES:
+                raise ValueError(f"unknown state {data['state']!r}")
+            return cls(**data)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"bad job record: {exc}") from exc
+
+
+class JobStore:
+    """Directory-backed job persistence with atomic per-job writes."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.json"
+
+    def put(self, job: Job) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(job.id)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        tmp.write_text(job.to_json() + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def get(self, job_id: str) -> Job | None:
+        """The stored job, or None (missing *or* unreadable)."""
+        try:
+            text = self.path(job_id).read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._note_corrupt(job_id, exc)
+            return None
+        try:
+            return Job.from_json(text)
+        except ServiceError as exc:
+            self._note_corrupt(job_id, exc)
+            return None
+
+    def load_all(self) -> list[Job]:
+        """Every readable job, oldest first (corrupt entries are skipped)."""
+        jobs = []
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("j*.json")):
+                job = self.get(path.stem)
+                if job is not None:
+                    jobs.append(job)
+        return sorted(jobs, key=lambda j: j.created)
+
+    def _note_corrupt(self, job_id: str, exc: Exception) -> None:
+        obs.registry().inc("service.store.corrupt")
+        _log.warning("job store entry unreadable %s", kv(job=job_id, reason=exc))

@@ -1,0 +1,93 @@
+"""Planner: cache-hit dropping, atomic in-flight claims, waiter semantics."""
+
+import threading
+
+from repro.runner.engine import RunCache
+from repro.service.planner import InFlightTable, RequestPlanner
+from repro.service.requests import compile_request
+
+PAYLOAD = {"workload": "synthetic", "s0": 163840, "counts": [1, 2]}
+
+
+class TestInFlightTable:
+    def test_claim_partitions(self):
+        table = InFlightTable()
+        claimed, waiting = table.claim(["a", "b"])
+        assert claimed == ["a", "b"] and waiting == {}
+        claimed2, waiting2 = table.claim(["b", "c"])
+        assert claimed2 == ["c"]
+        assert set(waiting2) == {"b"}
+        assert len(table) == 3
+
+    def test_release_wakes_waiters(self):
+        table = InFlightTable()
+        table.claim(["a"])
+        _, waiting = table.claim(["a"])
+        assert not waiting["a"].is_set()
+        table.release(["a"])
+        assert waiting["a"].is_set()
+        assert len(table) == 0
+
+    def test_release_unknown_key_is_noop(self):
+        InFlightTable().release(["ghost"])
+
+    def test_reclaim_after_release(self):
+        table = InFlightTable()
+        table.claim(["a"])
+        table.release(["a"])
+        claimed, waiting = table.claim(["a"])
+        assert claimed == ["a"] and not waiting
+
+
+class TestRequestPlanner:
+    def test_first_plan_claims_everything(self, tmp_path):
+        planner = RequestPlanner(RunCache(tmp_path / "runs"))
+        plan = planner.plan(compile_request("analyze", PAYLOAD))
+        assert plan.cache_hits == 0
+        assert not plan.waiting
+        assert len(plan.claimed) == len(plan.specs) > 0
+        planner.complete(plan)
+
+    def test_concurrent_plans_partition_overlap(self, tmp_path):
+        planner = RequestPlanner(RunCache(tmp_path / "runs"))
+        first = planner.plan(compile_request("analyze", PAYLOAD))
+        second = planner.plan(compile_request("whatif", {**PAYLOAD, "tm": 0.5}))
+        # Identical spec sets: the second job claims nothing and waits on all.
+        assert second.claimed == []
+        assert set(second.waiting) == set(first.claimed_keys)
+        planner.complete(first)
+        assert planner.wait(second, timeout=1.0)
+        planner.complete(second)
+
+    def test_cached_specs_become_hits(self, warm_root):
+        cache = RunCache(warm_root / "runs")
+        request = compile_request("analyze", PAYLOAD)
+        planner = RequestPlanner(cache)
+        plan = planner.plan(request)
+        assert plan.cache_hits == len(plan.specs)
+        assert plan.claimed == [] and not plan.waiting
+        planner.complete(plan)
+
+    def test_wait_returns_false_on_timeout(self, tmp_path):
+        planner = RequestPlanner(RunCache(tmp_path / "runs"))
+        first = planner.plan(compile_request("analyze", PAYLOAD))
+        second = planner.plan(compile_request("analyze", PAYLOAD))
+        assert not planner.wait(second, timeout=0.01)
+        planner.complete(first)  # a crashed owner still releases via finally
+        assert planner.wait(second, timeout=1.0)
+
+    def test_wait_survives_owner_failure(self, tmp_path):
+        # The owner "fails": it releases without populating the cache.  The
+        # waiter unblocks and would execute the specs itself at assembly.
+        planner = RequestPlanner(RunCache(tmp_path / "runs"))
+        owner = planner.plan(compile_request("analyze", PAYLOAD))
+        waiter = planner.plan(compile_request("analyze", PAYLOAD))
+        released = threading.Event()
+
+        def fail_owner():
+            planner.complete(owner)
+            released.set()
+
+        threading.Thread(target=fail_owner).start()
+        assert planner.wait(waiter, timeout=2.0)
+        assert released.is_set()

@@ -13,6 +13,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_single_sourced(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert capsys.readouterr().out == f"scaltool {__version__}\n"
+
     def test_counts_parsing(self):
         args = build_parser().parse_args(["analyze", "swim", "--counts", "1,2,4"])
         assert args.counts == (1, 2, 4)

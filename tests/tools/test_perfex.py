@@ -1,6 +1,8 @@
 """perfex formatting, parsing, multiplex emulation."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import CounterFormatError
 from repro.machine.counters import CounterSet
@@ -60,6 +62,95 @@ class TestFormatParse:
         text = format_report(counters()) + "\nxx yy\n"
         with pytest.raises(CounterFormatError):
             parse_report(text)
+
+
+class TestParseErrorPaths:
+    """Malformed inputs must fail loudly as CounterFormatError, never crash."""
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CounterFormatError, match="missing header"):
+            parse_report("")
+
+    def test_malformed_header_rejected(self):
+        text = format_report(counters()).replace("# perfex report", "# prefex report")
+        with pytest.raises(CounterFormatError, match="missing header"):
+            parse_report(text)
+
+    def test_header_past_preamble_rejected(self):
+        # The header must appear in the first lines, not buried mid-file.
+        text = "\n" * 20 + format_report(counters())
+        with pytest.raises(CounterFormatError, match="missing header"):
+            parse_report(text)
+
+    def test_bad_meta_json_rejected(self):
+        text = format_report(counters(), metadata={"workload": "x"}).replace(
+            '# meta: {"workload": "x"}', '# meta: {"workload": '
+        )
+        with pytest.raises(CounterFormatError, match="bad metadata JSON"):
+            parse_report(text)
+
+    def test_truncated_before_summary_rejected(self):
+        # Torn write: header survived, the summary section did not.
+        text = format_report(counters(), metadata={"n": 2})
+        truncated = text[: text.index("Summary")]
+        with pytest.raises(CounterFormatError, match="no summary section"):
+            parse_report(truncated)
+
+    def test_truncated_event_line_rejected(self):
+        text = format_report(counters())
+        lines = text.splitlines()
+        # Chop an event line mid-value: "... 1000" -> "... 10 00" won't
+        # happen, but losing the value column entirely does.
+        idx = next(i for i, ln in enumerate(lines) if ln.startswith(" ") or ln[:1].isdigit())
+        lines[idx] = lines[idx].rsplit(None, 1)[0][:20]
+        with pytest.raises(CounterFormatError, match="unparseable line"):
+            parse_report("\n".join(lines))
+
+    def test_unknown_event_number_rejected(self):
+        text = format_report(counters()) + "\n999 Mystery event ............ 7\n"
+        with pytest.raises(CounterFormatError, match="unknown event number 999"):
+            parse_report(text)
+
+    def test_event_line_before_section_rejected(self):
+        body = format_report(counters()).split("Summary of all processors:\n")[1]
+        text = "# perfex report\n\n" + body
+        with pytest.raises(CounterFormatError, match="before any section"):
+            parse_report(text)
+
+    def test_non_numeric_value_rejected(self):
+        text = format_report(counters())
+        text = text.replace(text.rsplit(None, 1)[-1], "banana", 1)
+        with pytest.raises(CounterFormatError):
+            parse_report(text)
+
+
+def counter_sets(max_value: float = 1e12):
+    """Strategy for CounterSet with non-negative integral counts."""
+    value = st.integers(min_value=0, max_value=int(max_value)).map(float)
+    return st.builds(
+        CounterSet,
+        cycles=value,
+        graduated_instructions=value,
+        graduated_loads=value,
+        graduated_stores=value,
+        l1_data_misses=value,
+        l2_misses=value,
+        l1_instruction_misses=value,
+        store_exclusive_to_shared=value,
+        tlb_misses=value,
+    )
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(totals=counter_sets(), per_cpu=st.lists(counter_sets(), max_size=4))
+    def test_format_parse_roundtrip(self, totals, per_cpu):
+        meta = {"workload": "synthetic", "n": len(per_cpu) or 1}
+        text = format_report(totals, per_cpu=per_cpu or None, metadata=meta)
+        parsed_meta, parsed_totals, parsed_cpus = parse_report(text)
+        assert parsed_meta == meta
+        assert parsed_totals == totals.rounded()
+        assert parsed_cpus == [c.rounded() for c in per_cpu]
 
 
 class TestMultiplex:
