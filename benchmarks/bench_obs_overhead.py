@@ -21,9 +21,11 @@ Two checks, in increasing strictness:
 
 from __future__ import annotations
 
+import json
 import statistics
 import time
 import timeit
+from pathlib import Path
 
 from repro.obs import runtime as obs
 from repro.obs.metrics import NOOP_REGISTRY
@@ -63,11 +65,15 @@ def _hook_executions(campaign: ScalToolCampaign) -> int:
     return 16 * len(campaign.planned_runs())
 
 
-def test_disabled_overhead_under_5_percent(emit):
+def measure(repeats: int = REPEATS) -> dict:
+    """The overhead measurement, importable (``check_regression`` reruns it).
+
+    Returns the raw numbers; callers decide what to assert or compare.
+    """
     campaign = _campaign()
     assert obs.active() is None
 
-    disabled_s = _median_seconds(lambda: campaign.run())
+    disabled_s = _median_seconds(lambda: campaign.run(), repeats=repeats)
 
     # Cost of one disabled-mode hook visit: switch read + noop span + a
     # couple of dropped registry writes.
@@ -81,34 +87,49 @@ def test_disabled_overhead_under_5_percent(emit):
     n_micro = 10_000
     per_hook_s = timeit.timeit(hook_ops, number=n_micro) / n_micro
     hook_cost_s = per_hook_s * _hook_executions(campaign)
-    hook_fraction = hook_cost_s / disabled_s
 
     def run_enabled():
         with obs.session():
             campaign.run()
 
-    enabled_s = _median_seconds(run_enabled)
-    ratio = enabled_s / disabled_s
+    enabled_s = _median_seconds(run_enabled, repeats=repeats)
+    return {
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "ratio": enabled_s / disabled_s,
+        "per_hook_ns": per_hook_s * 1e9,
+        "hook_executions": _hook_executions(campaign),
+        "hook_fraction": hook_cost_s / disabled_s,
+    }
 
-    report = "\n".join(
+
+def format_measurement(m: dict) -> str:
+    return "\n".join(
         [
             "obs disabled-mode overhead (synthetic, s0=32KiB, n=1,2)",
-            f"{'campaign wall time, obs disabled':.<55s} {disabled_s * 1e3:>12.2f} ms",
-            f"{'campaign wall time, obs enabled':.<55s} {enabled_s * 1e3:>12.2f} ms",
-            f"{'enabled / disabled ratio':.<55s} {ratio:>12.3f}",
-            f"{'per-hook disabled cost':.<55s} {per_hook_s * 1e9:>12.0f} ns",
-            f"{'hook executions per campaign (bound)':.<55s} {_hook_executions(campaign):>12d}",
-            f"{'total hook cost / campaign time':.<55s} {hook_fraction:>12.4%}",
+            f"{'campaign wall time, obs disabled':.<55s} {m['disabled_s'] * 1e3:>12.2f} ms",
+            f"{'campaign wall time, obs enabled':.<55s} {m['enabled_s'] * 1e3:>12.2f} ms",
+            f"{'enabled / disabled ratio':.<55s} {m['ratio']:>12.3f}",
+            f"{'per-hook disabled cost':.<55s} {m['per_hook_ns']:>12.0f} ns",
+            f"{'hook executions per campaign (bound)':.<55s} {m['hook_executions']:>12d}",
+            f"{'total hook cost / campaign time':.<55s} {m['hook_fraction']:>12.4%}",
         ]
     )
-    emit("obs_overhead", report)
+
+
+def test_disabled_overhead_under_5_percent(emit):
+    m = measure()
+    emit("obs_overhead", format_measurement(m))
+    (Path(__file__).parent / "results" / "obs_overhead.json").write_text(
+        json.dumps(m, indent=2, sort_keys=True) + "\n"
+    )
 
     # The contract: all disabled-mode hook visits together stay under 5%
     # of the campaign's wall time.
-    assert hook_fraction < 0.05, f"disabled-mode hook cost {hook_fraction:.2%} >= 5%"
+    assert m["hook_fraction"] < 0.05, f"disabled-mode hook cost {m['hook_fraction']:.2%} >= 5%"
     # Sanity: enabling a session must not blow the runtime up.  Generous
     # bound — enabled mode does real span/registry work.
-    assert ratio < 1.5, f"enabled/disabled ratio {ratio:.2f} unexpectedly high"
+    assert m["ratio"] < 1.5, f"enabled/disabled ratio {m['ratio']:.2f} unexpectedly high"
 
     # The no-op singletons really dropped everything.
     assert NOOP_TRACER.records == []

@@ -86,7 +86,13 @@ def _drive_phase(url: str, clients: int, requests_per_client: int, phase: str) -
     }
 
 
-def _run_config(clients: int, requests_per_client: int, jobs: int, cache_dir: Path) -> dict:
+def _run_config(
+    clients: int,
+    requests_per_client: int,
+    jobs: int,
+    cache_dir: Path,
+    export_dir: Path | None = None,
+) -> dict:
     server = ServiceServer(
         ServiceConfig(
             cache_dir=cache_dir,
@@ -100,7 +106,19 @@ def _run_config(clients: int, requests_per_client: int, jobs: int, cache_dir: Pa
     try:
         cold = _drive_phase(server.url, clients, requests_per_client, "cold")
         warm = _drive_phase(server.url, clients, requests_per_client, "warm")
-        stats = ServiceClient(server.url).stats()
+        client = ServiceClient(server.url)
+        stats = client.stats()
+        if export_dir is not None:
+            # CI artifact: the live Prometheus exposition plus one job's
+            # merged distributed trace, proving the whole pipeline worked.
+            export_dir.mkdir(parents=True, exist_ok=True)
+            (export_dir / "metrics.prom").write_text(client.metrics())
+            traced = [j for j in client.jobs() if j.get("trace_id")]
+            if traced:
+                tree = client.trace(traced[-1]["id"])
+                (export_dir / "job_trace.json").write_text(
+                    json.dumps(tree, indent=2, sort_keys=True) + "\n"
+                )
     finally:
         server.shutdown(drain_timeout=60)
     counters = stats["counters"]
@@ -123,19 +141,28 @@ def run_benchmark(
     engine_jobs: int = 4,
     cache_dir: str | Path | None = None,
     results_dir: str | Path | None = None,
+    export_dir: str | Path | None = None,
 ) -> dict:
     """Drive the service with concurrent clients; serial vs parallel engine.
 
     Each configuration gets a fresh cache root, so both see a true cold
     phase.  Returns the measurement dict and, when ``results_dir`` is
     given, writes ``service_load.json`` + ``service_load.txt`` there.
+    ``export_dir`` additionally captures the parallel run's ``/metrics``
+    exposition and one job's distributed trace (the CI smoke artifact).
     """
     import tempfile
 
     with tempfile.TemporaryDirectory(prefix="scaltool-bench-") as tmp:
         base = Path(cache_dir) if cache_dir is not None else Path(tmp)
         serial = _run_config(clients, requests_per_client, 1, base / "serial")
-        parallel = _run_config(clients, requests_per_client, engine_jobs, base / "parallel")
+        parallel = _run_config(
+            clients,
+            requests_per_client,
+            engine_jobs,
+            base / "parallel",
+            export_dir=Path(export_dir) if export_dir is not None else None,
+        )
 
     result = {
         "clients": clients,

@@ -1,0 +1,204 @@
+"""Compare a fresh benchmark run against the recorded results.
+
+``python benchmarks/check_regression.py`` reruns the service load bench
+(:mod:`bench_service_load`) and the obs overhead bench
+(:mod:`bench_obs_overhead`), compares the fresh numbers against the JSON
+recorded in ``benchmarks/results/``, and exits non-zero when any tracked
+metric regressed past the threshold (default 20%).
+
+Only *worse-is-higher* metrics are tracked (wall times, latencies, the
+enabled/disabled overhead ratio); getting faster never fails.  Counter
+metrics (dedup ratio, spec counts) are workload-deterministic and
+asserted by the benches themselves, so they are not re-checked here.
+
+Flags:
+
+* ``--threshold 0.2``   allowed relative slowdown before failing
+* ``--report-only``     print the comparison but always exit 0
+* ``--smoke``           tiny configuration (CI: seconds, not minutes)
+* ``--export-dir DIR``  also capture /metrics + one job trace from the
+  load bench's parallel run (uploaded as a CI artifact)
+* ``--baseline-dir``    where the recorded JSON lives (default:
+  ``benchmarks/results/``)
+
+The compare logic (:func:`compare`) is pure and unit-tested; wall-clock
+enters only through the fresh measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+DEFAULT_THRESHOLD = 0.2
+
+#: (metric label, path into the result dict) — higher is worse for all.
+SERVICE_LOAD_METRICS = [
+    ("serial cold wall_seconds", ("serial", "cold", "wall_seconds")),
+    ("serial warm wall_seconds", ("serial", "warm", "wall_seconds")),
+    ("serial cold latency_mean_s", ("serial", "cold", "latency_mean_s")),
+    ("serial warm latency_mean_s", ("serial", "warm", "latency_mean_s")),
+    ("parallel cold wall_seconds", ("parallel", "cold", "wall_seconds")),
+    ("parallel warm wall_seconds", ("parallel", "warm", "wall_seconds")),
+    ("parallel cold latency_mean_s", ("parallel", "cold", "latency_mean_s")),
+    ("parallel warm latency_mean_s", ("parallel", "warm", "latency_mean_s")),
+]
+
+OBS_OVERHEAD_METRICS = [
+    ("obs hook_fraction", ("hook_fraction",)),
+    ("obs enabled/disabled ratio", ("ratio",)),
+]
+
+
+def _dig(data: dict, path: tuple) -> float | None:
+    node = data
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare(
+    baseline: dict, fresh: dict, metrics: list[tuple], threshold: float
+) -> list[dict]:
+    """Per-metric comparison rows; ``regressed`` marks threshold breaches.
+
+    A metric missing on either side is reported (``status: missing``) but
+    never fails the check — recorded baselines predate some metrics.
+    """
+    rows = []
+    for label, path in metrics:
+        base = _dig(baseline, path)
+        new = _dig(fresh, path)
+        if base is None or new is None or base <= 0:
+            rows.append(
+                {"metric": label, "baseline": base, "fresh": new,
+                 "delta": None, "status": "missing", "regressed": False}
+            )
+            continue
+        delta = (new - base) / base
+        regressed = delta > threshold
+        rows.append(
+            {
+                "metric": label,
+                "baseline": base,
+                "fresh": new,
+                "delta": delta,
+                "status": "regressed" if regressed else "ok",
+                "regressed": regressed,
+            }
+        )
+    return rows
+
+
+def format_rows(title: str, rows: list[dict], threshold: float) -> str:
+    lines = [f"[{title}] threshold +{threshold:.0%}"]
+    for r in rows:
+        if r["status"] == "missing":
+            lines.append(f"  {r['metric']:.<46s} (not comparable)")
+            continue
+        lines.append(
+            f"  {r['metric']:.<46s} {r['baseline']:>9.4f} -> {r['fresh']:>9.4f}"
+            f"  {r['delta']:>+7.1%}  {'REGRESSED' if r['regressed'] else 'ok'}"
+        )
+    return "\n".join(lines)
+
+
+def _load_baseline(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative slowdown (default 0.2 = 20%%)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the comparison but always exit 0")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (fewer clients/repeats)")
+    parser.add_argument("--export-dir", default=None, metavar="DIR",
+                        help="capture /metrics + one job trace here (CI artifact)")
+    parser.add_argument("--baseline-dir", default=str(HERE / "results"), metavar="DIR",
+                        help="directory holding the recorded baseline JSON")
+    parser.add_argument("--skip-load", action="store_true",
+                        help="skip the service load bench")
+    parser.add_argument("--skip-obs", action="store_true",
+                        help="skip the obs overhead bench")
+    args = parser.parse_args(argv)
+
+    # Import the benches through the package so monkeypatching
+    # ``benchmarks.bench_*`` in tests affects what runs here.
+    sys.path.insert(0, str(HERE.parent))
+    baseline_dir = Path(args.baseline_dir)
+    failed = False
+    reports: list[str] = []
+
+    if not args.skip_load:
+        from benchmarks.bench_service_load import run_benchmark
+
+        if args.smoke:
+            fresh_load = run_benchmark(
+                clients=2, requests_per_client=1,
+                engine_jobs=min(2, os.cpu_count() or 1),
+                export_dir=args.export_dir,
+            )
+        else:
+            fresh_load = run_benchmark(export_dir=args.export_dir)
+        baseline_load = _load_baseline(baseline_dir / "service_load.json")
+        if baseline_load is None:
+            reports.append("[service_load] no recorded baseline; skipping comparison")
+        elif args.smoke and (
+            baseline_load.get("clients") != fresh_load.get("clients")
+            or baseline_load.get("requests_per_client") != fresh_load.get("requests_per_client")
+        ):
+            # A smoke run is a different workload than the recorded full
+            # run: absolute comparison would be meaningless noise.
+            reports.append(
+                "[service_load] smoke configuration differs from baseline; "
+                "ran the bench (pass/fail is its own assertions), comparison skipped"
+            )
+        else:
+            rows = compare(baseline_load, fresh_load, SERVICE_LOAD_METRICS, args.threshold)
+            reports.append(format_rows("service_load", rows, args.threshold))
+            failed |= any(r["regressed"] for r in rows)
+
+    if not args.skip_obs:
+        from benchmarks import bench_obs_overhead
+
+        measure = bench_obs_overhead.measure
+
+        fresh_obs = measure(repeats=2 if args.smoke else 5)
+        baseline_obs = _load_baseline(baseline_dir / "obs_overhead.json")
+        if baseline_obs is None:
+            reports.append("[obs_overhead] no recorded baseline; skipping comparison")
+        else:
+            rows = compare(baseline_obs, fresh_obs, OBS_OVERHEAD_METRICS, args.threshold)
+            reports.append(format_rows("obs_overhead", rows, args.threshold))
+            failed |= any(r["regressed"] for r in rows)
+        # The bench's own invariant holds regardless of any baseline.
+        if fresh_obs["hook_fraction"] >= 0.05:
+            reports.append(
+                f"[obs_overhead] disabled-mode hook cost "
+                f"{fresh_obs['hook_fraction']:.2%} >= 5% contract"
+            )
+            failed = True
+
+    print("\n\n".join(reports))
+    if failed and not args.report_only:
+        print("\nbenchmark regression detected", file=sys.stderr)
+        return 1
+    if failed:
+        print("\nbenchmark regression detected (report-only mode, exiting 0)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

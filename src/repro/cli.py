@@ -283,6 +283,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_result.add_argument("job_id")
     p_result.add_argument("--wait", action="store_true", help="block until the job finishes")
     p_result.add_argument("--timeout", type=float, default=600.0, help="--wait timeout in seconds")
+
+    p_obs = sub.add_parser(
+        "obs", help="observability queries: job traces, manifest hot spots"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_trace = obs_sub.add_parser(
+        "trace", parents=[client_common],
+        help="render a service job's distributed span tree (critical path starred)",
+    )
+    p_obs_trace.add_argument("job_id")
+    p_obs_trace.add_argument(
+        "--json", action="store_true", help="print the raw spans as JSON instead of a tree"
+    )
+    p_obs_top = obs_sub.add_parser(
+        "top", parents=[obs_common],
+        help="hottest span paths and metric summaries from a --metrics-out manifest",
+    )
+    p_obs_top.add_argument("manifest", help="JSONL manifest written by --metrics-out")
+    p_obs_top.add_argument(
+        "--limit", type=int, default=10, metavar="N", help="span paths to show (default 10)"
+    )
     return parser
 
 
@@ -641,6 +662,28 @@ def _dispatch(args) -> int:
             return 2
         sys.stdout.write(view["result"]["output"])
         return 0
+
+    if args.command == "obs":
+        if args.obs_command == "trace":
+            import json as _json
+
+            from .service.client import ServiceClient
+            from .viz.trace_view import render_trace
+
+            view = ServiceClient(args.url).trace(args.job_id)
+            if args.json:
+                print(_json.dumps(view, indent=2, sort_keys=True))
+                return 0
+            state = "complete" if view.get("complete") else "in flight"
+            print(f"# trace {view['trace_id']} — job {view['job']} ({state})")
+            sys.stdout.write(render_trace(view["spans"]))
+            return 0
+        if args.obs_command == "top":
+            from .obs.export import summarize_manifest
+
+            print(summarize_manifest(args.manifest, limit=args.limit))
+            return 0
+        raise ReproError(f"unknown obs command {args.obs_command!r}")  # pragma: no cover
 
     if args.command == "plan":
         rows = [

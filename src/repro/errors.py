@@ -96,3 +96,12 @@ class QueueFullError(ServiceError):
 
 class JobNotFoundError(ServiceError):
     """No job with the requested id exists in the job store."""
+
+
+class StoreUnavailableError(ServiceError):
+    """The job store's backing directory cannot be created or written.
+
+    Raised at service startup (and on submission while degraded) so the
+    HTTP layer can answer with a structured 503 JSON body instead of a
+    bare connection failure.  Read-only endpoints keep working.
+    """

@@ -31,9 +31,9 @@ See ``docs/observability.md`` for the span/metric naming scheme and how
 to read the profile report.
 """
 
-from .export import export_jsonl, format_profile, manifest_records
+from .export import export_jsonl, format_profile, manifest_records, summarize_manifest
 from .logs import configure_logging, get_logger, kv
-from .metrics import Histogram, MetricsRegistry
+from .metrics import BucketHistogram, Histogram, MetricsRegistry
 from .profile import ProfileResult, profile_workload
 from .runtime import (
     ObsSession,
@@ -46,15 +46,23 @@ from .runtime import (
     tracer,
 )
 from .spans import Span, SpanRecord, Tracer
+from .telemetry import Telemetry, render_prometheus
+from .trace import TraceBuffer, TraceContext, TraceHandle, TraceSpan
 
 __all__ = [
     "ObsSession",
     "Span",
     "SpanRecord",
     "Tracer",
+    "BucketHistogram",
     "Histogram",
     "MetricsRegistry",
     "ProfileResult",
+    "Telemetry",
+    "TraceBuffer",
+    "TraceContext",
+    "TraceHandle",
+    "TraceSpan",
     "active",
     "configure_logging",
     "disable",
@@ -67,6 +75,8 @@ __all__ = [
     "manifest_records",
     "profile_workload",
     "registry",
+    "render_prometheus",
     "session",
+    "summarize_manifest",
     "tracer",
 ]

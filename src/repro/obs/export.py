@@ -21,7 +21,7 @@ from pathlib import Path
 
 from .runtime import ObsSession
 
-__all__ = ["manifest_records", "export_jsonl", "format_profile"]
+__all__ = ["manifest_records", "export_jsonl", "format_profile", "summarize_manifest"]
 
 _HEADER = "# scaltool profile report"
 _META_PREFIX = "# meta: "
@@ -102,5 +102,62 @@ def format_profile(session: ObsSession, meta: dict | None = None) -> str:
                 f"  {name:.<52s} count={s['count']} mean={s['mean']:.4g} "
                 f"p50={s['p50']:.4g} p90={s['p90']:.4g} p99={s['p99']:.4g} max={s['max']:.4g}"
             )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def summarize_manifest(path: str | Path, limit: int = 10) -> str:
+    """``scaltool obs top``: hottest span paths + metric summaries.
+
+    Reads a JSONL manifest written by ``--metrics-out`` (or the bench
+    artifact uploads), aggregates spans by path, and prints the ``limit``
+    paths with the largest total time — the "where did it go" view that
+    the raw start-ordered manifest makes you compute by hand.
+    """
+    groups: dict[str, list[float]] = {}
+    histograms: list[dict] = []
+    counters: list[tuple[str, float]] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        kind = rec.get("kind")
+        if kind == "span":
+            groups.setdefault(rec["path"], []).append(float(rec.get("duration_s", 0.0)))
+        elif kind == "histogram":
+            histograms.append(rec)
+        elif kind == "counter":
+            counters.append((rec["name"], rec["value"]))
+
+    lines = [f"# scaltool obs top — {path}"]
+    if groups:
+        ranked = sorted(
+            groups.items(), key=lambda item: (-sum(item[1]), item[0])
+        )[: max(1, limit)]
+        lines.append("")
+        lines.append(f"Slowest span paths (top {len(ranked)} by total time):")
+        for span_path, durations in ranked:
+            total = sum(durations)
+            worst = max(durations)
+            lines.append(
+                f"  {span_path:.<52s} {_fmt_seconds(total)}  "
+                f"count={len(durations)} max={worst:.4g}s"
+            )
+    if histograms:
+        lines.append("")
+        lines.append("Histograms:")
+        for s in histograms:
+            lines.append(
+                f"  {s['name']:.<52s} count={s['count']} mean={s['mean']:.4g} "
+                f"p50={s['p50']:.4g} p90={s['p90']:.4g} p99={s['p99']:.4g} max={s['max']:.4g}"
+            )
+    if counters:
+        lines.append("")
+        lines.append("Counters:")
+        for name, value in counters:
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"  {name:.<52s} {shown:>14}")
+    if not groups and not histograms and not counters:
+        lines.append("(no spans or metrics in manifest)")
     lines.append("")
     return "\n".join(lines)

@@ -49,9 +49,11 @@ def profile_workload(
     Reuses the already-active obs session when there is one (the CLI
     enables it to honour ``--metrics-out``); otherwise enables a private
     session for the duration and leaves its data readable afterwards.
-    Note that with a parallel ``executor`` the per-component simulator
-    spans happen in worker processes and are not visible to this session;
-    the engine/campaign spans and metrics still are.
+    With a parallel ``executor`` the per-component simulator spans and
+    metrics happen in worker processes; the engine spools each worker
+    run's session to disk and merges it back in plan order (see
+    :mod:`repro.obs.spool`), so the profile is structurally identical to
+    a serial one — only the timing values differ.
     """
     # Imports deferred: obs is a leaf dependency of the layers it observes.
     from ..core import ScalTool

@@ -31,7 +31,13 @@ __all__ = ["SpanRecord", "Span", "Tracer", "NoopSpan", "NOOP_SPAN", "NoopTracer"
 
 @dataclass
 class SpanRecord:
-    """One finished (or emitted) span."""
+    """One finished (or emitted) span.
+
+    ``start_s`` is the span's start offset from the tracer's epoch (the
+    tracer's construction time), which keeps records from one session
+    mutually comparable and lets cross-process spool merges re-anchor a
+    worker's spans on the worker session's wall-clock epoch.
+    """
 
     name: str
     path: str  # dotted ancestry, e.g. "campaign.run/machine.run/machine.phase"
@@ -39,6 +45,7 @@ class SpanRecord:
     seq: int  # start order, 0-based, unique within a tracer
     duration_s: float
     attrs: dict = field(default_factory=dict)
+    start_s: float = 0.0  # offset from the tracer epoch
 
     def to_dict(self) -> dict:
         return {
@@ -47,6 +54,7 @@ class SpanRecord:
             "path": self.path,
             "depth": self.depth,
             "seq": self.seq,
+            "start_s": self.start_s,
             "duration_s": self.duration_s,
             "attrs": dict(sorted(self.attrs.items())),
         }
@@ -106,6 +114,7 @@ class Span:
                 seq=self.seq,
                 duration_s=self.duration_s,
                 attrs=self.attrs,
+                start_s=self._t0 - tracer._epoch,
             )
         )
         return False
@@ -116,6 +125,10 @@ class Tracer:
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
+        self._epoch = clock()  # start offsets are relative to this
+        #: Wall-clock moment the tracer was created; lets a spool merge
+        #: re-anchor another process's relative offsets on a shared axis.
+        self.wall_epoch = time.time()
         self._stack: list[Span] = []
         self._next_seq = 0
         self.records: list[SpanRecord] = []  # completion order (children first)
@@ -134,11 +147,48 @@ class Tracer:
             path, depth = name, 0
         seq = self._next_seq
         self._next_seq += 1
+        now = self._clock() - self._epoch
         rec = SpanRecord(
-            name=name, path=path, depth=depth, seq=seq, duration_s=duration_s, attrs=attrs
+            name=name,
+            path=path,
+            depth=depth,
+            seq=seq,
+            duration_s=duration_s,
+            attrs=attrs,
+            start_s=max(0.0, now - duration_s),
         )
         self.records.append(rec)
         return rec
+
+    def graft(self, records: "list[SpanRecord]", start_offset: float = 0.0) -> None:
+        """Adopt spans recorded by another tracer (typically another process).
+
+        Each record is re-parented under the currently open span: paths are
+        prefixed, depths shifted, and fresh ``seq`` numbers are handed out in
+        the order given — so grafting worker subtrees in plan order yields
+        the exact start-order sequence a serial execution would have
+        produced.  ``start_offset`` shifts the grafted ``start_s`` values
+        onto this tracer's time axis.
+        """
+        if self._stack:
+            parent = self._stack[-1]
+            prefix, shift = parent.path + _PATH_SEP, parent.depth + 1
+        else:
+            prefix, shift = "", 0
+        for rec in records:
+            seq = self._next_seq
+            self._next_seq += 1
+            self.records.append(
+                SpanRecord(
+                    name=rec.name,
+                    path=prefix + rec.path,
+                    depth=rec.depth + shift,
+                    seq=seq,
+                    duration_s=rec.duration_s,
+                    attrs=dict(rec.attrs),
+                    start_s=rec.start_s + start_offset,
+                )
+            )
 
     # -- query helpers (reports and tests) ------------------------------------
 
@@ -184,6 +234,9 @@ class NoopTracer:
         return NOOP_SPAN
 
     def emit(self, name: str, duration_s: float, **attrs) -> None:
+        return None
+
+    def graft(self, records: list, start_offset: float = 0.0) -> None:
         return None
 
     def by_name(self, name: str) -> list:

@@ -1,0 +1,129 @@
+"""Worker-process observability spools: capture there, merge here.
+
+A ``ProcessPoolExecutor`` worker cannot write into the parent's
+observability session — so without help, ``scaltool profile --jobs N``
+and ``--metrics-out`` only ever see main-process activity.  The engine
+closes that gap with *spool files*: when the parent has an obs session
+live, each worker run executes under a private session whose spans and
+metrics are serialised to one JSONL file per run; after the batch, the
+parent merges the spools back **in plan order**, so the merged session is
+structurally identical to what a serial execution would have recorded
+(same span paths, parenting, and start-order; only the timing values
+differ).
+
+Spool files exist only while a traced parallel batch is in flight, live
+in a private temp directory, and are deleted after the merge.  When no
+obs session is active and no trace context is attached, no spool
+directory is ever created — disabled mode stays file-free.
+
+Format: JSON lines — one ``meta`` object (pid, wall epoch, spec key),
+then the worker session's span records in start order, then one
+``metrics`` object holding the registry's raw dump.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+from .logs import get_logger, kv
+from .metrics import MetricsRegistry
+from .runtime import ObsSession
+from .spans import SpanRecord, Tracer
+
+__all__ = ["SpoolDir", "write_spool", "read_spool", "merge_spool"]
+
+_log = get_logger("obs.spool")
+
+
+class SpoolDir:
+    """A private temp directory of per-run spool files, always cleaned up."""
+
+    def __init__(self) -> None:
+        self.root = Path(tempfile.mkdtemp(prefix="scaltool-spool-"))
+
+    def path(self, index: int) -> Path:
+        return self.root / f"{index:06d}.jsonl"
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+def write_spool(path: str | Path, session: ObsSession, meta: dict | None = None) -> Path:
+    """Serialise a worker session to ``path`` (meta, spans, metrics dump)."""
+    import os
+
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {
+                "kind": "meta",
+                "pid": os.getpid(),
+                "wall_epoch": session.tracer.wall_epoch,
+                **{k: v for k, v in sorted((meta or {}).items())},
+            },
+            sort_keys=True,
+        )
+    ]
+    for rec in session.tracer.in_start_order():
+        lines.append(json.dumps(rec.to_dict(), sort_keys=True))
+    lines.append(
+        json.dumps({"kind": "metrics", **session.registry.dump()}, sort_keys=True)
+    )
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text("\n".join(lines) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_spool(path: str | Path) -> tuple[dict, list[SpanRecord], dict]:
+    """``(meta, spans in start order, metrics dump)`` from one spool file."""
+    meta: dict = {}
+    spans: list[SpanRecord] = []
+    metrics: dict = {}
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        kind = obj.get("kind")
+        if kind == "meta":
+            meta = obj
+        elif kind == "span":
+            spans.append(
+                SpanRecord(
+                    name=obj["name"],
+                    path=obj["path"],
+                    depth=obj["depth"],
+                    seq=obj["seq"],
+                    duration_s=obj["duration_s"],
+                    attrs=dict(obj.get("attrs", {})),
+                    start_s=float(obj.get("start_s", 0.0)),
+                )
+            )
+        elif kind == "metrics":
+            metrics = {k: v for k, v in obj.items() if k != "kind"}
+    return meta, spans, metrics
+
+
+def merge_spool(
+    path: str | Path, tracer: Tracer, registry: MetricsRegistry
+) -> bool:
+    """Merge one worker spool into the parent session; False if unreadable.
+
+    Spans graft under the currently open parent span (the engine keeps
+    ``engine.run`` open while merging, exactly where a serial execution
+    would have nested them); worker start offsets are re-anchored via the
+    wall-clock epochs of the two sessions.  A missing or corrupt spool is
+    never fatal — the run record itself already made it back in-band.
+    """
+    try:
+        meta, spans, metrics = read_spool(path)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        _log.warning("worker spool unreadable, dropping %s", kv(path=path, reason=exc))
+        return False
+    offset = float(meta.get("wall_epoch", tracer.wall_epoch)) - tracer.wall_epoch
+    tracer.graft(spans, start_offset=offset)
+    registry.merge_dump(metrics)
+    return True

@@ -1,0 +1,111 @@
+"""Always-on serving telemetry: bounded metrics + Prometheus exposition.
+
+Profiling sessions (:mod:`repro.obs.runtime`) are bounded windows that
+store exact histograms; a serving process needs the opposite trade —
+*always on*, bounded memory, scrape-friendly.  :class:`Telemetry` wraps
+a :class:`~repro.obs.metrics.MetricsRegistry` built on
+:class:`~repro.obs.metrics.BucketHistogram` (fixed log-spaced buckets,
+estimated quantiles) and renders the Prometheus text exposition format
+(version 0.0.4) for ``GET /metrics``:
+
+* counters  -> ``scaltool_<name>_total``   (``# TYPE ... counter``)
+* gauges    -> ``scaltool_<name>``         (``# TYPE ... gauge``)
+* histograms-> cumulative ``_bucket{le=...}`` series + ``_sum``/``_count``
+
+Metric names keep the package's dotted scheme internally and are
+sanitised to the Prometheus grammar on export (dots and dashes become
+underscores, everything prefixed ``scaltool_``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from typing import Callable
+
+from .metrics import BucketHistogram, MetricsRegistry
+
+__all__ = ["Telemetry", "prometheus_name", "render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def prometheus_name(name: str, prefix: str = "scaltool") -> str:
+    """Sanitise a dotted metric name into the Prometheus grammar."""
+    clean = _NAME_RE.sub("_", name.strip())
+    clean = re.sub(r"_+", "_", clean).strip("_")
+    return f"{prefix}_{clean}" if prefix else clean
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # pragma: no cover - NaN guard
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "scaltool") -> str:
+    """The registry as Prometheus text exposition (deterministic order)."""
+    lines: list[str] = []
+    counters = registry._counters
+    gauges = registry._gauges
+    histograms = registry._histograms
+    for name in sorted(counters):
+        metric = prometheus_name(name, prefix)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(counters[name])}")
+    for name in sorted(gauges):
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauges[name])}")
+    for name in sorted(histograms):
+        hist = histograms[name]
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        if isinstance(hist, BucketHistogram):
+            for le, cumulative in hist.cumulative():
+                lines.append(f'{metric}_bucket{{le="{_fmt(le)}"}} {cumulative}')
+        else:  # exact histogram: a single +Inf bucket is still valid exposition
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {_fmt(hist.sum)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+class Telemetry:
+    """One serving process's always-on metrics (bounded, scrapeable)."""
+
+    def __init__(self, clock: Callable[[], float] = time.time) -> None:
+        self._clock = clock
+        self.started = clock()
+        self.registry = MetricsRegistry(histogram_factory=BucketHistogram)
+
+    # -- writes (mirror the registry surface) -------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.registry.inc(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.registry.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.observe(name, value)
+
+    # -- reads --------------------------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        return max(0.0, self._clock() - self.started)
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def prometheus_text(self) -> str:
+        self.registry.set_gauge("uptime_seconds", self.uptime_seconds())
+        return render_prometheus(self.registry)

@@ -47,7 +47,9 @@ from typing import Callable, Iterable, Iterator, Sequence
 from ..errors import ConfigError, CounterFormatError, TransientRunError
 from ..machine.config import MachineConfig
 from ..obs import runtime as obs
+from ..obs import spool as obs_spool
 from ..obs.logs import get_logger, kv
+from ..obs.trace import TraceHandle
 from ..workloads.base import Workload
 from ..workloads.registry import make_workload
 from .experiment import run_experiment
@@ -263,11 +265,38 @@ def default_run_cache() -> RunCache:
     return RunCache(default_cache_root() / "runs")
 
 
-def _timed_execute(execute_fn: Callable[[RunSpec], RunRecord], spec: RunSpec):
-    """Worker body: run one spec, report its wall time (module-level: picklable)."""
-    t0 = time.perf_counter()
-    record = execute_fn(spec)
-    return record, time.perf_counter() - t0
+def _timed_execute(
+    execute_fn: Callable[[RunSpec], RunRecord], spec: RunSpec, spool_path: str | None = None
+):
+    """Worker body: run one spec, report its wall time (module-level: picklable).
+
+    With ``spool_path``, the run executes under a private obs session
+    whose spans/metrics are spooled to that file for the parent to merge
+    — this is how ``scaltool profile --jobs N`` sees worker activity.
+    The span structure mirrors the serial path exactly (an
+    ``engine.execute`` root wrapping the run), so merged parallel
+    sessions are structurally identical to serial ones.
+    """
+    if spool_path is None:
+        t0 = time.perf_counter()
+        record = execute_fn(spec)
+        return record, time.perf_counter() - t0, os.getpid()
+    session = obs.enable()
+    try:
+        t0 = time.perf_counter()
+        with session.tracer.span(
+            "engine.execute",
+            workload=spec.workload,
+            role=spec.role,
+            size=spec.size_bytes,
+            n=spec.n_processors,
+        ):
+            record = execute_fn(spec)
+        seconds = time.perf_counter() - t0
+    finally:
+        obs.disable()
+    obs_spool.write_spool(spool_path, session, meta={"spec": spec.key()})
+    return record, seconds, os.getpid()
 
 
 class Executor:
@@ -294,7 +323,8 @@ class Executor:
 
     def _execute_many(
         self, pending: list[tuple[int, RunSpec]]
-    ) -> Iterator[tuple[int, RunRecord, float, int]]:
+    ) -> Iterator[tuple[int, RunRecord, float, int, int]]:
+        """Yield ``(index, record, seconds, attempts, pid)`` per executed run."""
         raise NotImplementedError
 
     def map(self, fn: Callable, items: Iterable) -> list:
@@ -308,6 +338,7 @@ class Executor:
         cache: RunCache | None = None,
         refresh: bool = False,
         on_outcome: OnOutcome | None = None,
+        trace: TraceHandle | None = None,
     ) -> list[RunRecord]:
         """Execute ``specs``; the result list is index-aligned with the input.
 
@@ -315,65 +346,101 @@ class Executor:
         still produce an outcome event, so progress rendering never goes
         silent on a warm cache); misses execute and are stored.
         ``refresh=True`` bypasses cache reads but rewrites entries.
+        With a ``trace`` handle, the batch and every executed run become
+        spans of the caller's distributed trace (``engine.run`` framing
+        one ``engine.execute`` per executed spec, tagged with the
+        worker pid) — this is how the serving path stitches
+        worker-process activity into a job's span tree.
         """
         specs = list(specs)
         total = len(specs)
         tracer = obs.tracer()
         reg = obs.registry()
         results: list[RunRecord | None] = [None] * total
-        with tracer.span(
-            "engine.run",
-            runs=total,
-            executor=type(self).__name__,
-            jobs=getattr(self, "jobs", 1),
-            cached_reads=cache is not None and not refresh,
-        ) as span:
-            pending: list[tuple[int, RunSpec]] = []
-            hits = 0
-            for i, spec in enumerate(specs):
-                record = None
-                if cache is not None and not refresh:
-                    t0 = time.perf_counter()
-                    record = cache.get(spec)
-                    if record is not None:
-                        hits += 1
-                        reg.inc("engine.cache.hit")
-                        results[i] = record
-                        if on_outcome is not None:
-                            on_outcome(
-                                RunOutcome(
-                                    index=i,
-                                    total=total,
-                                    spec=spec,
-                                    record=record,
-                                    cached=True,
-                                    seconds=time.perf_counter() - t0,
-                                    attempts=0,
+        tspan = (
+            trace.buffer.span(
+                "engine.run",
+                context=trace.context,
+                runs=total,
+                executor=type(self).__name__,
+                jobs=getattr(self, "jobs", 1),
+            )
+            if trace is not None
+            else None
+        )
+        if tspan is not None:
+            tspan.__enter__()
+        try:
+            with tracer.span(
+                "engine.run",
+                runs=total,
+                executor=type(self).__name__,
+                jobs=getattr(self, "jobs", 1),
+                cached_reads=cache is not None and not refresh,
+            ) as span:
+                pending: list[tuple[int, RunSpec]] = []
+                hits = 0
+                for i, spec in enumerate(specs):
+                    record = None
+                    if cache is not None and not refresh:
+                        t0 = time.perf_counter()
+                        record = cache.get(spec)
+                        if record is not None:
+                            hits += 1
+                            reg.inc("engine.cache.hit")
+                            results[i] = record
+                            if on_outcome is not None:
+                                on_outcome(
+                                    RunOutcome(
+                                        index=i,
+                                        total=total,
+                                        spec=spec,
+                                        record=record,
+                                        cached=True,
+                                        seconds=time.perf_counter() - t0,
+                                        attempts=0,
+                                    )
                                 )
-                            )
-                if record is None:
+                    if record is None:
+                        if cache is not None:
+                            reg.inc("engine.cache.miss")
+                        pending.append((i, spec))
+                span.set(cache_hits=hits)
+                if tspan is not None:
+                    tspan.set(cache_hits=hits)
+                for i, record, seconds, attempts, pid in self._execute_many(pending):
+                    reg.inc("engine.runs")
+                    reg.observe("engine.run_seconds", seconds)
                     if cache is not None:
-                        reg.inc("engine.cache.miss")
-                    pending.append((i, spec))
-            span.set(cache_hits=hits)
-            for i, record, seconds, attempts in self._execute_many(pending):
-                reg.inc("engine.runs")
-                reg.observe("engine.run_seconds", seconds)
-                if cache is not None:
-                    cache.put(specs[i], record)
-                results[i] = record
-                if on_outcome is not None:
-                    on_outcome(
-                        RunOutcome(
-                            index=i,
-                            total=total,
-                            spec=specs[i],
-                            record=record,
-                            cached=False,
-                            seconds=seconds,
+                        cache.put(specs[i], record)
+                    results[i] = record
+                    if tspan is not None:
+                        trace.buffer.emit(
+                            "engine.execute",
+                            tspan.context,
+                            start=time.time() - seconds,
+                            duration_s=seconds,
+                            pid=pid,
+                            workload=specs[i].workload,
+                            role=specs[i].role,
+                            n=specs[i].n_processors,
                             attempts=attempts,
                         )
-                    )
+                    if on_outcome is not None:
+                        on_outcome(
+                            RunOutcome(
+                                index=i,
+                                total=total,
+                                spec=specs[i],
+                                record=record,
+                                cached=False,
+                                seconds=seconds,
+                                attempts=attempts,
+                            )
+                        )
+        finally:
+            if tspan is not None:
+                tspan.__exit__(None, None, None)
         return results  # type: ignore[return-value]  # every slot is filled above
 
     # -- shared retry bookkeeping ------------------------------------------------
@@ -413,9 +480,10 @@ class SerialExecutor(Executor):
                 self._note_retry(spec, attempts, exc)
 
     def _execute_many(self, pending):
+        pid = os.getpid()
         for i, spec in pending:
             record, seconds, attempts = self._execute_one(spec)
-            yield i, record, seconds, attempts
+            yield i, record, seconds, attempts, pid
 
     def map(self, fn: Callable, items: Iterable) -> list:
         items = list(items)
@@ -430,10 +498,12 @@ class ParallelExecutor(Executor):
     (everything is picklable), so a worker run is bit-for-bit the run a
     :class:`SerialExecutor` would have produced — the simulator is seeded
     and single-threaded.  Results are reassembled in spec order
-    regardless of completion order.  Worker processes do not share the
-    parent's observability session; the engine accounts for their work in
-    the parent (``engine.runs``, ``engine.run_seconds`` measured inside
-    the worker and shipped back with the record).
+    regardless of completion order.  Worker processes cannot write into
+    the parent's observability session directly; when the parent has a
+    session live, each worker run records into a private session that is
+    spooled to disk and merged back in plan order after the batch (see
+    :mod:`repro.obs.spool`), so ``scaltool profile --jobs N`` and
+    ``--metrics-out`` capture worker activity, not just the main process.
     """
 
     def __init__(
@@ -451,29 +521,46 @@ class ParallelExecutor(Executor):
     def _execute_many(self, pending):
         if not pending:
             return
+        # With a live obs session, each worker run spools its spans/metrics
+        # to a file keyed by spec index; after the batch the parent merges
+        # the spools in plan order, so the merged session is structurally
+        # identical to what a SerialExecutor would have recorded.
+        spool = obs_spool.SpoolDir() if obs.is_enabled() else None
         attempts = {i: 0 for i, _ in pending}
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-            futures = {}
-            for i, spec in pending:
-                attempts[i] += 1
-                futures[pool.submit(_timed_execute, self._execute_fn, spec)] = (i, spec)
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    i, spec = futures.pop(fut)
-                    try:
-                        record, seconds = fut.result()
-                    except self.transient as exc:
-                        if attempts[i] > self.retries:
-                            raise
-                        self._note_retry(spec, attempts[i], exc)
-                        attempts[i] += 1
-                        futures[pool.submit(_timed_execute, self._execute_fn, spec)] = (
-                            i,
-                            spec,
-                        )
-                        continue
-                    yield i, record, seconds, attempts[i]
+        try:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+
+                def submit(i: int, spec: RunSpec):
+                    path = str(spool.path(i)) if spool is not None else None
+                    return pool.submit(_timed_execute, self._execute_fn, spec, path)
+
+                futures = {}
+                for i, spec in pending:
+                    attempts[i] += 1
+                    futures[submit(i, spec)] = (i, spec)
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i, spec = futures.pop(fut)
+                        try:
+                            record, seconds, pid = fut.result()
+                        except self.transient as exc:
+                            if attempts[i] > self.retries:
+                                raise
+                            self._note_retry(spec, attempts[i], exc)
+                            attempts[i] += 1
+                            futures[submit(i, spec)] = (i, spec)
+                            continue
+                        yield i, record, seconds, attempts[i], pid
+            if spool is not None:
+                tracer, registry = obs.tracer(), obs.registry()
+                for i, _spec in pending:
+                    path = spool.path(i)
+                    if path.exists():
+                        obs_spool.merge_spool(path, tracer, registry)
+        finally:
+            if spool is not None:
+                spool.cleanup()
 
     def map(self, fn: Callable, items: Iterable) -> list:
         """Order-preserving parallel map; ``fn`` and items must be picklable."""

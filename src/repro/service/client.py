@@ -5,6 +5,14 @@ Mirrors the server's backpressure semantics: a 429/503 raises
 ``Retry-After`` advice, and :meth:`ServiceClient.submit` can optionally
 retry-with-backoff on the caller's behalf.  Used by ``scaltool submit``
 / ``status`` / ``result`` and the service load benchmark.
+
+Trace propagation: by default (``SCALTOOL_TRACE`` unset or truthy) every
+submit generates a fresh W3C-style trace context and sends it as
+``traceparent`` / ``tracestate`` headers, so the server can stitch the
+whole job — client intent, HTTP hop, queue wait, batching, worker runs —
+into one span tree queryable via ``scaltool obs trace <job-id>``.
+``ServiceClient(trace=False)`` (or ``SCALTOOL_TRACE=0``) sends no
+headers at all.
 """
 
 from __future__ import annotations
@@ -15,7 +23,19 @@ import time
 import urllib.error
 import urllib.request
 
-from ..errors import JobNotFoundError, QueueFullError, ServiceError
+from ..errors import (
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+    StoreUnavailableError,
+)
+from ..obs.trace import (
+    TRACEPARENT_HEADER,
+    TRACESTATE_HEADER,
+    TraceContext,
+    enabled_from_env,
+    format_tracestate,
+)
 
 __all__ = ["ServiceClient", "DEFAULT_URL", "default_service_url"]
 
@@ -31,19 +51,31 @@ def default_service_url() -> str:
 class ServiceClient:
     """Talk to a running ``scaltool serve`` instance."""
 
-    def __init__(self, base_url: str | None = None, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str | None = None,
+        timeout: float = 30.0,
+        trace: bool | None = None,
+    ) -> None:
         self.base_url = (base_url or default_service_url()).rstrip("/")
         self.timeout = timeout
+        self.trace_enabled = enabled_from_env() if trace is None else bool(trace)
 
     # -- transport --------------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, dict]:
         data = json.dumps(body).encode() if body is not None else None
         req = urllib.request.Request(
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
         )
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
@@ -54,6 +86,8 @@ class ServiceClient:
             except json.JSONDecodeError:
                 payload = {}
             message = payload.get("error", f"HTTP {exc.code}")
+            if exc.code == 503 and payload.get("status") == "degraded":
+                raise StoreUnavailableError(message) from None
             if exc.code in (429, 503):
                 raise QueueFullError(
                     message,
@@ -71,7 +105,19 @@ class ServiceClient:
     # -- API --------------------------------------------------------------------
 
     def health(self) -> dict:
-        return self._request("GET", "/healthz")[1]
+        """The ``/healthz`` view — returned even when the server answers
+        503 for a degraded store, since the body carries the diagnosis."""
+        req = urllib.request.Request(self.base_url + "/healthz", method="GET")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                return json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                raise ServiceError(f"health check failed: HTTP {exc.code}") from None
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceError(f"cannot reach service at {self.base_url}: {exc}") from exc
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")[1]
@@ -86,19 +132,31 @@ class ServiceClient:
         priority: int | None = None,
         retries: int = 0,
     ) -> dict:
-        """Submit a request; returns ``{"id", "state", "deduped"}``.
+        """Submit a request; returns ``{"id", "state", "deduped", "trace_id"?}``.
 
         ``retries > 0`` makes the client honour 429 backpressure itself:
         it sleeps the server's ``Retry-After`` and resubmits, up to
         ``retries`` times, before letting :class:`QueueFullError` out.
+
+        With tracing on, each submit (including each backoff retry)
+        carries a fresh ``traceparent``; the server answers with the
+        ``trace_id`` the job actually joined (an earlier submitter's for
+        deduped jobs).
         """
         body: dict = {"kind": kind, "payload": payload or {}}
         if priority is not None:
             body["priority"] = priority
         attempt = 0
         while True:
+            headers = None
+            if self.trace_enabled:
+                ctx = TraceContext.new_root()
+                headers = {
+                    TRACEPARENT_HEADER: ctx.to_traceparent(),
+                    TRACESTATE_HEADER: format_tracestate("client.submit"),
+                }
             try:
-                return self._request("POST", "/v1/jobs", body)[1]
+                return self._request("POST", "/v1/jobs", body, headers=headers)[1]
             except QueueFullError as exc:
                 if exc.draining or attempt >= retries:
                     raise
@@ -122,6 +180,19 @@ class ServiceClient:
             if time.monotonic() >= deadline:
                 raise ServiceError(f"timed out waiting for job {job_id}")
             time.sleep(poll)
+
+    def trace(self, job_id: str) -> dict:
+        """The job's distributed span tree (see ``scaltool obs trace``)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")[1]
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        req = urllib.request.Request(self.base_url + "/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode()
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceError(f"cannot reach service at {self.base_url}: {exc}") from exc
 
     def drain(self, timeout: float | None = None) -> bool:
         body = {} if timeout is None else {"timeout": timeout}

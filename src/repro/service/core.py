@@ -47,15 +47,23 @@ from __future__ import annotations
 import asyncio
 import collections
 import itertools
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..errors import JobNotFoundError, QueueFullError, ServiceError
+from ..errors import (
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+    StoreUnavailableError,
+)
 from ..obs import runtime as obs
 from ..obs.logs import get_logger, kv
+from ..obs.telemetry import Telemetry
+from ..obs.trace import TraceBuffer, TraceContext, TraceHandle, TraceSpan, new_span_id, retarget
 from ..runner.engine import (
     TRANSIENT_EXCEPTIONS,
     RunCache,
@@ -74,6 +82,25 @@ _log = get_logger("service.core")
 
 #: Queue sentinel that sorts after every real job (priorities are finite).
 _STOP = (float("inf"), 0, None)
+
+
+class _NoopSpan:
+    """Stand-in distributed span for untraced jobs (records nothing)."""
+
+    __slots__ = ()
+    context = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
 
 
 @dataclass(frozen=True)
@@ -110,15 +137,15 @@ class _SpecBatcher:
 
     def __init__(self, service: "AnalysisService") -> None:
         self._service = service
-        self._pending: list[tuple[list[RunSpec], asyncio.Future]] = []
+        self._pending: list[tuple[list[RunSpec], asyncio.Future, TraceContext | None]] = []
         self._wakeup = asyncio.Event()
         self._stopping = False
 
-    async def submit(self, specs: list[RunSpec]) -> None:
+    async def submit(self, specs: list[RunSpec], trace_ctx: TraceContext | None = None) -> None:
         if self._stopping:
             raise ServiceError("service is shutting down")
         fut = asyncio.get_running_loop().create_future()
-        self._pending.append((specs, fut))
+        self._pending.append((specs, fut, trace_ctx))
         self._wakeup.set()
         await fut
 
@@ -141,7 +168,7 @@ class _SpecBatcher:
                 continue
             specs: list[RunSpec] = []
             seen: set[str] = set()
-            for spec_list, _ in batch:
+            for spec_list, _, _ in batch:
                 for spec in spec_list:
                     if spec.key() not in seen:
                         seen.add(spec.key())
@@ -149,17 +176,35 @@ class _SpecBatcher:
             svc._tally("batches")
             svc._tally("batch.specs", len(specs))
             obs.registry().observe("service.batch.size", len(specs))
+            svc.telemetry.observe("service.batch.size", len(specs))
+            # The batch is shared across jobs, so it records under a private
+            # trace; afterwards the spans are copied into every traced
+            # participant's tree (re-rooted under its waiting span).
+            batch_ctx = (
+                TraceContext.new_root()
+                if any(ctx is not None for _, _, ctx in batch)
+                else None
+            )
+            failure: BaseException | None = None
             try:
                 await asyncio.get_running_loop().run_in_executor(
-                    svc._batch_pool, svc._run_batch, specs
+                    svc._batch_pool, svc._run_batch, specs, batch_ctx
                 )
             except Exception as exc:  # noqa: BLE001 - fan the failure out to the jobs
-                for _, fut in batch:
-                    if not fut.done():
-                        fut.set_exception(exc)
-            else:
-                for _, fut in batch:
-                    if not fut.done():
+                failure = exc
+            # Retarget *before* waking the jobs: a woken job may finish (and
+            # pop its trace for persistence) at any point after its future
+            # resolves, so its copy of the batch spans must already be there.
+            if batch_ctx is not None:
+                spans = svc.traces.pop_trace(batch_ctx.trace_id)
+                for _, _, ctx in batch:
+                    if ctx is not None:
+                        svc.traces.extend(retarget(spans, ctx.trace_id, ctx.span_id))
+            for _, fut, _ in batch:
+                if not fut.done():
+                    if failure is not None:
+                        fut.set_exception(failure)
+                    else:
                         fut.set_result(None)
 
 
@@ -177,9 +222,13 @@ class AnalysisService:
         self.run_cache = RunCache(self.root / "runs")
         self.planner = RequestPlanner(self.run_cache)
         self.executor = default_executor(self.config.jobs)
+        self.traces = TraceBuffer()
+        self.telemetry = Telemetry()
+        self.degraded: str | None = None  # store-unwritable reason, set by start()
 
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
+        self._enqueued_at: dict[str, float] = {}  # job id -> wall time of enqueue
         self._counters: collections.Counter = collections.Counter()
         self._seq = itertools.count()
         self._draining = False
@@ -209,7 +258,14 @@ class AnalysisService:
         self._thread.start()
         asyncio.run_coroutine_threadsafe(self._setup(), self._loop).result(timeout=10)
         self._started = True
-        self._recover()
+        self.degraded = self.store.check_writable()
+        if self.degraded is None:
+            self._recover()
+        else:
+            # The service stays up for read-only endpoints (health, metrics,
+            # stored results if any); submits are refused with a clear error.
+            self._tally("store.degraded")
+            _log.warning("job store is not writable %s", kv(reason=self.degraded))
         _log.debug(
             "service started %s",
             kv(root=self.root, workers=self.config.workers, jobs=self.config.jobs),
@@ -295,7 +351,11 @@ class AnalysisService:
     # -- the public request surface ---------------------------------------------------
 
     def submit(
-        self, kind: str, payload: dict | None = None, priority: int | None = None
+        self,
+        kind: str,
+        payload: dict | None = None,
+        priority: int | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> tuple[Job, bool]:
         """Admit one request; returns ``(job, deduped)``.
 
@@ -304,9 +364,18 @@ class AnalysisService:
         is created.  A previously *failed* identical request is re-queued.
         Raises :class:`~repro.errors.QueueFullError` when the queue is at
         capacity or the service is draining.
+
+        ``trace_ctx`` is the caller's trace context (parsed from a
+        ``traceparent`` header); when present the job joins that trace —
+        its whole lifecycle becomes child spans of the caller's span, and
+        the assembled tree is persisted with the job.  A deduped submit
+        keeps the first submitter's trace.
         """
         if not self._started:
             raise ServiceError("service is not started")
+        if self.degraded is not None:
+            self._tally("admission.rejected")
+            raise StoreUnavailableError(f"job store is not writable: {self.degraded}")
         request = _requests.compile_request(kind, payload)
         job_id = request.fingerprint()
         priority = self.config.default_priority if priority is None else int(priority)
@@ -337,6 +406,10 @@ class AnalysisService:
                 job.priority = priority
             else:
                 job = Job(id=job_id, kind=kind, payload=request.canonical, priority=priority)
+            if trace_ctx is not None:
+                job.trace_id = trace_ctx.trace_id
+                job.trace_parent = trace_ctx.span_id
+                job.trace_span = new_span_id()
             self._jobs[job.id] = job
             self.store.put(job)
             self._tally_locked("jobs.submitted")
@@ -387,16 +460,74 @@ class AnalysisService:
             "dedup_hit_ratio": round(1.0 - executed / planned, 4) if planned else 0.0,
         }
 
+    def trace(self, job_id: str) -> dict:
+        """The job's distributed span tree (persisted, or live if running).
+
+        Returns ``{"job", "trace_id", "complete", "spans"}``; ``complete``
+        is False while the job is still active (the spans shown are the
+        buffer's view so far).  Raises
+        :class:`~repro.errors.JobNotFoundError` for unknown jobs and
+        :class:`~repro.errors.ServiceError` for jobs submitted without
+        trace propagation.
+        """
+        job = self.status(job_id)
+        if not job.trace_id:
+            raise ServiceError(f"job {job_id} was submitted without trace propagation")
+        stored = self.store.get_timeline(job_id)
+        if stored is not None:
+            return {
+                "job": job.id,
+                "trace_id": job.trace_id,
+                "complete": True,
+                "spans": stored,
+            }
+        live = self.traces.spans_for(job.trace_id)
+        return {
+            "job": job.id,
+            "trace_id": job.trace_id,
+            "complete": False,
+            "spans": [s.to_dict() for s in live],
+        }
+
+    def health(self) -> dict:
+        """The liveness view served by ``GET /healthz``."""
+        with self._lock:
+            states = collections.Counter(j.state for j in self._jobs.values())
+            draining = self._draining
+        queued = states.get("queued", 0)
+        running = states.get("running", 0)
+        if self.degraded is not None:
+            status = "degraded"
+        elif draining:
+            status = "draining"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "draining": draining,
+            "jobs": {state: states.get(state, 0) for state in ("queued", "running", "done", "failed")},
+            "queue_depth": queued,
+            "inflight": running,
+            "uptime_seconds": round(self.telemetry.uptime_seconds(), 3),
+            "store": {
+                "writable": self.degraded is None,
+                "error": self.degraded,
+                "path": str(self.store.root),
+            },
+        }
+
     # -- internals --------------------------------------------------------------------
 
     def _enqueue(self, job: Job) -> None:
         assert self._loop is not None and self._queue is not None
         with self._lock:
             seq = next(self._seq)
+            self._enqueued_at[job.id] = time.time()
         asyncio.run_coroutine_threadsafe(
             self._queue.put((job.priority, seq, job.id)), self._loop
         ).result(timeout=5)
         obs.registry().set_gauge("service.queue.depth", self._queue.qsize())
+        self.telemetry.set_gauge("service.queue.depth", self._queue.qsize())
 
     async def _worker(self) -> None:
         assert self._queue is not None
@@ -409,11 +540,29 @@ class AnalysisService:
                 job_id = item[2]
                 with self._lock:
                     job = self._jobs.get(job_id)
+                    enqueued_at = self._enqueued_at.pop(job_id, None)
                     if job is None or job.state != "queued":
                         continue  # stale queue entry (deduped resubmit, recovery)
                     job.state = "running"
                     job.started = time.time()
                     self.store.put(job)
+                if enqueued_at is not None:
+                    wait = max(0.0, job.started - enqueued_at)
+                    obs.registry().observe("service.queue.wait_seconds", wait)
+                    self.telemetry.observe("service.queue.wait_seconds", wait)
+                    if job.trace_id and job.trace_span:
+                        self.traces.record(
+                            TraceSpan(
+                                trace_id=job.trace_id,
+                                span_id=new_span_id(),
+                                parent_id=job.trace_span,
+                                name="service.queue.wait",
+                                start=enqueued_at,
+                                duration_s=wait,
+                                attrs={"job": job.id, "priority": job.priority},
+                                pid=os.getpid(),
+                            )
+                        )
                 t0 = time.perf_counter()
                 try:
                     result = await asyncio.wait_for(
@@ -453,14 +602,54 @@ class AnalysisService:
             self._tally_locked("jobs.done" if state == "done" else "jobs.failed")
         obs.registry().observe("service.job_seconds", seconds)
         obs.registry().set_gauge("service.queue.depth", self._queue.qsize() if self._queue else 0)
+        self.telemetry.observe("service.job_seconds", seconds)
+        self.telemetry.observe("service.e2e_seconds", max(0.0, job.finished - job.created))
+        self.telemetry.set_gauge("service.queue.depth", self._queue.qsize() if self._queue else 0)
+        if job.trace_id and job.trace_span:
+            # Close the job's own span (the parent of every lifecycle span
+            # recorded above) and persist the finished tree beside the job.
+            self.traces.record(
+                TraceSpan(
+                    trace_id=job.trace_id,
+                    span_id=job.trace_span,
+                    parent_id=job.trace_parent or "",
+                    name="service.job",
+                    start=job.created,
+                    duration_s=max(0.0, job.finished - job.created),
+                    attrs={"job": job.id, "kind": job.kind, "state": state},
+                    pid=os.getpid(),
+                )
+            )
+            spans = self.traces.pop_trace(job.trace_id)
+            try:
+                self.store.put_timeline(job.id, [s.to_dict() for s in spans])
+            except OSError as exc:  # pragma: no cover - disk full/readonly race
+                _log.warning("could not persist job timeline %s", kv(job=job.id, reason=exc))
         _log.debug(
             "job finished %s",
             kv(job=job.id, kind=job.kind, state=state, seconds=f"{seconds:.3f}", error=error),
         )
 
+    def _tspan(self, name: str, **attrs):
+        """A distributed span under the current context, or a no-op.
+
+        Untraced jobs must not create spans: a fresh root per span would
+        accumulate in the buffer with nobody to pop it.
+        """
+        if self.traces.current() is None:
+            return _NOOP_SPAN
+        return self.traces.span(name, **attrs)
+
     def _execute_job(self, job: Job) -> dict:
         """The job body (runs in a job-pool thread): plan, batch, assemble."""
-        with obs.tracer().span("service.job", kind=job.kind, job=job.id):
+        job_ctx = (
+            TraceContext(trace_id=job.trace_id, span_id=job.trace_span)
+            if job.trace_id and job.trace_span
+            else None
+        )
+        with self.traces.attach(job_ctx), obs.tracer().span(
+            "service.job", kind=job.kind, job=job.id
+        ):
             request = _requests.compile_request(job.kind, job.payload)
             last_exc: BaseException | None = None
             for attempt in range(self.config.retries + 1):
@@ -474,7 +663,8 @@ class AnalysisService:
                         kv(job=job.id, attempt=attempt + 1, max=self.config.retries + 1),
                     )
                 try:
-                    return self._execute_once(request).to_dict()
+                    with self._tspan("service.attempt", attempt=attempt + 1):
+                        return self._execute_once(request).to_dict()
                 except TRANSIENT_EXCEPTIONS as exc:
                     last_exc = exc
             assert last_exc is not None
@@ -487,31 +677,49 @@ class AnalysisService:
         self._tally("plan.inflight_waits", len(plan.waiting))
         if plan.claimed:
             assert self._loop is not None and self._batcher is not None
-            fut = asyncio.run_coroutine_threadsafe(
-                self._batcher.submit(plan.claimed), self._loop
-            )
-            try:
-                fut.result()
-            except Exception as exc:  # noqa: BLE001 - assembly below retries serially
-                self._tally("batch.failures")
-                _log.warning("spec batch failed %s", kv(reason=exc))
-            finally:
-                self.planner.complete(plan)
+            with self._tspan(
+                "service.batch.wait", claimed=len(plan.claimed)
+            ) as wait_span:
+                fut = asyncio.run_coroutine_threadsafe(
+                    self._batcher.submit(plan.claimed, wait_span.context), self._loop
+                )
+                try:
+                    fut.result()
+                except Exception as exc:  # noqa: BLE001 - assembly below retries serially
+                    self._tally("batch.failures")
+                    _log.warning("spec batch failed %s", kv(reason=exc))
+                finally:
+                    self.planner.complete(plan)
         if plan.waiting:
-            self.planner.wait(plan, timeout=self.config.job_timeout)
+            with self._tspan("service.inflight.wait", waiting=len(plan.waiting)):
+                self.planner.wait(plan, timeout=self.config.job_timeout)
         # Everything is (normally) cached now; assembly re-reads the records
         # in request order and runs the pure-analysis stage.  Anything still
         # missing — a failed batch, a corrupt entry — executes serially here,
         # with the engine's own transient-retry logic.
-        with obs.tracer().span("service.assemble", kind=request.kind):
+        with self._tspan("service.assemble", kind=request.kind), obs.tracer().span(
+            "service.assemble", kind=request.kind
+        ):
             return request.execute(
                 cache_root=self.root, executor=SerialExecutor(), progress=None
             )
 
-    def _run_batch(self, specs: list[RunSpec]) -> None:
+    def _run_batch(self, specs: list[RunSpec], batch_ctx: TraceContext | None = None) -> None:
         """Batch body (runs in the dedicated batch thread)."""
+        t0 = time.perf_counter()
         with obs.tracer().span("service.batch", specs=len(specs)):
-            self.executor.run(specs, cache=self.run_cache)
+            if batch_ctx is not None:
+                with self.traces.span(
+                    "service.batch", context=batch_ctx, specs=len(specs)
+                ) as tspan:
+                    self.executor.run(
+                        specs,
+                        cache=self.run_cache,
+                        trace=TraceHandle(self.traces, tspan.context),
+                    )
+            else:
+                self.executor.run(specs, cache=self.run_cache)
+        self.telemetry.observe("engine.batch_seconds", time.perf_counter() - t0)
 
     def _tally(self, name: str, value: int = 1) -> None:
         with self._lock:
@@ -520,3 +728,4 @@ class AnalysisService:
     def _tally_locked(self, name: str, value: int = 1) -> None:
         self._counters[name] += value
         obs.registry().inc(f"service.{name}", value)
+        self.telemetry.inc(f"service.{name}", value)

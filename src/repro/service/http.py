@@ -1,16 +1,22 @@
 """The stdlib HTTP JSON API in front of :class:`AnalysisService`.
 
-Routes (all JSON)::
+Routes (JSON unless noted)::
 
-    GET  /healthz               -> {"status": "ok" | "draining", ...}
+    GET  /healthz               -> {"status": "ok"|"draining"|"degraded",
+                                    "jobs", "queue_depth", "inflight",
+                                    "uptime_seconds", "store"}  (503 if degraded)
+    GET  /metrics               -> Prometheus text exposition (0.0.4)
     GET  /v1/stats              -> service tallies + queue occupancy
     GET  /v1/jobs               -> {"jobs": [<summary>, ...]}
-    POST /v1/jobs               -> 202 {"id", "state", "deduped"}
+    POST /v1/jobs               -> 202 {"id", "state", "deduped", "trace_id"?}
          body: {"kind": ..., "payload": {...}, "priority": 5}
+         headers: traceparent / tracestate (optional) join the job to the
+         caller's distributed trace
     GET  /v1/jobs/<id>          -> 200 <summary> | 404
-    GET  /v1/jobs/<id>/result   -> 200 {"id","state","result"}   (done)
-                                   200 {"id","state","error"}    (failed)
-                                   202 {"id","state"}            (pending)
+    GET  /v1/jobs/<id>/result   -> 200 {"id","state","result","timeline"?} (done)
+                                   200 {"id","state","error","timeline"?}  (failed)
+                                   202 {"id","state"}                      (pending)
+    GET  /v1/jobs/<id>/trace    -> 200 {"job","trace_id","complete","spans"}
     POST /v1/drain              -> 200 {"drained": true|false}
 
 Backpressure semantics: a full queue answers **429** and a draining
@@ -18,7 +24,10 @@ service **503**, both with a ``Retry-After`` header carrying the
 service's advisory back-off — well-behaved clients (the bundled
 :class:`~repro.service.client.ServiceClient`) sleep and retry.  Invalid
 requests (unknown kind, bad payload, unknown workload) answer **400**
-with the validation error.
+with the validation error.  A service whose job store directory cannot
+be written (mis-mounted cache root, read-only disk) starts *degraded*:
+submits answer **503** with a structured JSON body instead of a bare
+connection failure, while health/metrics/read endpoints keep working.
 
 The server is a :class:`ThreadingHTTPServer`: request handling threads
 only validate and enqueue; all heavy work happens on the service's own
@@ -28,12 +37,28 @@ queue/batcher machinery.
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..errors import JobNotFoundError, QueueFullError, ReproError
+from ..errors import (
+    JobNotFoundError,
+    QueueFullError,
+    ReproError,
+    StoreUnavailableError,
+)
 from ..obs import runtime as obs
+from ..obs import telemetry as _telemetry
 from ..obs.logs import get_logger, kv
+from ..obs.trace import (
+    TRACEPARENT_HEADER,
+    TRACESTATE_HEADER,
+    TraceSpan,
+    new_span_id,
+    parse_traceparent,
+    parse_tracestate_name,
+)
 from .core import AnalysisService, ServiceConfig
 from .store import Job
 
@@ -42,11 +67,18 @@ __all__ = ["ServiceServer", "serve"]
 _log = get_logger("service.http")
 
 
-def _result_view(job: Job) -> tuple[int, dict]:
-    if job.state == "done":
-        return 200, {"id": job.id, "state": job.state, "result": job.result}
-    if job.state == "failed":
-        return 200, {"id": job.id, "state": job.state, "error": job.error}
+def _result_view(service: AnalysisService, job: Job) -> tuple[int, dict]:
+    if job.state in ("done", "failed"):
+        body = {"id": job.id, "state": job.state}
+        if job.state == "done":
+            body["result"] = job.result
+        else:
+            body["error"] = job.error
+        if job.trace_id:
+            timeline = service.store.get_timeline(job.id)
+            if timeline is not None:
+                body["timeline"] = {"trace_id": job.trace_id, "spans": timeline}
+        return 200, body
     return 202, {"id": job.id, "state": job.state}
 
 
@@ -73,6 +105,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def _body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
@@ -90,16 +130,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib API
         obs.registry().inc("service.http.requests")
+        self.service.telemetry.inc("service.http.requests")
         try:
             parts = [p for p in self.path.split("?")[0].split("/") if p]
             if parts == ["healthz"]:
-                stats = self.service.stats()
-                self._send(
-                    200,
-                    {
-                        "status": "draining" if stats["draining"] else "ok",
-                        "jobs": stats["jobs"],
-                    },
+                health = self.service.health()
+                self._send(503 if health["status"] == "degraded" else 200, health)
+            elif parts == ["metrics"]:
+                self._send_text(
+                    200, self.service.telemetry.prometheus_text(), _telemetry.CONTENT_TYPE
                 )
             elif parts == ["v1", "stats"]:
                 self._send(200, self.service.stats())
@@ -108,8 +147,10 @@ class _Handler(BaseHTTPRequestHandler):
             elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
                 self._send(200, self.service.status(parts[2]).summary())
             elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
-                status, body = _result_view(self.service.result(parts[2]))
+                status, body = _result_view(self.service, self.service.result(parts[2]))
                 self._send(status, body)
+            elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "trace":
+                self._send(200, self.service.trace(parts[2]))
             else:
                 self._send(404, {"error": f"no route {self.path!r}"})
         except JobNotFoundError as exc:
@@ -119,19 +160,68 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib API
         obs.registry().inc("service.http.requests")
+        self.service.telemetry.inc("service.http.requests")
         try:
             parts = [p for p in self.path.split("?")[0].split("/") if p]
             if parts == ["v1", "jobs"]:
+                arrived = time.time()
                 body = self._body()
                 kind = body.get("kind")
                 if not isinstance(kind, str):
                     raise ReproError("request needs a string 'kind'")
-                job, deduped = self.service.submit(
-                    kind, body.get("payload") or {}, priority=body.get("priority")
-                )
-                self._send(
-                    202, {"id": job.id, "state": job.state, "deduped": deduped}
-                )
+                ctx = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+                if ctx is not None:
+                    # The client's root span cannot be shipped to us (the
+                    # client process moves on after the response), so record
+                    # a placeholder for it now — it anchors the tree — and
+                    # do it *before* submit so a fast job cannot finish and
+                    # persist its timeline without it.
+                    self.service.traces.record(
+                        TraceSpan(
+                            trace_id=ctx.trace_id,
+                            span_id=ctx.span_id,
+                            parent_id="",
+                            name=parse_tracestate_name(self.headers.get(TRACESTATE_HEADER))
+                            or "client.request",
+                            start=arrived,
+                            duration_s=0.0,
+                            attrs={"remote": True},
+                            pid=os.getpid(),
+                        )
+                    )
+                try:
+                    job, deduped = self.service.submit(
+                        kind,
+                        body.get("payload") or {},
+                        priority=body.get("priority"),
+                        trace_ctx=ctx,
+                    )
+                except ReproError:
+                    if ctx is not None:  # nobody will pop the placeholder
+                        self.service.traces.pop_trace(ctx.trace_id)
+                    raise
+                if ctx is not None:
+                    if job.trace_id == ctx.trace_id:
+                        self.service.traces.record(
+                            TraceSpan(
+                                trace_id=ctx.trace_id,
+                                span_id=new_span_id(),
+                                parent_id=ctx.span_id,
+                                name="http.request",
+                                start=arrived,
+                                duration_s=time.time() - arrived,
+                                attrs={"method": "POST", "path": "/v1/jobs", "status": 202},
+                                pid=os.getpid(),
+                            )
+                        )
+                    else:
+                        # Deduped onto a job that belongs to another trace:
+                        # nobody will ever pop ours, so drop it.
+                        self.service.traces.pop_trace(ctx.trace_id)
+                out = {"id": job.id, "state": job.state, "deduped": deduped}
+                if job.trace_id:
+                    out["trace_id"] = job.trace_id
+                self._send(202, out)
             elif parts == ["v1", "drain"]:
                 body = self._body()
                 timeout = body.get("timeout")
@@ -141,8 +231,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, {"drained": drained})
             else:
                 self._send(404, {"error": f"no route {self.path!r}"})
+        except StoreUnavailableError as exc:
+            obs.registry().inc("service.http.rejected")
+            self.service.telemetry.inc("service.http.rejected")
+            self._send(503, {"error": str(exc), "status": "degraded", "store": {"writable": False}})
         except QueueFullError as exc:
             obs.registry().inc("service.http.rejected")
+            self.service.telemetry.inc("service.http.rejected")
             self._send(
                 503 if exc.draining else 429,
                 {"error": str(exc), "retry_after": exc.retry_after},

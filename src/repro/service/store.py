@@ -53,6 +53,9 @@ class Job:
     attempts: int = 0
     error: str | None = None
     result: dict | None = None  # RequestResult.to_dict() once done
+    trace_id: str | None = None  # distributed trace this job belongs to
+    trace_span: str | None = None  # span id of the service.job span
+    trace_parent: str | None = None  # caller's span id (from traceparent)
 
     def summary(self) -> dict:
         """The status view: everything but the (possibly large) result."""
@@ -120,3 +123,52 @@ class JobStore:
     def _note_corrupt(self, job_id: str, exc: Exception) -> None:
         obs.registry().inc("service.store.corrupt")
         _log.warning("job store entry unreadable %s", kv(job=job_id, reason=exc))
+
+    # -- health -------------------------------------------------------------------
+
+    def check_writable(self) -> str | None:
+        """None when the store can take writes, else the failure reason.
+
+        Creates the backing directory (and probes an actual write) so a
+        service can detect a mis-mounted or read-only cache root at
+        startup and degrade to 503s instead of crashing on first submit.
+        """
+        probe = self.root / f".writable.{os.getpid()}"
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            probe.write_text("ok")
+            probe.unlink()
+        except OSError as exc:
+            return f"{type(exc).__name__}: {exc}"
+        return None
+
+    # -- per-job trace timelines --------------------------------------------------
+    #
+    # Timelines live in a subdirectory (not next to the j*.json job files,
+    # which load_all() globs) and hold the job's distributed span tree as
+    # recorded at finish time.
+
+    def timeline_path(self, job_id: str) -> Path:
+        return self.root / "traces" / f"{job_id}.json"
+
+    def put_timeline(self, job_id: str, spans: list[dict]) -> Path:
+        path = self.timeline_path(job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        tmp.write_text(json.dumps({"job": job_id, "spans": spans}, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def get_timeline(self, job_id: str) -> list[dict] | None:
+        """The persisted span dicts, or None (missing *or* unreadable)."""
+        try:
+            data = json.loads(self.timeline_path(job_id).read_text())
+            spans = data["spans"]
+            if not isinstance(spans, list):
+                raise ValueError("spans is not a list")
+            return spans
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            self._note_corrupt(f"{job_id} (timeline)", exc)
+            return None

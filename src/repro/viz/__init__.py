@@ -1,7 +1,8 @@
-"""Terminal-friendly rendering: ASCII line charts and aligned tables."""
+"""Terminal-friendly rendering: ASCII charts, tables, and span trees."""
 
 from .ascii_chart import ascii_chart
 from .bars import stacked_bars
 from .tables import format_table
+from .trace_view import render_trace
 
-__all__ = ["ascii_chart", "stacked_bars", "format_table"]
+__all__ = ["ascii_chart", "stacked_bars", "format_table", "render_trace"]

@@ -1,0 +1,127 @@
+"""Render a distributed span tree for the terminal (``scaltool obs trace``).
+
+Input is the span-dict list served by ``GET /v1/jobs/<id>/trace`` (the
+:meth:`~repro.obs.trace.TraceSpan.to_dict` shape).  The renderer builds
+the parent/child tree from the explicit ``span_id``/``parent_id`` edges,
+orders siblings by wall-clock start (ties: by name), and marks the
+**critical path** — the chain of children that dominates each parent's
+duration — with ``*``, which is what makes a slow job legible at a
+glance: follow the stars.
+
+Example::
+
+    * client.submit                           0.412s  pid 4021
+      * service.job [jb3f…]                   0.409s  pid 4018
+          service.queue.wait                  0.003s
+        * service.attempt                     0.401s
+          * service.batch.wait                0.322s
+            * service.batch                   0.320s
+              * engine.run                    0.318s
+                * engine.execute n=4          0.171s  pid 4055
+                  engine.execute n=2          0.147s  pid 4056
+            service.assemble                  0.071s
+        http.request                          0.002s
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceNode", "build_tree", "critical_path", "render_trace"]
+
+
+@dataclass
+class TraceNode:
+    """One span plus its children, ready to render."""
+
+    span: dict
+    children: list["TraceNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.span.get("name", "?")
+
+    @property
+    def start(self) -> float:
+        return float(self.span.get("start", 0.0))
+
+    @property
+    def duration(self) -> float:
+        return float(self.span.get("duration_s", 0.0))
+
+
+def build_tree(spans: list[dict]) -> list[TraceNode]:
+    """Roots of the span forest (normally one), children in start order.
+
+    A span whose parent is missing from the set (the client root's empty
+    parent, or a dropped span) becomes a root rather than disappearing.
+    """
+    nodes = {s["span_id"]: TraceNode(s) for s in spans if s.get("span_id")}
+    roots: list[TraceNode] = []
+    for span in spans:
+        node = nodes.get(span.get("span_id", ""))
+        if node is None:
+            continue
+        parent = nodes.get(span.get("parent_id", ""))
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: (n.start, n.name))
+    roots.sort(key=lambda n: (n.start, n.name))
+    return roots
+
+
+def critical_path(root: TraceNode) -> set[int]:
+    """``id()``s of the nodes on the dominant chain from ``root`` down.
+
+    At each level the child with the largest duration continues the
+    path; the root itself is always on it.
+    """
+    path: set[int] = set()
+    node: TraceNode | None = root
+    while node is not None:
+        path.add(id(node))
+        node = max(node.children, key=lambda n: n.duration, default=None)
+    return path
+
+
+def _label(node: TraceNode) -> str:
+    attrs = node.span.get("attrs", {})
+    bits = [node.name]
+    if "n" in attrs:
+        bits.append(f"n={attrs['n']}")
+    if "workload" in attrs:
+        bits.append(str(attrs["workload"]))
+    if "attempt" in attrs:
+        bits.append(f"attempt={attrs['attempt']}")
+    if attrs.get("error"):
+        bits.append(f"error={attrs['error']}")
+    return " ".join(bits)
+
+
+def render_trace(spans: list[dict], width: int = 72) -> str:
+    """The span forest as an indented tree with the critical path starred."""
+    roots = build_tree(spans)
+    if not roots:
+        return "(no spans)\n"
+    starred: set[int] = set()
+    for root in roots:
+        starred |= critical_path(root)
+    lines: list[str] = []
+
+    def walk(node: TraceNode, depth: int) -> None:
+        mark = "*" if id(node) in starred else " "
+        label = f"{'  ' * depth}{mark} {_label(node)}"
+        timing = f"{node.duration:8.3f}s"
+        pid = node.span.get("pid")
+        tail = f"{timing}  pid {pid}" if pid else timing
+        pad = max(1, width - len(label) - len(tail))
+        lines.append(f"{label}{'.' * pad}{tail}")
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines) + "\n"

@@ -61,6 +61,7 @@ class TestManifestRecords:
             for r in records:
                 r = dict(r)
                 r.pop("duration_s", None)
+                r.pop("start_s", None)
                 if r["kind"] == "histogram" or r.get("name", "").endswith("_seconds"):
                     r = {k: v for k, v in r.items() if k in ("kind", "name", "count")}
                 out.append(r)
