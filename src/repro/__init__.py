@@ -22,14 +22,16 @@ Quickstart::
     print(analysis.report())
 """
 
+# Single source of truth for the package version: pyproject.toml reads it
+# back through `[tool.setuptools.dynamic]`, and `scaltool --version` prints
+# it.  Defined before the subpackage imports because lineage records stamp
+# results with it (`repro.obs.lineage` imports it back from here).
+__version__ = "1.1.0"
+
 from .core import ScalTool, ScalToolAnalysis, WhatIf, validate_mp
 from .machine import DsmMachine, MachineConfig, origin2000_full, origin2000_scaled
 from .runner import CampaignConfig, RunRecord, ScalToolCampaign, run_experiment
 from .workloads import available_workloads, make_workload
-
-# Single source of truth for the package version: pyproject.toml reads it
-# back through `[tool.setuptools.dynamic]`, and `scaltool --version` prints it.
-__version__ = "1.1.0"
 
 __all__ = [
     "ScalTool",

@@ -118,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.add_argument("--from-dir", default=None, help="load a saved campaign instead of running")
     p_analyze.add_argument("--markdown", action="store_true", help="emit a markdown report")
+    p_analyze.add_argument(
+        "--save-result", default=None, metavar="PATH",
+        help="also write the full result (output + data + lineage) as JSON, "
+        "for later `scaltool explain` / `scaltool doctor`",
+    )
 
     p_validate = sub.add_parser("validate", parents=[common], help="MP estimate vs speedshop")
 
@@ -284,6 +289,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_result.add_argument("--wait", action="store_true", help="block until the job finishes")
     p_result.add_argument("--timeout", type=float, default=600.0, help="--wait timeout in seconds")
 
+    p_explain = sub.add_parser(
+        "explain", parents=[obs_common],
+        help="walk a result back to its runs and fits (lineage + diagnostics)",
+    )
+    p_explain.add_argument(
+        "target",
+        help="a job id (read from the local job store, or --url), or a path to a "
+        "stored job record / --save-result JSON",
+    )
+    p_explain.add_argument(
+        "--cache-dir", default=None,
+        help="cache root holding the job store (default: $SCALTOOL_CACHE_DIR or .scaltool_cache)",
+    )
+    p_explain.add_argument(
+        "--url", default=None,
+        help="fall back to a running service at this URL when the job is not stored locally",
+    )
+    p_explain.add_argument(
+        "--json", action="store_true", help="print the raw lineage/diagnostics as JSON"
+    )
+
+    p_doctor = sub.add_parser(
+        "doctor", parents=[obs_common],
+        help="re-validate a stored result's diagnostics (exit 1 on `suspect`)",
+    )
+    p_doctor.add_argument(
+        "target",
+        help="a job id (read from the local job store, or --url), or a path to a "
+        "stored job record / --save-result JSON",
+    )
+    p_doctor.add_argument(
+        "--cache-dir", default=None,
+        help="cache root holding the job store (default: $SCALTOOL_CACHE_DIR or .scaltool_cache)",
+    )
+    p_doctor.add_argument(
+        "--url", default=None,
+        help="fall back to a running service at this URL when the job is not stored locally",
+    )
+
     p_obs = sub.add_parser(
         "obs", help="observability queries: job traces, manifest hot spots"
     )
@@ -333,11 +377,21 @@ def _execute_request(args, kind: str, payload: dict):
     from .service.requests import compile_request
 
     request = compile_request(kind, payload)
-    return request.execute(
+    result = request.execute(
         cache_root=args.cache_dir,
         executor=_executor_for(args),
         progress=_progress_printer(args),
     )
+    save_path = getattr(args, "save_result", None)
+    if save_path:
+        import json as _json
+        from pathlib import Path as _Path
+
+        path = _Path(save_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"result saved to {path}", file=sys.stderr)
+    return result
 
 
 def _campaign_for(args) -> tuple[CampaignData, object]:
@@ -352,6 +406,57 @@ def _campaign_for(args) -> tuple[CampaignData, object]:
         executor=_executor_for(args),
     )
     return campaign, workload
+
+
+def _load_stored_result(args) -> tuple[str, dict]:
+    """Resolve an ``explain``/``doctor`` target to a stored result dict.
+
+    ``target`` may be (tried in order): a path to a ``--save-result`` JSON
+    file or a stored job record; a job id in the local job store under
+    the cache root (works fully offline); a job id on a running service
+    (only when ``--url`` is given).
+    """
+    import json as _json
+    from pathlib import Path as _Path
+
+    target = args.target
+    path = _Path(target)
+    if path.exists():
+        try:
+            doc = _json.loads(path.read_text())
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read {path}: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ReproError(f"{path} does not hold a result object")
+        if "state" in doc and "kind" in doc:  # a stored job record
+            if doc.get("state") != "done" or not doc.get("result"):
+                raise ReproError(
+                    f"job record {path} is {doc.get('state')!r}; no result to inspect"
+                )
+            return f"job {doc.get('id', '?')} ({doc.get('kind', '?')})", doc["result"]
+        if any(k in doc for k in ("output", "data", "lineage")):
+            return str(path), doc
+        raise ReproError(f"{path} is neither a job record nor a saved result")
+    from .runner.engine import default_cache_root
+    from .service.store import JobStore
+
+    root = _Path(args.cache_dir) if args.cache_dir else default_cache_root()
+    job = JobStore(root / "service" / "jobs").get(target)
+    if job is not None:
+        if job.state != "done" or not job.result:
+            raise ReproError(f"job {target} is {job.state!r}; no result to inspect")
+        return f"job {job.id} ({job.kind})", job.result
+    if args.url:
+        from .service.client import ServiceClient
+
+        view = ServiceClient(args.url).result(target)
+        if view.get("state") != "done" or not view.get("result"):
+            raise ReproError(f"job {target} is {view.get('state')!r}; no result to inspect")
+        return f"job {view['id']}", view["result"]
+    raise ReproError(
+        f"no stored job {target!r} under {root / 'service' / 'jobs'} "
+        "(pass a file path, --cache-dir, or --url for a running service)"
+    )
 
 
 def _axis_value(text: str):
@@ -661,6 +766,75 @@ def _dispatch(args) -> int:
             print(f"job {view['id']} is {view['state']}", file=sys.stderr)
             return 2
         sys.stdout.write(view["result"]["output"])
+        return 0
+
+    if args.command == "explain":
+        import json as _json
+
+        label, result = _load_stored_result(args)
+        lineage = result.get("lineage")
+        diagnostics = (result.get("data") or {}).get("diagnostics")
+        if args.json:
+            print(
+                _json.dumps(
+                    {"lineage": lineage, "diagnostics": diagnostics},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        from .viz.diagnostics_view import render_diagnostics, render_lineage
+
+        print(f"# {label}")
+        if lineage:
+            print(render_lineage(lineage))
+        else:
+            print("no lineage recorded (result predates lineage collection)")
+        if diagnostics:
+            print()
+            print(render_diagnostics(diagnostics))
+        return 0
+
+    if args.command == "doctor":
+        from .obs.diagnostics import GRADE_SUSPECT, revalidate, worst_grade
+
+        label, result = _load_stored_result(args)
+        diagnostics = (result.get("data") or {}).get("diagnostics")
+        if not diagnostics:
+            print(
+                f"doctor: {label}: no diagnostics stored with this result; "
+                "cannot vouch for its numbers",
+                file=sys.stderr,
+            )
+            return 1
+        rows, regraded = [], []
+        for stored in diagnostics.get("checks", []):
+            fresh = revalidate(stored)
+            regraded.append(fresh)
+            rows.append(
+                {
+                    "check": fresh.name,
+                    "eq": fresh.equation,
+                    "stored": stored.get("grade", "?"),
+                    "revalidated": fresh.grade,
+                    "agrees": "yes" if fresh.grade == stored.get("grade") else "NO",
+                }
+            )
+        health = worst_grade(c.grade for c in regraded)
+        print(f"# {label}")
+        print(format_table(rows))
+        flags = [f"  {c.name}: {f}" for c in regraded for f in c.flags]
+        if flags:
+            print("findings:")
+            print("\n".join(flags))
+        print(f"health: {health}")
+        if health == GRADE_SUSPECT:
+            print(
+                "verdict: SUSPECT — re-measure before trusting these numbers",
+                file=sys.stderr,
+            )
+            return 1
+        print("verdict: ok" if health == "ok" else "verdict: usable with caution")
         return 0
 
     if args.command == "obs":

@@ -25,8 +25,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import InsufficientDataError
+from ..errors import EstimationError, InsufficientDataError
 from ..obs import runtime as obs
+from ..obs.diagnostics import (
+    FitDiagnostics,
+    linear_fit_diagnostics,
+    solve_diagnostics,
+)
 from ..runner.records import RunRecord
 from .model import solve_tm
 
@@ -60,6 +65,10 @@ class ParameterEstimates:
     triplet_sizes: list[int] = field(default_factory=list)
     small_run_size: int = 0
     warnings: list[str] = field(default_factory=list)
+    #: Graded quality evidence for the fit and the per-n solve
+    #: (:class:`repro.obs.diagnostics.FitDiagnostics`); rolled into the
+    #: analysis-level health grade by ``ScalTool.analyze``.
+    diagnostics: list[FitDiagnostics] = field(default_factory=list)
 
     def tm(self, n: int) -> float:
         if n == 1 and 1 not in self.tm_by_n:
@@ -144,8 +153,12 @@ def fit_t2_tm(
     )
     if len(sizes) < 2:
         raise InsufficientDataError(
-            f"need >= 2 triplet sizes to fit (t2, tm); have {len(sizes)} "
-            f"(L2 overflow filter at {L2_OVERFLOW_FACTOR} x {l2_bytes} B)"
+            f"need >= 2 triplet sizes to fit (t2, tm); have {len(sizes)}",
+            inputs={
+                "triplet_sizes": sizes,
+                "available_sizes": sorted(uniproc_runs),
+                "l2_overflow_threshold": int(L2_OVERFLOW_FACTOR * l2_bytes),
+            },
         )
     rows, targets = [], []
     for s in sizes:
@@ -154,7 +167,13 @@ def fit_t2_tm(
         targets.append(c.cpi - cpi0)
     design = np.asarray(rows, dtype=float)
     y = np.asarray(targets, dtype=float)
-    solution, _, rank, _ = np.linalg.lstsq(design, y, rcond=None)
+    try:
+        solution, _, rank, _ = np.linalg.lstsq(design, y, rcond=None)
+    except np.linalg.LinAlgError as exc:
+        raise EstimationError(
+            f"(t2, tm) least-squares fit did not converge: {exc}",
+            inputs={"triplet_sizes": sizes, "design_rows": design.tolist()},
+        ) from exc
     constrained = False
     if rank < 2 or solution[0] < 0 or solution[1] < 0:
         # Latencies are physical quantities, and deep-overflow triplets can
@@ -165,16 +184,33 @@ def fit_t2_tm(
         # downstream use that evaluates the same (h2, hm) mix.
         from scipy.optimize import nnls
 
-        solution, _ = nnls(design, np.clip(y, 0.0, None))
+        try:
+            solution, _ = nnls(design, np.clip(y, 0.0, None))
+        except (RuntimeError, ValueError) as exc:
+            raise EstimationError(
+                f"constrained (t2, tm) refit failed: {exc}",
+                inputs={"triplet_sizes": sizes, "design_rows": design.tolist()},
+            ) from exc
         constrained = True
     t2, tm = float(solution[0]), float(solution[1])
     residuals = y - design @ solution
+    fit_check = linear_fit_diagnostics(
+        name="t2_tm_fit",
+        design=design,
+        y=y,
+        estimates={"t2": t2, "tm": tm},
+        constrained=constrained,
+        rank_deficient=bool(rank < 2),
+        overflow_filter_dropped=not overflow_only,
+        sizes=sizes,
+    )
     diagnostics = {
         "sizes": sizes,
         "rms": float(np.sqrt(np.mean(residuals**2))),
         "residuals": residuals.tolist(),
         "constrained": constrained,
         "rank_deficient": bool(rank < 2),
+        "fit_check": fit_check,
     }
     return t2, tm, diagnostics
 
@@ -197,6 +233,7 @@ def estimate_tm_by_n(
     tm1: float,
     warnings: list[str] | None = None,
     tm_growth: dict[int, float] | None = None,
+    solve_info: dict | None = None,
 ) -> dict[int, float]:
     """Section 2.3's last step: tm(n) from the base-size run at each n.
 
@@ -209,8 +246,15 @@ def estimate_tm_by_n(
     like we did to calculate tm".  Every fallback is recorded as a
     warning; without a growth profile the estimate clamps to tm(1)
     (memory is never faster on a larger machine).
+
+    ``solve_info``, when given, is filled with the per-n evidence the
+    diagnostics layer grades: ``per_n`` (final tm and the relative Eq. 1
+    reconstruction error at that n) and ``fallbacks`` (counts where the
+    interconnect floor replaced the solved value).
     """
     out: dict[int, float] = {}
+    per_n: dict[int, dict] = {}
+    fallbacks: list[int] = []
     for n in sorted(base_runs):
         c = base_runs[n].counters
         try:
@@ -228,8 +272,18 @@ def estimate_tm_by_n(
                     f"tm({n}) unidentifiable or below the interconnect floor "
                     f"(estimate {tm:.2f}); using {floor:.2f}"
                 )
+            if n > 1:
+                fallbacks.append(n)
             tm = floor
         out[n] = tm
+        model_cpi = cpi0 + c.h2 * t2 + c.hm * tm
+        per_n[n] = {
+            "tm": tm,
+            "residual_rel": abs(model_cpi - c.cpi) / c.cpi if c.cpi > 0 else 0.0,
+        }
+    if solve_info is not None:
+        solve_info["per_n"] = per_n
+        solve_info["fallbacks"] = fallbacks
     return out
 
 
@@ -256,18 +310,48 @@ def estimate_parameters(
             )
         cpi0_biased = small.counters.cpi
     with tracer.span("estimators.fit_t2_tm", runs=len(uniproc_runs)):
-        t2, tm1, diag = fit_t2_tm(uniproc_runs, cpi0_biased, l2_bytes)
+        if len(overflow_sizes(uniproc_runs, l2_bytes)) >= 2:
+            t2, tm1, diag = fit_t2_tm(uniproc_runs, cpi0_biased, l2_bytes)
+        else:
+            # Too few L2-overflowing sizes to fit the paper's way.  Rather
+            # than fail the whole analysis, fit over every size — the
+            # diagnostics layer marks this `suspect` (tm is unstable on
+            # L2-resident sizes), so the number still arrives but cannot
+            # be mistaken for a trustworthy one.
+            t2, tm1, diag = fit_t2_tm(
+                uniproc_runs, cpi0_biased, l2_bytes, overflow_only=False
+            )
+            warnings.append(
+                "fewer than 2 data-set sizes overflow the L2; "
+                "(t2, tm) fitted over all sizes (suspect)"
+            )
         if t2 < 0 or tm1 < 0:
             warnings.append(f"negative latency fit (t2={t2:.2f}, tm={tm1:.2f}); data too noisy")
     with tracer.span("estimators.adjust_cpi0"):
         cpi0 = adjust_cpi0(cpi0_biased, small, t2, tm1)
     with tracer.span("estimators.tm_by_n", runs=len(base_runs)):
-        tm_by_n = estimate_tm_by_n(base_runs, cpi0, t2, tm1, warnings, tm_growth)
+        solve_info: dict = {}
+        tm_by_n = estimate_tm_by_n(
+            base_runs, cpi0, t2, tm1, warnings, tm_growth, solve_info=solve_info
+        )
+    fit_check: FitDiagnostics = diag["fit_check"]
+    if len(diag["sizes"]) < 3 and not fit_check.details.get("overflow_filter_dropped"):
+        # n_points < 3 already warns inside the rule table; this names
+        # the cause (the paper's own filter) in the analysis warnings.
+        warnings.append(
+            f"only {len(diag['sizes'])} L2-overflowing sizes feed the (t2, tm) fit; "
+            "residuals carry no quality evidence"
+        )
+    solve_check = solve_diagnostics(
+        solve_info.get("per_n", {}), solve_info.get("fallbacks", [])
+    )
     reg = obs.registry()
     reg.set_gauge("estimators.cpi0", cpi0)
     reg.set_gauge("estimators.t2", t2)
     reg.set_gauge("estimators.tm1", tm1)
     reg.set_gauge("estimators.fit_residual_rms", diag["rms"])
+    if fit_check.r_squared is not None:
+        reg.set_gauge("diagnostics.fit.r_squared", fit_check.r_squared)
     if warnings:
         reg.inc("estimators.warnings", len(warnings))
     return ParameterEstimates(
@@ -281,4 +365,5 @@ def estimate_parameters(
         triplet_sizes=diag["sizes"],
         small_run_size=small.size_bytes,
         warnings=warnings,
+        diagnostics=[fit_check, solve_check],
     )

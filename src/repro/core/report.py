@@ -76,6 +76,16 @@ def format_analysis(analysis: "ScalToolAnalysis") -> str:
         "-- model parameters (Sections 2.2-2.3) --",
         analysis.params.summary(),
         "",
+    ]
+    if analysis.diagnostics is not None:
+        from ..viz.diagnostics_view import render_diagnostics
+
+        parts += [
+            "-- estimation diagnostics --",
+            render_diagnostics(analysis.diagnostics.to_dict(), title="health"),
+            "",
+        ]
+    parts += [
         "-- caching space (Section 2.4.1) --",
         analysis.cache.summary(),
         "",
@@ -184,6 +194,27 @@ def export_markdown(analysis: "ScalToolAnalysis") -> str:
         f"**Dominant bottleneck at n={c.processor_counts[-1]}:** "
         f"{analysis.dominant_bottleneck(c.processor_counts[-1])}",
     ]
+    if analysis.diagnostics is not None:
+        d = analysis.diagnostics
+        doc += ["", "## Estimation diagnostics", "", f"Health: **{d.health}**", ""]
+        doc.append(
+            _md_table(
+                [
+                    {
+                        "check": ch.name,
+                        "equation": ch.equation,
+                        "grade": ch.grade,
+                        "R²": f"{ch.r_squared:.4f}" if ch.r_squared is not None else "-",
+                        "rms": f"{ch.residual_rms:.4g}" if ch.residual_rms is not None else "-",
+                    }
+                    for ch in d.checks
+                ],
+                ["check", "equation", "grade", "R²", "rms"],
+            )
+        )
+        flags = d.all_flags()
+        if flags:
+            doc += [""] + [f"- {f}" for f in flags]
     if analysis.warnings:
         doc += ["", "## Estimation warnings", ""]
         doc += [f"- {w}" for w in analysis.warnings]

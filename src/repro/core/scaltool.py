@@ -18,6 +18,13 @@ from dataclasses import dataclass, field
 
 from ..errors import InsufficientDataError
 from ..obs import runtime as obs
+from ..obs.diagnostics import (
+    GRADE_SUSPECT,
+    GRADE_WARN,
+    AnalysisDiagnostics,
+    plateau_diagnostics,
+    sanity_diagnostics,
+)
 from ..runner.campaign import CampaignData
 from ..runner.records import RunRecord
 from .bottlenecks import BottleneckCurves, build_curves, cpi_inf_by_n, cpi_infinf_by_n
@@ -39,6 +46,14 @@ class ScalToolAnalysis:
     sync: SyncAnalysis
     curves: BottleneckCurves
     warnings: list[str] = field(default_factory=list)
+    #: Graded fit-quality evidence for every estimation step; ``None``
+    #: only for analyses built before the diagnostics layer existed.
+    diagnostics: AnalysisDiagnostics | None = None
+
+    @property
+    def health(self) -> str:
+        """Worst grade across all estimation checks (``ok`` if none ran)."""
+        return self.diagnostics.health if self.diagnostics else "ok"
 
     def report(self) -> str:
         """Human-readable analysis report (the tool's terminal output)."""
@@ -58,6 +73,58 @@ class ScalToolAnalysis:
             "load imbalance": self.curves.imb_cost[n],
         }
         return max(costs, key=costs.get)
+
+
+def _range_sanity(
+    base_runs: dict[int, RunRecord],
+    params: ParameterEstimates,
+    sync: SyncAnalysis,
+):
+    """The Eqs. 6–10 range-sanity sweep over everything the model consumed.
+
+    Checks the *raw counters* (hit rates in [0, 1], positive CPIs) as well
+    as the fitted quantities (non-negative latencies, positive cpi0, the
+    Eq. 9 fraction budget); every violation is a graded finding.
+    """
+    violations: list[tuple[str, str]] = []
+    checks = 0
+    for n in sorted(base_runs):
+        c = base_runs[n].counters
+        checks += 2
+        if not (0.0 <= c.l2_local_hit_rate <= 1.0):
+            violations.append(
+                (GRADE_SUSPECT, f"measured L2 hit rate at n={n} out of [0, 1]: {c.l2_local_hit_rate:.4f}")
+            )
+        if c.cpi <= 0:
+            violations.append(
+                (GRADE_SUSPECT, f"measured CPI at n={n} is not positive: {c.cpi:.4f}")
+            )
+    checks += 1
+    if params.cpi0 <= 0:
+        violations.append(
+            (GRADE_SUSPECT, f"unbiased cpi0 is not positive: {params.cpi0:.4f}")
+        )
+    for name, value in (("t2", params.t2), ("tm(1)", params.tm1)):
+        checks += 1
+        if value < 0:
+            violations.append((GRADE_SUSPECT, f"negative latency {name}={value:.2f}"))
+    for n, tm in sorted(params.tm_by_n.items()):
+        checks += 1
+        if tm < 0:
+            violations.append((GRADE_SUSPECT, f"negative latency tm({n})={tm:.2f}"))
+    for n in sorted(sync.frac_syn_by_n):
+        fsyn = sync.frac_syn_by_n[n]
+        fimb = sync.frac_imb_by_n.get(n, 0.0)
+        checks += 1
+        if fsyn < 0 or fimb < 0 or fsyn + fimb > 1.0 + 1e-6:
+            violations.append(
+                (
+                    GRADE_WARN,
+                    f"Eq. 9 fractions at n={n} break the budget: "
+                    f"frac_syn={fsyn:.4f} frac_imb={fimb:.4f}",
+                )
+            )
+    return sanity_diagnostics(violations, checks)
 
 
 class ScalTool:
@@ -131,6 +198,13 @@ class ScalTool:
                 )
             with tracer.span("analysis.curves"):
                 curves = build_curves(base_runs, params, cache, sync)
+            with tracer.span("analysis.diagnostics"):
+                diagnostics = AnalysisDiagnostics()
+                for check in params.diagnostics:
+                    diagnostics.add(check)
+                diagnostics.add(plateau_diagnostics(cache.curve, cache.compulsory))
+                diagnostics.add(_range_sanity(base_runs, params, sync))
+                diagnostics.publish(obs.registry())
         return ScalToolAnalysis(
             workload=campaign.workload,
             s0=campaign.s0,
@@ -139,4 +213,5 @@ class ScalTool:
             sync=sync,
             curves=curves,
             warnings=list(params.warnings) + list(sync.warnings),
+            diagnostics=diagnostics,
         )

@@ -49,8 +49,18 @@ class EstimationError(ReproError):
 
     Typical causes: fewer triplets than unknowns in the (t2, tm) regression,
     no uniprocessor run small enough to estimate cpi0, or a singular design
-    matrix.
+    matrix.  ``inputs`` names the offending inputs (e.g. the data-set
+    sizes that fed the fit, or the degenerate matrix entries) so the
+    failure is diagnosable without re-running the campaign; it is
+    rendered into the message.
     """
+
+    def __init__(self, message: str, inputs: dict | None = None):
+        self.inputs = dict(inputs or {})
+        if self.inputs:
+            detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.inputs.items()))
+            message = f"{message} [{detail}]"
+        super().__init__(message)
 
 
 class InsufficientDataError(EstimationError):

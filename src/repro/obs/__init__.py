@@ -31,7 +31,9 @@ See ``docs/observability.md`` for the span/metric naming scheme and how
 to read the profile report.
 """
 
+from .diagnostics import AnalysisDiagnostics, FitDiagnostics, revalidate, worst_grade
 from .export import export_jsonl, format_profile, manifest_records, summarize_manifest
+from .lineage import Lineage, LineageCollector
 from .logs import configure_logging, get_logger, kv
 from .metrics import BucketHistogram, Histogram, MetricsRegistry
 from .profile import ProfileResult, profile_workload
@@ -50,7 +52,13 @@ from .telemetry import Telemetry, render_prometheus
 from .trace import TraceBuffer, TraceContext, TraceHandle, TraceSpan
 
 __all__ = [
+    "AnalysisDiagnostics",
+    "FitDiagnostics",
+    "Lineage",
+    "LineageCollector",
     "ObsSession",
+    "revalidate",
+    "worst_grade",
     "Span",
     "SpanRecord",
     "Tracer",

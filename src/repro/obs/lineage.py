@@ -1,0 +1,160 @@
+"""Result lineage: which runs, under which machine, produced a number.
+
+A :class:`Lineage` record accompanies every analysis result.  It lists
+the contributing :class:`~repro.runner.engine.RunSpec` keys with whether
+each was a cache hit or an actual simulation, the machine-config hash,
+the code version, and (for service jobs) the trace id — enough to walk
+any reported CPI component back to the exact runs and code that made it.
+
+Collection is ambient so the engine does not need a threaded-through
+parameter: :func:`collect` pushes a :class:`LineageCollector` onto a
+*thread-local* stack (service jobs execute on worker threads, so a
+module-global would interleave concurrent jobs), and
+``Executor.run`` notes every outcome on whatever collector is current.
+When no collector is active, noting is a no-op — plain library use pays
+nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .. import __version__
+
+__all__ = ["Lineage", "LineageCollector", "collect", "current"]
+
+
+@dataclass
+class Lineage:
+    """The provenance of one analysis result (JSON-friendly)."""
+
+    kind: str = ""
+    fingerprint: str = ""
+    code_version: str = ""
+    created: float = 0.0
+    trace_id: str | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: One entry per distinct RunSpec: key, workload, role, size_bytes,
+    #: n_processors, machine_hash, cached, seconds, attempts.
+    specs: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "code_version": self.code_version,
+            "created": self.created,
+            "trace_id": self.trace_id,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "specs": list(self.specs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Lineage":
+        return cls(
+            kind=d.get("kind", ""),
+            fingerprint=d.get("fingerprint", ""),
+            code_version=d.get("code_version", ""),
+            created=d.get("created", 0.0),
+            trace_id=d.get("trace_id"),
+            cache_hits=int(d.get("cache_hits", 0)),
+            cache_misses=int(d.get("cache_misses", 0)),
+            specs=list(d.get("specs", [])),
+        )
+
+
+class LineageCollector:
+    """Accumulates run outcomes for the analysis currently executing."""
+
+    def __init__(self) -> None:
+        self._by_key: dict[str, dict] = {}
+
+    def note(self, spec, cached: bool, seconds: float = 0.0, attempts: int = 1) -> None:
+        """Record one run outcome.
+
+        ``spec`` is duck-typed (needs ``key()``, ``workload``, ``role``,
+        ``size_bytes``, ``n_processors`` and, if available,
+        ``machine_hash()``).  First note per key wins, except that an
+        actual execution always overrides an earlier cache-hit note for
+        the same spec (the service marks planner-claimed specs this way).
+        """
+        key = spec.key()
+        prior = self._by_key.get(key)
+        if prior is not None and not (prior["cached"] and not cached):
+            return
+        try:
+            machine_hash = spec.machine_hash()
+        except AttributeError:
+            machine_hash = ""
+        self._by_key[key] = {
+            "key": key,
+            "workload": getattr(spec, "workload", ""),
+            "role": getattr(spec, "role", ""),
+            "size_bytes": getattr(spec, "size_bytes", 0),
+            "n_processors": getattr(spec, "n_processors", 0),
+            "machine_hash": machine_hash,
+            "cached": bool(cached),
+            "seconds": round(float(seconds), 6),
+            "attempts": int(attempts),
+        }
+
+    def mark_executed(self, keys) -> None:
+        """Flip the given spec keys to cache-miss (actually executed).
+
+        The service's batcher runs claimed specs *before* request
+        assembly, so assembly sees warm caches and every note arrives as
+        a hit; the service corrects the claimed ones here.
+        """
+        for key in keys:
+            entry = self._by_key.get(key)
+            if entry is not None:
+                entry["cached"] = False
+
+    def build(self, kind: str, fingerprint: str) -> Lineage:
+        specs = sorted(
+            self._by_key.values(),
+            key=lambda e: (e["workload"], e["role"], e["n_processors"], e["size_bytes"]),
+        )
+        return Lineage(
+            kind=kind,
+            fingerprint=fingerprint,
+            code_version=__version__,
+            created=time.time(),
+            cache_hits=sum(1 for e in specs if e["cached"]),
+            cache_misses=sum(1 for e in specs if not e["cached"]),
+            specs=specs,
+        )
+
+
+_state = threading.local()
+
+
+def _stack() -> list[LineageCollector]:
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = []
+        _state.stack = stack
+    return stack
+
+
+def current() -> LineageCollector | None:
+    """The innermost active collector on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def collect():
+    """Activate a collector for the duration of the block."""
+    collector = LineageCollector()
+    stack = _stack()
+    stack.append(collector)
+    try:
+        yield collector
+    finally:
+        stack.pop()

@@ -86,14 +86,24 @@ class Telemetry:
         self._clock = clock
         self.started = clock()
         self.registry = MetricsRegistry(histogram_factory=BucketHistogram)
+        # Labelled gauges live beside the registry: the name sanitiser would
+        # mangle `{key="value"}` suffixes, so they render separately.
+        self._labeled_gauges: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
 
     # -- writes (mirror the registry surface) -------------------------------------
 
     def inc(self, name: str, value: float = 1.0) -> None:
         self.registry.inc(name, value)
 
-    def set_gauge(self, name: str, value: float) -> None:
-        self.registry.set_gauge(name, value)
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge; keyword arguments become Prometheus labels
+        (e.g. ``set_gauge("diagnostics.health", 1, grade="suspect")`` renders
+        ``scaltool_diagnostics_health{grade="suspect"} 1``)."""
+        if labels:
+            key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+            self._labeled_gauges[key] = float(value)
+        else:
+            self.registry.set_gauge(name, value)
 
     def observe(self, name: str, value: float) -> None:
         self.registry.observe(name, value)
@@ -108,4 +118,16 @@ class Telemetry:
 
     def prometheus_text(self) -> str:
         self.registry.set_gauge("uptime_seconds", self.uptime_seconds())
-        return render_prometheus(self.registry)
+        text = render_prometheus(self.registry)
+        if self._labeled_gauges:
+            lines: list[str] = []
+            typed: set[str] = set()
+            for (name, labels), value in sorted(self._labeled_gauges.items()):
+                metric = prometheus_name(name)
+                if metric not in typed:
+                    typed.add(metric)
+                    lines.append(f"# TYPE {metric} gauge")
+                label_text = ",".join(f'{k}="{v}"' for k, v in labels)
+                lines.append(f"{metric}{{{label_text}}} {_fmt(value)}")
+            text += "\n".join(lines) + "\n"
+        return text

@@ -46,6 +46,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from ..errors import ConfigError, CounterFormatError, TransientRunError
 from ..machine.config import MachineConfig
+from ..obs import lineage
 from ..obs import runtime as obs
 from ..obs import spool as obs_spool
 from ..obs.logs import get_logger, kv
@@ -181,6 +182,16 @@ class RunSpec:
         except TypeError as exc:
             raise ConfigError(f"run spec is not serialisable: {exc}") from exc
         return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+    def machine_hash(self) -> str:
+        """Content address of the machine configuration alone.
+
+        Lineage records carry this next to the spec key so "same runs,
+        different machine" is visible at a glance without diffing full
+        configurations.
+        """
+        blob = json.dumps(asdict(self.machine), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
     def describe(self) -> str:
         return f"{self.workload} {self.role} size={self.size_bytes} n={self.n_processors}"
@@ -356,6 +367,7 @@ class Executor:
         total = len(specs)
         tracer = obs.tracer()
         reg = obs.registry()
+        lin = lineage.current()
         results: list[RunRecord | None] = [None] * total
         tspan = (
             trace.buffer.span(
@@ -389,6 +401,8 @@ class Executor:
                             hits += 1
                             reg.inc("engine.cache.hit")
                             results[i] = record
+                            if lin is not None:
+                                lin.note(spec, cached=True, seconds=time.perf_counter() - t0)
                             if on_outcome is not None:
                                 on_outcome(
                                     RunOutcome(
@@ -414,6 +428,8 @@ class Executor:
                     if cache is not None:
                         cache.put(specs[i], record)
                     results[i] = record
+                    if lin is not None:
+                        lin.note(specs[i], cached=False, seconds=seconds, attempts=attempts)
                     if tspan is not None:
                         trace.buffer.emit(
                             "engine.execute",

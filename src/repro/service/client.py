@@ -185,6 +185,10 @@ class ServiceClient:
         """The job's distributed span tree (see ``scaltool obs trace``)."""
         return self._request("GET", f"/v1/jobs/{job_id}/trace")[1]
 
+    def lineage(self, job_id: str) -> dict:
+        """The job's result lineage (see ``scaltool explain``)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/lineage")[1]
+
     def metrics(self) -> str:
         """The raw Prometheus text exposition from ``GET /metrics``."""
         req = urllib.request.Request(self.base_url + "/metrics", method="GET")

@@ -60,6 +60,7 @@ from ..errors import (
     ServiceError,
     StoreUnavailableError,
 )
+from ..obs import diagnostics
 from ..obs import runtime as obs
 from ..obs.logs import get_logger, kv
 from ..obs.telemetry import Telemetry
@@ -593,6 +594,8 @@ class AnalysisService:
         error: str | None = None,
         seconds: float = 0.0,
     ) -> None:
+        if result is not None and isinstance(result.get("lineage"), dict):
+            result["lineage"]["trace_id"] = job.trace_id
         with self._lock:
             job.state = state
             job.result = result
@@ -600,6 +603,8 @@ class AnalysisService:
             job.finished = time.time()
             self.store.put(job)
             self._tally_locked("jobs.done" if state == "done" else "jobs.failed")
+        if result is not None:
+            self._publish_health(result.get("data", {}).get("health"))
         obs.registry().observe("service.job_seconds", seconds)
         obs.registry().set_gauge("service.queue.depth", self._queue.qsize() if self._queue else 0)
         self.telemetry.observe("service.job_seconds", seconds)
@@ -629,6 +634,47 @@ class AnalysisService:
             "job finished %s",
             kv(job=job.id, kind=job.kind, state=state, seconds=f"{seconds:.3f}", error=error),
         )
+
+    def _publish_health(self, health: str | None) -> None:
+        """Export a finished job's diagnostics grade to ``/metrics``.
+
+        ``diagnostics.health{grade=...}`` gauges count finished jobs per
+        grade, so a scrape shows immediately whether any served number
+        shipped with a `suspect` estimation.
+        """
+        if not health:
+            return
+        self._tally(f"jobs.health.{health}")
+        with self._lock:
+            counts = {
+                grade: self._counters.get(f"jobs.health.{grade}", 0)
+                for grade in diagnostics.GRADES
+            }
+        for grade, count in counts.items():
+            self.telemetry.set_gauge("diagnostics.health", float(count), grade=grade)
+
+    def lineage(self, job_id: str) -> dict:
+        """A finished job's result lineage (``GET /v1/jobs/<id>/lineage``).
+
+        Raises :class:`~repro.errors.JobNotFoundError` for unknown jobs
+        and :class:`~repro.errors.ServiceError` while the job is still
+        active or when its result predates lineage collection.
+        """
+        job = self.status(job_id)
+        if job.state in ACTIVE_STATES:
+            raise ServiceError(f"job {job_id} is still {job.state}; lineage arrives with the result")
+        if job.state == "failed" or not job.result:
+            raise ServiceError(f"job {job_id} failed; no result lineage")
+        lineage = job.result.get("lineage")
+        if not lineage:
+            raise ServiceError(f"job {job_id} carries no lineage record")
+        return {
+            "job": job.id,
+            "kind": job.kind,
+            "state": job.state,
+            "health": job.result.get("data", {}).get("health"),
+            "lineage": lineage,
+        }
 
     def _tspan(self, name: str, **attrs):
         """A distributed span under the current context, or a no-op.
@@ -672,6 +718,7 @@ class AnalysisService:
 
     def _execute_once(self, request: _requests.CompiledRequest) -> _requests.RequestResult:
         plan = self.planner.plan(request)
+        claimed_keys = {spec.key() for spec in plan.claimed}
         self._tally("plan.specs", len(plan.specs))
         self._tally("plan.cache_hits", plan.cache_hits)
         self._tally("plan.inflight_waits", len(plan.waiting))
@@ -700,9 +747,20 @@ class AnalysisService:
         with self._tspan("service.assemble", kind=request.kind), obs.tracer().span(
             "service.assemble", kind=request.kind
         ):
-            return request.execute(
+            result = request.execute(
                 cache_root=self.root, executor=SerialExecutor(), progress=None
             )
+        if result.lineage and claimed_keys:
+            # Assembly re-reads from a cache the batcher just filled on this
+            # job's behalf, so its collector saw only hits; specs this job
+            # claimed were really executed for it — mark them so.
+            for entry in result.lineage.get("specs", []):
+                if entry["key"] in claimed_keys:
+                    entry["cached"] = False
+            specs = result.lineage.get("specs", [])
+            result.lineage["cache_hits"] = sum(1 for e in specs if e["cached"])
+            result.lineage["cache_misses"] = sum(1 for e in specs if not e["cached"])
+        return result
 
     def _run_batch(self, specs: list[RunSpec], batch_ctx: TraceContext | None = None) -> None:
         """Batch body (runs in the dedicated batch thread)."""

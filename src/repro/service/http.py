@@ -17,6 +17,7 @@ Routes (JSON unless noted)::
                                    200 {"id","state","error","timeline"?}  (failed)
                                    202 {"id","state"}                      (pending)
     GET  /v1/jobs/<id>/trace    -> 200 {"job","trace_id","complete","spans"}
+    GET  /v1/jobs/<id>/lineage  -> 200 {"job","kind","state","health","lineage"}
     POST /v1/drain              -> 200 {"drained": true|false}
 
 Backpressure semantics: a full queue answers **429** and a draining
@@ -151,6 +152,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(status, body)
             elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "trace":
                 self._send(200, self.service.trace(parts[2]))
+            elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "lineage":
+                self._send(200, self.service.lineage(parts[2]))
             else:
                 self._send(404, {"error": f"no route {self.path!r}"})
         except JobNotFoundError as exc:

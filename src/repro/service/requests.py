@@ -27,6 +27,7 @@ from pathlib import Path
 
 from ..core import ScalTool, WhatIf
 from ..errors import ServiceError
+from ..obs import lineage
 from ..runner.campaign import CampaignConfig, ProgressCallback, ScalToolCampaign
 from ..runner.cache import cached_campaign, campaign_cache_dir
 from ..runner.engine import Executor, RunCache, RunSpec, SerialExecutor
@@ -52,18 +53,30 @@ class RequestResult:
     """What a completed request produced.
 
     ``output`` is the exact text the equivalent CLI command writes to
-    stdout; ``data`` is a JSON-able structured form of the same result.
+    stdout; ``data`` is a JSON-able structured form of the same result;
+    ``lineage`` records which runs fed it and where each came from
+    (:class:`repro.obs.lineage.Lineage` in dict form) — provenance, kept
+    out of ``output``/``data`` so those stay byte-identical between a
+    cold and a warm cache.
     """
 
     output: str
     data: dict = field(default_factory=dict)
+    lineage: dict | None = None
 
     def to_dict(self) -> dict:
-        return {"output": self.output, "data": self.data}
+        out = {"output": self.output, "data": self.data}
+        if self.lineage is not None:
+            out["lineage"] = self.lineage
+        return out
 
     @classmethod
     def from_dict(cls, d: dict) -> "RequestResult":
-        return cls(output=d.get("output", ""), data=dict(d.get("data", {})))
+        return cls(
+            output=d.get("output", ""),
+            data=dict(d.get("data", {})),
+            lineage=d.get("lineage"),
+        )
 
 
 def _require_str(payload: dict, name: str) -> str:
@@ -165,9 +178,18 @@ class CompiledRequest:
         executor: Executor | None = None,
         progress: ProgressCallback | None = None,
     ) -> RequestResult:
-        """Run the request to completion through the engine + cache."""
+        """Run the request to completion through the engine + cache.
+
+        Every engine batch inside runs under a lineage collector, so the
+        result leaves with a full provenance record: each contributing
+        RunSpec, whether it came from cache or was executed, the machine
+        hash, and the code version.
+        """
         root = Path(cache_root) if cache_root is not None else None
-        return self._execute(root, executor or SerialExecutor(), progress)
+        with lineage.collect() as col:
+            result = self._execute(root, executor or SerialExecutor(), progress)
+        result.lineage = col.build(self.kind, self.fingerprint()).to_dict()
+        return result
 
 
 class _CampaignBacked(CompiledRequest):
@@ -233,6 +255,10 @@ class AnalyzeRequest(_CampaignBacked):
                 "workload": analysis.workload,
                 "processor_counts": list(analysis.curves.processor_counts),
                 "records": len(campaign.records),
+                "health": analysis.health,
+                "diagnostics": (
+                    analysis.diagnostics.to_dict() if analysis.diagnostics else None
+                ),
             },
         )
 

@@ -2,7 +2,15 @@
 
 from .ascii_chart import ascii_chart
 from .bars import stacked_bars
+from .diagnostics_view import render_diagnostics, render_lineage
 from .tables import format_table
 from .trace_view import render_trace
 
-__all__ = ["ascii_chart", "stacked_bars", "format_table", "render_trace"]
+__all__ = [
+    "ascii_chart",
+    "stacked_bars",
+    "format_table",
+    "render_diagnostics",
+    "render_lineage",
+    "render_trace",
+]

@@ -1,0 +1,87 @@
+"""Render diagnostics and lineage records for the terminal.
+
+Used by the analysis report (diagnostics section), ``scaltool explain``
+(lineage walk-back) and ``scaltool doctor`` (stored vs revalidated
+grades).  Input is the JSON-friendly dict form so the views work on
+in-memory records and on records loaded back from a job store alike.
+"""
+
+from __future__ import annotations
+
+from .tables import format_table
+
+__all__ = ["render_diagnostics", "render_lineage"]
+
+
+def _ci_text(ci: dict) -> str:
+    parts = []
+    for param in sorted(ci):
+        lo, hi = ci[param]
+        parts.append(f"{param}:[{lo:.2f},{hi:.2f}]")
+    return " ".join(parts)
+
+
+def render_diagnostics(diag: dict, title: str = "estimation diagnostics") -> str:
+    """One table row per check, flags listed underneath."""
+    rows = []
+    for check in diag.get("checks", []):
+        r2 = check.get("r_squared")
+        rms = check.get("residual_rms")
+        cond = check.get("condition_number")
+        rows.append(
+            {
+                "check": check.get("name", "?"),
+                "eq": check.get("equation", ""),
+                "grade": check.get("grade", "?"),
+                "pts": check.get("n_points", 0),
+                "R2": f"{r2:.4f}" if r2 is not None else "-",
+                "rms": f"{rms:.4g}" if rms is not None else "-",
+                "cond": f"{cond:.3g}" if cond is not None else "-",
+                "95% CI": _ci_text(check.get("ci", {})) or "-",
+            }
+        )
+    lines = [f"{title}: {diag.get('health', '?')}"]
+    if rows:
+        lines.append(format_table(rows))
+    flags = [
+        f"  {check.get('name', '?')}: {flag}"
+        for check in diag.get("checks", [])
+        for flag in check.get("flags", [])
+    ]
+    if flags:
+        lines.append("findings:")
+        lines.extend(flags)
+    return "\n".join(lines)
+
+
+def render_lineage(lineage: dict, title: str = "result lineage") -> str:
+    """The runs (and cache provenance) behind one analysis result."""
+    header = [
+        f"{title}",
+        f"  kind:         {lineage.get('kind', '?')}",
+        f"  fingerprint:  {lineage.get('fingerprint', '?')}",
+        f"  code version: {lineage.get('code_version', '?')}",
+    ]
+    trace_id = lineage.get("trace_id")
+    if trace_id:
+        header.append(f"  trace id:     {trace_id}")
+    hits = lineage.get("cache_hits", 0)
+    misses = lineage.get("cache_misses", 0)
+    header.append(f"  runs:         {hits + misses} ({hits} cached, {misses} executed)")
+    rows = [
+        {
+            "spec": e.get("key", "?"),
+            "workload": e.get("workload", "?"),
+            "role": e.get("role", "?"),
+            "size": e.get("size_bytes", 0),
+            "n": e.get("n_processors", 0),
+            "machine": e.get("machine_hash", "") or "-",
+            "source": "cache" if e.get("cached") else "executed",
+            "s": f"{e.get('seconds', 0.0):.3f}",
+        }
+        for e in lineage.get("specs", [])
+    ]
+    out = "\n".join(header)
+    if rows:
+        out += "\n" + format_table(rows)
+    return out

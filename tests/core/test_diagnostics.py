@@ -1,0 +1,271 @@
+"""Degenerate estimator inputs must grade, not crash.
+
+Each scenario the issue calls out — collinear triplets, duplicate design
+rows, no L2-overflowing size at all, negative measured CPI — produces a
+``warn``/``suspect`` :class:`FitDiagnostics` (never an unhandled
+exception), and the grade survives a round trip through JSON plus a
+``revalidate`` (the `scaltool doctor` path).
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    estimate_parameters,
+    fit_t2_tm,
+)
+from repro.core.scaltool import _range_sanity
+from repro.errors import EstimationError, InsufficientDataError
+from repro.machine.counters import CounterSet
+from repro.obs.diagnostics import (
+    GRADE_OK,
+    GRADE_SUSPECT,
+    GRADE_WARN,
+    AnalysisDiagnostics,
+    FitDiagnostics,
+    bootstrap_ci,
+    linear_fit_diagnostics,
+    plateau_diagnostics,
+    revalidate,
+    sanity_diagnostics,
+    solve_diagnostics,
+    worst_grade,
+)
+from repro.runner.records import RunRecord
+
+L2_BYTES = 4096
+L1_BYTES = 256
+
+TRUE = dict(cpi0=1.2, t2=10.0, tm=70.0)
+
+
+def fabricate(size, n=1, l1_miss_rate=0.1, l2_hit_of_miss=0.3, m=0.4, inst=100_000,
+              tm=None, cpi0=None):
+    """A record whose counters satisfy Eq. 1 exactly for the TRUE params."""
+    tm = TRUE["tm"] if tm is None else tm
+    cpi0 = TRUE["cpi0"] if cpi0 is None else cpi0
+    refs = inst * m
+    l1_misses = refs * l1_miss_rate
+    l2_misses = l1_misses * (1 - l2_hit_of_miss)
+    h2 = (l1_misses - l2_misses) / inst
+    hm = l2_misses / inst
+    cycles = inst * (cpi0 + h2 * TRUE["t2"] + hm * tm)
+    counters = CounterSet(
+        cycles=cycles,
+        graduated_instructions=inst,
+        graduated_loads=refs * 0.7,
+        graduated_stores=refs * 0.3,
+        l1_data_misses=l1_misses,
+        l2_misses=l2_misses,
+    )
+    return RunRecord(
+        workload="synthetic-math",
+        params={},
+        size_bytes=size,
+        n_processors=n,
+        role="app_frac" if n == 1 else "app_base",
+        machine={"l1_bytes": L1_BYTES, "l2_bytes": L2_BYTES},
+        counters=counters,
+    )
+
+
+def healthy_suite():
+    return {
+        32 * L2_BYTES: fabricate(32 * L2_BYTES, l2_hit_of_miss=0.05),
+        8 * L2_BYTES: fabricate(8 * L2_BYTES, l2_hit_of_miss=0.15),
+        2 * L2_BYTES: fabricate(2 * L2_BYTES, l2_hit_of_miss=0.45),
+        L1_BYTES: fabricate(L1_BYTES, l1_miss_rate=0.01, l2_hit_of_miss=0.5),
+    }
+
+
+class TestGrades:
+    def test_worst_grade_ordering(self):
+        assert worst_grade([]) == GRADE_OK
+        assert worst_grade([GRADE_OK, GRADE_WARN]) == GRADE_WARN
+        assert worst_grade([GRADE_WARN, GRADE_SUSPECT, GRADE_OK]) == GRADE_SUSPECT
+
+    def test_flag_escalates_but_never_downgrades(self):
+        fd = FitDiagnostics(name="x", kind="sanity")
+        fd.flag(GRADE_SUSPECT, "bad")
+        fd.flag(GRADE_WARN, "meh")
+        assert fd.grade == GRADE_SUSPECT
+        assert len(fd.flags) == 2
+
+
+class TestHealthyFit:
+    def test_clean_fit_grades_ok_with_ci(self):
+        est = estimate_parameters(healthy_suite(), {1: fabricate(32 * L2_BYTES)},
+                                  L1_BYTES, L2_BYTES)
+        fit = next(c for c in est.diagnostics if c.name == "t2_tm_fit")
+        assert fit.grade == GRADE_OK
+        assert fit.r_squared is not None and fit.r_squared > 0.99
+        # bootstrap CIs bracket the recovered latencies
+        for param in ("t2", "tm"):
+            lo, hi = fit.ci[param]
+            assert lo <= fit.estimates[param] <= hi
+
+    def test_bootstrap_is_deterministic(self):
+        design = np.array([[0.02, 0.03], [0.015, 0.08], [0.005, 0.12], [0.03, 0.01]])
+        y = design @ np.array([10.0, 70.0]) + np.array([0.01, -0.02, 0.005, 0.0])
+        a = bootstrap_ci(design, y, ("t2", "tm"))
+        b = bootstrap_ci(design, y, ("t2", "tm"))
+        assert a == b and set(a) == {"t2", "tm"}
+
+    def test_bootstrap_needs_three_rows(self):
+        design = np.array([[0.02, 0.03], [0.015, 0.08]])
+        assert bootstrap_ci(design, design @ [10.0, 70.0], ("t2", "tm")) == {}
+
+
+class TestDegenerateFits:
+    def test_collinear_sizes_grade_suspect(self):
+        # identical hit rates at every size: rank-deficient design, t2/tm
+        # not separately identifiable — suspect, not a crash
+        runs = {
+            s: fabricate(s, l2_hit_of_miss=0.10)
+            for s in (8 * L2_BYTES, 16 * L2_BYTES, 32 * L2_BYTES)
+        }
+        t2, tm, diag = fit_t2_tm(runs, TRUE["cpi0"], L2_BYTES)
+        fit = diag["fit_check"]
+        assert fit.grade == GRADE_SUSPECT
+        assert fit.details["rank_deficient"]
+        assert any("identifiable" in f for f in fit.flags)
+        assert t2 >= 0 and tm >= 0
+
+    def test_duplicate_sizes_grade_at_least_warn(self):
+        # two distinct sizes with duplicated design rows: exactly
+        # determined (no residual evidence) and rank deficient
+        runs = {
+            8 * L2_BYTES: fabricate(8 * L2_BYTES, l2_hit_of_miss=0.10),
+            16 * L2_BYTES: fabricate(16 * L2_BYTES, l2_hit_of_miss=0.10),
+        }
+        _, _, diag = fit_t2_tm(runs, TRUE["cpi0"], L2_BYTES)
+        fit = diag["fit_check"]
+        assert fit.grade in (GRADE_WARN, GRADE_SUSPECT)
+        assert fit.n_points == 2
+        assert any("2 fit points" in f for f in fit.flags)
+
+    def test_all_l2_resident_sizes_fall_back_suspect(self):
+        # nothing overflows the L2: estimate_parameters refits over every
+        # size instead of failing, and the diagnostics brand it suspect
+        runs = {
+            L2_BYTES // 2: fabricate(L2_BYTES // 2, l2_hit_of_miss=0.90),
+            L2_BYTES // 4: fabricate(L2_BYTES // 4, l2_hit_of_miss=0.95),
+            L1_BYTES: fabricate(L1_BYTES, l1_miss_rate=0.01, l2_hit_of_miss=0.98),
+        }
+        est = estimate_parameters(runs, {1: fabricate(L2_BYTES // 2)},
+                                  L1_BYTES, L2_BYTES)
+        fit = next(c for c in est.diagnostics if c.name == "t2_tm_fit")
+        assert fit.grade == GRADE_SUSPECT
+        assert fit.details["overflow_filter_dropped"]
+        assert any("overflow" in w for w in est.warnings)
+
+    def test_negative_measured_cpi_is_a_sanity_suspect(self):
+        # corrupt counters (negative cycles) flow through the pipeline and
+        # come out as a graded range-sanity violation, not an exception
+        base = {1: fabricate(32 * L2_BYTES), 4: fabricate(32 * L2_BYTES, n=4, cpi0=-3.0)}
+        est = estimate_parameters(healthy_suite(), base, L1_BYTES, L2_BYTES)
+        sync = SimpleNamespace(frac_syn_by_n={}, frac_imb_by_n={})
+        sanity = _range_sanity(base, est, sync)
+        assert sanity.grade == GRADE_SUSPECT
+        assert any("not positive" in f for f in sanity.flags)
+
+    def test_too_few_sizes_raise_typed_error_naming_inputs(self):
+        runs = {32 * L2_BYTES: fabricate(32 * L2_BYTES)}
+        with pytest.raises(InsufficientDataError) as exc_info:
+            fit_t2_tm(runs, TRUE["cpi0"], L2_BYTES)
+        err = exc_info.value
+        assert isinstance(err, EstimationError)
+        assert err.inputs["triplet_sizes"] == [32 * L2_BYTES]
+        assert err.inputs["available_sizes"] == [32 * L2_BYTES]
+        assert "triplet_sizes" in str(err)  # inputs render into the message
+
+
+class TestPlateau:
+    def test_flat_curve_ok(self):
+        curve = [(256, 0.89), (512, 0.889), (1024, 0.885), (2048, 0.7)]
+        fd = plateau_diagnostics(curve, 0.11)
+        assert fd.grade == GRADE_OK
+        assert fd.details["plateau_points"] >= 2
+
+    def test_still_rising_curve_flags(self):
+        # hit rate climbing steeply at the smallest size: plateau missed
+        curve = [(256, 0.95), (512, 0.80), (1024, 0.60)]
+        fd = plateau_diagnostics(curve, 0.05)
+        assert fd.grade == GRADE_SUSPECT
+        assert any("plateau not reached" in f for f in fd.flags)
+
+    def test_out_of_range_compulsory_suspect(self):
+        fd = plateau_diagnostics([(256, 0.9), (512, 0.9)], compulsory=-0.2)
+        assert fd.grade == GRADE_SUSPECT
+
+    def test_single_size_warns(self):
+        fd = plateau_diagnostics([(256, 0.9)], 0.1)
+        assert fd.grade == GRADE_WARN
+
+
+class TestSolve:
+    def test_monotone_tm_ok(self):
+        per_n = {1: {"tm": 70.0, "residual_rel": 0.0},
+                 4: {"tm": 90.0, "residual_rel": 0.001}}
+        assert solve_diagnostics(per_n, []).grade == GRADE_OK
+
+    def test_decreasing_tm_flags(self):
+        per_n = {1: {"tm": 70.0, "residual_rel": 0.0},
+                 4: {"tm": 40.0, "residual_rel": 0.0}}
+        fd = solve_diagnostics(per_n, [])
+        assert fd.grade == GRADE_SUSPECT
+        assert fd.details["monotone_violations"] == [4]
+
+    def test_fallbacks_warn(self):
+        per_n = {1: {"tm": 70.0, "residual_rel": 0.0},
+                 8: {"tm": 70.0, "residual_rel": 0.3}}
+        fd = solve_diagnostics(per_n, [8])
+        assert fd.grade == GRADE_SUSPECT  # rms 0.3/sqrt(2) > 0.10 too
+        assert any("fallback" in f for f in fd.flags)
+
+
+class TestRoundTripAndRevalidate:
+    def _suspect_fit(self):
+        runs = {
+            s: fabricate(s, l2_hit_of_miss=0.10)
+            for s in (8 * L2_BYTES, 16 * L2_BYTES, 32 * L2_BYTES)
+        }
+        return fit_t2_tm(runs, TRUE["cpi0"], L2_BYTES)[2]["fit_check"]
+
+    def test_dict_round_trip_preserves_grade(self):
+        fit = self._suspect_fit()
+        clone = FitDiagnostics.from_dict(fit.to_dict())
+        assert clone.grade == fit.grade and clone.flags == fit.flags
+
+    def test_revalidate_recomputes_same_grade_from_evidence(self):
+        stored = self._suspect_fit().to_dict()
+        fresh = revalidate(stored)
+        assert fresh.grade == stored["grade"] == GRADE_SUSPECT
+
+    def test_revalidate_catches_edited_grade(self):
+        # doctor's whole point: a hand-edited grade is re-derived from the
+        # numeric evidence, not trusted
+        stored = self._suspect_fit().to_dict()
+        stored["grade"] = GRADE_OK
+        stored["flags"] = []
+        assert revalidate(stored).grade == GRADE_SUSPECT
+
+    def test_analysis_roll_up_and_publish(self):
+        diag = AnalysisDiagnostics()
+        diag.add(sanity_diagnostics([], checks=5))
+        diag.add(linear_fit_diagnostics(
+            "t2_tm_fit",
+            np.array([[0.02, 0.03], [0.015, 0.08], [0.005, 0.12]]),
+            np.array([2.3, 5.75, 8.45]),
+            {"t2": 10.0, "tm": 70.0},
+        ))
+        assert diag.health in (GRADE_OK, GRADE_WARN, GRADE_SUSPECT)
+        gauges = {}
+        registry = SimpleNamespace(set_gauge=lambda name, value: gauges.__setitem__(name, value))
+        diag.publish(registry)
+        assert "diagnostics.health" in gauges
+        assert gauges["diagnostics.checks.ok"] >= 1.0
+        round_tripped = AnalysisDiagnostics.from_dict(diag.to_dict())
+        assert round_tripped.health == diag.health

@@ -1,0 +1,130 @@
+"""Lineage collection: ambient, thread-local, engine-integrated."""
+
+from __future__ import annotations
+
+import threading
+from types import SimpleNamespace
+
+from repro.obs import lineage
+from repro.runner.engine import RunCache, RunSpec, SerialExecutor
+
+from ..conftest import small_synthetic, tiny_machine_config
+
+
+def fake_spec(key: str, workload: str = "wl", n: int = 1, size: int = 1024,
+              machine_hash: str = "mach"):
+    return SimpleNamespace(
+        key=lambda: key,
+        workload=workload,
+        role="app_base",
+        size_bytes=size,
+        n_processors=n,
+        machine_hash=lambda: machine_hash,
+    )
+
+
+def engine_spec(n: int = 1, size: int = 4096) -> RunSpec:
+    return RunSpec.compile(
+        small_synthetic(), size, n, machine=tiny_machine_config(n_processors=n)
+    )
+
+
+class TestCollector:
+    def test_note_first_wins_per_key(self):
+        col = lineage.LineageCollector()
+        col.note(fake_spec("a"), cached=False, seconds=1.0)
+        col.note(fake_spec("a"), cached=False, seconds=9.0)
+        built = col.build("analyze", "fp")
+        assert len(built.specs) == 1
+        assert built.specs[0]["seconds"] == 1.0
+
+    def test_execution_overrides_earlier_cache_hit(self):
+        col = lineage.LineageCollector()
+        col.note(fake_spec("a"), cached=True)
+        col.note(fake_spec("a"), cached=False, seconds=2.0)
+        built = col.build("analyze", "fp")
+        assert built.cache_hits == 0 and built.cache_misses == 1
+        assert built.specs[0]["seconds"] == 2.0
+
+    def test_mark_executed_flips_hits(self):
+        col = lineage.LineageCollector()
+        col.note(fake_spec("a"), cached=True)
+        col.note(fake_spec("b"), cached=True)
+        col.mark_executed(["a", "missing-key"])
+        built = col.build("analyze", "fp")
+        by_key = {e["key"]: e for e in built.specs}
+        assert by_key["a"]["cached"] is False
+        assert by_key["b"]["cached"] is True
+
+    def test_build_sorts_and_stamps_version(self):
+        import repro
+
+        col = lineage.LineageCollector()
+        col.note(fake_spec("z", workload="zeta", n=4), cached=False)
+        col.note(fake_spec("a", workload="alpha", n=1), cached=True)
+        built = col.build("campaign", "fingerprint123")
+        assert [e["workload"] for e in built.specs] == ["alpha", "zeta"]
+        assert built.kind == "campaign"
+        assert built.fingerprint == "fingerprint123"
+        assert built.code_version == repro.__version__
+        assert built.created > 0
+
+    def test_round_trip(self):
+        col = lineage.LineageCollector()
+        col.note(fake_spec("a"), cached=True)
+        built = col.build("analyze", "fp")
+        clone = lineage.Lineage.from_dict(built.to_dict())
+        assert clone.to_dict() == built.to_dict()
+
+
+class TestAmbientCollection:
+    def test_no_collector_active_is_noop(self):
+        assert lineage.current() is None
+
+    def test_collect_nests_and_pops(self):
+        with lineage.collect() as outer:
+            assert lineage.current() is outer
+            with lineage.collect() as inner:
+                assert lineage.current() is inner
+            assert lineage.current() is outer
+        assert lineage.current() is None
+
+    def test_collectors_are_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["in_thread"] = lineage.current()
+
+        with lineage.collect():
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["in_thread"] is None
+
+
+class TestEngineIntegration:
+    def test_executor_notes_miss_then_hit(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = engine_spec()
+        with lineage.collect() as cold:
+            SerialExecutor().run([spec], cache=cache)
+        built = cold.build("analyze", "fp")
+        assert built.cache_misses == 1 and built.cache_hits == 0
+        entry = built.specs[0]
+        assert entry["key"] == spec.key()
+        assert entry["machine_hash"] == spec.machine_hash()
+        assert entry["workload"] == spec.workload
+
+        with lineage.collect() as warm:
+            SerialExecutor().run([spec], cache=cache)
+        rebuilt = warm.build("analyze", "fp")
+        assert rebuilt.cache_hits == 1 and rebuilt.cache_misses == 0
+
+    def test_executor_without_collector_still_runs(self, tmp_path):
+        records = SerialExecutor().run([engine_spec()], cache=RunCache(tmp_path))
+        assert len(records) == 1
+
+    def test_machine_hash_is_stable_and_config_sensitive(self):
+        a, b = engine_spec(n=1), engine_spec(n=1)
+        assert a.machine_hash() == b.machine_hash()
+        assert a.machine_hash() != engine_spec(n=2).machine_hash()
