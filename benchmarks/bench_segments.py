@@ -7,13 +7,84 @@ Regenerates the segment-level decomposition of T3dheat — the SpMV sweeps
 vs the CG vector steps — and checks the structure a CG practitioner would
 expect: the SpMV carries the memory stalls, the vector steps carry the
 synchronization.
+
+Besides the human-readable ``results/segments_t3dheat.txt``, the bench
+records ``results/segments_t3dheat.json`` with the comparable structural
+metrics (per-segment residual fractions, the maximum tiling error), which
+``check_regression.py`` tracks: a model change that silently inflates the
+unmodeled residual, or breaks the segments-tile-the-run invariant, fails
+the regression gate even though wall-clock never enters these numbers.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.core.segments import analyze_segments
 
 GROUPS = {"init": "init", "spmv": "spmv_*", "vector steps": "cg_*"}
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def measure(analysis, campaign, groups, counts) -> dict:
+    """The machine-readable view of one segment decomposition."""
+    seg = analyze_segments(analysis, campaign, groups, list(counts))
+    base = {n: campaign.base_runs()[n].counters.cycles for n in counts}
+    tiling_err = max(
+        abs(sum(seg.at(name, n).cycles for name in groups) - base[n]) / base[n]
+        for n in counts
+        if base[n] > 0
+    )
+    segments: dict = {}
+    for name in sorted(groups):
+        segments[name] = {
+            str(n): {
+                "cycles": seg.at(name, n).cycles,
+                "memory_stall_cycles": seg.at(name, n).memory_stall_cycles,
+                "sync_cycles": seg.at(name, n).sync_cycles,
+                "residual_fraction": seg.at(name, n).residual_fraction,
+            }
+            for n in counts
+        }
+    return {
+        "workload": campaign.workload,
+        "s0": campaign.s0,
+        "counts": list(counts),
+        "groups": dict(sorted(groups.items())),
+        "tiling_rel_error_max": tiling_err,
+        "segments": segments,
+    }
+
+
+def run_benchmark(
+    counts=(1, 8, 32),
+    cache_dir=None,
+    results_dir: Path | None = None,
+) -> dict:
+    """Standalone entry point for ``check_regression.py``.
+
+    Rebuilds (or loads from cache) the T3dheat campaign, decomposes it,
+    and returns the metrics dict; with ``results_dir`` also records the
+    JSON baseline alongside the text artifact.
+    """
+    from repro.core import ScalTool
+    from repro.runner import CampaignConfig
+    from repro.runner.cache import cached_campaign
+    from repro.workloads import T3dheat
+
+    workload = T3dheat()
+    cfg = CampaignConfig(s0=workload.default_size(), processor_counts=tuple(counts))
+    campaign = cached_campaign(workload, cfg, cache_dir=cache_dir)
+    analysis = ScalTool(campaign).analyze()
+    result = measure(analysis, campaign, GROUPS, counts)
+    if results_dir is not None:
+        results_dir = Path(results_dir)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / "segments_t3dheat.json").write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+    return result
 
 
 def test_segments_t3dheat(benchmark, emit, t3dheat_analysis, t3dheat_campaign):
@@ -21,12 +92,18 @@ def test_segments_t3dheat(benchmark, emit, t3dheat_analysis, t3dheat_campaign):
         analyze_segments, t3dheat_analysis, t3dheat_campaign, GROUPS, [1, 8, 32]
     )
     emit("segments_t3dheat", seg.summary())
+    result = measure(t3dheat_analysis, t3dheat_campaign, GROUPS, (1, 8, 32))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "segments_t3dheat.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
 
     # segments tile the run exactly
     for n in (1, 8, 32):
         total = sum(seg.at(name, n).cycles for name in GROUPS)
         base = t3dheat_campaign.base_runs()[n].counters.cycles
         assert total == pytest.approx(base, rel=1e-6)
+    assert result["tiling_rel_error_max"] < 1e-6
 
     # the SpMV's conflict/gather misses fade as partitions fit the caches
     spmv1 = seg.at("spmv", 1)
@@ -45,3 +122,32 @@ def test_segments_t3dheat(benchmark, emit, t3dheat_analysis, t3dheat_campaign):
     vec32 = seg.at("vector steps", 32)
     assert vec32.sync_cycles > spmv32.sync_cycles
     assert vec32.sync_cycles / vec32.cycles > 0.2
+
+
+def test_blame_t3dheat_localizes_the_paper_bottlenecks(
+    t3dheat_analysis, t3dheat_campaign
+):
+    """The blame pipeline's acceptance bar on the real application.
+
+    Localization must agree with what the decomposition above shows by
+    hand: the SpMV is the dominant memory-stall source, the CG vector
+    steps the dominant synchronization source, and init — whose modeled
+    memory stalls overshoot its measured cycles (the whole-run-average
+    tm(n) artifact) — is graded suspect and excluded from attribution.
+    """
+    from repro.analysis import blame_campaign
+
+    report = blame_campaign(t3dheat_analysis, t3dheat_campaign, groups=GROUPS)
+
+    memory = report.dominant("memory")
+    assert memory is not None and memory["vertex"] == "spmv"
+    sync = report.dominant("sync")
+    assert sync is not None and sync["vertex"] == "vector steps"
+    assert "init" in report.excluded
+
+    for finding in report.findings:
+        assert finding["grade"] in ("ok", "warn", "suspect")
+        assert finding["lineage_refs"]
+        assert finding["root_cause"]
+    # the sync root cause reads the Eq. 10 imbalance split
+    assert "imbalance" in sync["root_cause"] or "synchronization" in sync["root_cause"]

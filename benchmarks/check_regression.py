@@ -1,15 +1,17 @@
 """Compare a fresh benchmark run against the recorded results.
 
 ``python benchmarks/check_regression.py`` reruns the service load bench
-(:mod:`bench_service_load`) and the obs overhead bench
+(:mod:`bench_service_load`), the segment-decomposition structural check
+(:mod:`bench_segments`), and the obs overhead bench
 (:mod:`bench_obs_overhead`), compares the fresh numbers against the JSON
 recorded in ``benchmarks/results/``, and exits non-zero when any tracked
 metric regressed past the threshold (default 20%).
 
 Only *worse-is-higher* metrics are tracked (wall times, latencies, the
-enabled/disabled overhead ratio); getting faster never fails.  Counter
-metrics (dedup ratio, spec counts) are workload-deterministic and
-asserted by the benches themselves, so they are not re-checked here.
+enabled/disabled overhead ratio, per-segment residual fractions, the
+segment tiling error); getting faster never fails.  Counter metrics
+(dedup ratio, spec counts) are workload-deterministic and asserted by
+the benches themselves, so they are not re-checked here.
 
 Flags:
 
@@ -51,6 +53,19 @@ SERVICE_LOAD_METRICS = [
 OBS_OVERHEAD_METRICS = [
     ("obs hook_fraction", ("hook_fraction",)),
     ("obs enabled/disabled ratio", ("ratio",)),
+]
+
+#: Structural model-quality metrics from the segment decomposition: the
+#: unmodeled residual share per segment and the tiling error.  All are
+#: worse-is-higher and wall-clock free, so they gate at a tight threshold.
+SEGMENTS_METRICS = [
+    ("segments tiling_rel_error_max", ("tiling_rel_error_max",)),
+    ("spmv residual_fraction n=1", ("segments", "spmv", "1", "residual_fraction")),
+    ("init residual_fraction n=1", ("segments", "init", "1", "residual_fraction")),
+    (
+        "vector steps residual_fraction n=1",
+        ("segments", "vector steps", "1", "residual_fraction"),
+    ),
 ]
 
 
@@ -132,6 +147,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the service load bench")
     parser.add_argument("--skip-obs", action="store_true",
                         help="skip the obs overhead bench")
+    parser.add_argument("--skip-segments", action="store_true",
+                        help="skip the segment-decomposition structural check")
     args = parser.parse_args(argv)
 
     # Import the benches through the package so monkeypatching
@@ -169,6 +186,35 @@ def main(argv: list[str] | None = None) -> int:
             rows = compare(baseline_load, fresh_load, SERVICE_LOAD_METRICS, args.threshold)
             reports.append(format_rows("service_load", rows, args.threshold))
             failed |= any(r["regressed"] for r in rows)
+
+    if not args.skip_segments:
+        from benchmarks.bench_segments import run_benchmark as run_segments
+
+        seg_counts = (1, 2) if args.smoke else (1, 8, 32)
+        fresh_seg = run_segments(counts=seg_counts)
+        baseline_seg = _load_baseline(baseline_dir / "segments_t3dheat.json")
+        if baseline_seg is None:
+            reports.append("[segments] no recorded baseline; skipping comparison")
+        elif baseline_seg.get("counts") != fresh_seg.get("counts") or baseline_seg.get(
+            "s0"
+        ) != fresh_seg.get("s0"):
+            # A smoke decomposition covers different counts than the
+            # recorded full run; residual fractions are not comparable.
+            reports.append(
+                "[segments] smoke configuration differs from baseline; "
+                "ran the decomposition (tiling invariant checked), comparison skipped"
+            )
+        else:
+            rows = compare(baseline_seg, fresh_seg, SEGMENTS_METRICS, args.threshold)
+            reports.append(format_rows("segments", rows, args.threshold))
+            failed |= any(r["regressed"] for r in rows)
+        # The structural invariant holds at any configuration.
+        if fresh_seg["tiling_rel_error_max"] >= 1e-6:
+            reports.append(
+                f"[segments] tiling error {fresh_seg['tiling_rel_error_max']:.3g} "
+                ">= 1e-6: segments no longer tile the run"
+            )
+            failed = True
 
     if not args.skip_obs:
         from benchmarks import bench_obs_overhead

@@ -1,0 +1,12 @@
+"""Cross-layer analyses built *on top of* the Section 2 pipeline.
+
+:mod:`repro.core` answers the paper's per-category questions (how much
+does synchronization cost at n?); this package answers the follow-up a
+user actually asks: *which part of the program is responsible?*  The
+first resident is :mod:`repro.analysis.blame` — graph-based scaling-loss
+localization over segments, traces, and lineage.
+"""
+
+from .blame import BlameReport, blame_campaign, diff_reports
+
+__all__ = ["BlameReport", "blame_campaign", "diff_reports"]

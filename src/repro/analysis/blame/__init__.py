@@ -1,0 +1,47 @@
+"""``scaltool blame`` — graph-based scaling-loss localization.
+
+Pipeline: :func:`build_scaling_graph` merges segments, traces, and
+lineage into one graph; :func:`detect_scaling_loss` grades and flags
+per-vertex losses; :func:`backtrack` walks edges to ranked, root-caused
+findings; :func:`blame_campaign` runs all three and packs a
+deterministic :class:`BlameReport`.
+"""
+
+from .backtrack import BlameFinding, backtrack
+from .detect import (
+    CATEGORIES,
+    CATEGORY_LABELS,
+    Detection,
+    VertexLoss,
+    detect_scaling_loss,
+    loss_window,
+)
+from .graph import (
+    BlameEdge,
+    BlameVertex,
+    ScalingGraph,
+    build_scaling_graph,
+    default_groups,
+    wall_by_count,
+)
+from .report import BlameReport, blame_campaign, diff_reports
+
+__all__ = [
+    "BlameEdge",
+    "BlameFinding",
+    "BlameReport",
+    "BlameVertex",
+    "CATEGORIES",
+    "CATEGORY_LABELS",
+    "Detection",
+    "ScalingGraph",
+    "VertexLoss",
+    "backtrack",
+    "blame_campaign",
+    "build_scaling_graph",
+    "default_groups",
+    "detect_scaling_loss",
+    "diff_reports",
+    "loss_window",
+    "wall_by_count",
+]

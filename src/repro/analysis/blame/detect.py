@@ -1,0 +1,241 @@
+"""Per-vertex scaling-loss metrics and statistical flagging.
+
+The detector reads the scaling graph and answers, per segment:
+
+* POP-style efficiencies at the top measured count against the sweep's
+  first count — parallel efficiency (accumulated cycles vs the
+  baseline), transfer efficiency (1 − data-movement stall share), and
+  sync efficiency (1 − synchronization share);
+* the **cycle loss** over the loss window — how much of the campaign's
+  accumulated-cycle growth this segment contributes.  Segments tile the
+  run exactly, so per-vertex losses sum to the campaign's total scaling
+  loss (the conservation property the test suite checks to 1e-6);
+* per-CPI-category stall levels at the top count and their growth over
+  the window, which is what the backtracker attributes.
+
+A vertex is *flagged* when its share of the positive cycle loss sits
+statistically above the campaign trend (mean + one population standard
+deviation across vertices) or is an outright majority.
+
+Evidence quality is graded through the :mod:`repro.obs.diagnostics`
+rule table (kind ``scaling_loss``) rather than silently trusted: the
+model's known caveat — ``tm(n)`` is a whole-run average, so a segment
+whose modeled stalls exceed its own measured cycles is unreliable
+evidence — grades the vertex ``suspect``, and suspect evidence is
+excluded from category attribution (but still reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...obs.diagnostics import (
+    GRADE_SUSPECT,
+    AnalysisDiagnostics,
+    FitDiagnostics,
+    apply_rules,
+)
+from .graph import ScalingGraph
+
+__all__ = [
+    "CATEGORIES",
+    "CATEGORY_LABELS",
+    "VertexLoss",
+    "Detection",
+    "loss_window",
+    "detect_scaling_loss",
+]
+
+#: CPI-stall categories attributed to segments, with their breakdown fields.
+CATEGORIES = {
+    "memory": "memory_stall_cycles",
+    "sync": "sync_cycles",
+    "l2": "l2_hit_stall_cycles",
+    "imbalance": "residual_cycles",
+}
+
+CATEGORY_LABELS = {
+    "memory": "memory-stall",
+    "sync": "synchronization",
+    "l2": "L2-hit stall",
+    "imbalance": "residual (imbalance + unmodeled)",
+}
+
+#: A category must carry at least this share of the top count's base
+#: cycles before the backtracker emits findings for it.
+MATERIAL_FRACTION = 0.01
+
+
+def loss_window(counts: list[int]) -> tuple[int, int]:
+    """The (n_lo, n_hi) window the loss metrics are measured over.
+
+    The top count against the sweep's midpoint — late-sweep growth is
+    where MP costs live (the paper's Figures 6/9/12 all diverge there).
+    Degenerates to (first, last) when the midpoint *is* the top.
+    """
+    n_hi = counts[-1]
+    n_lo = counts[len(counts) // 2]
+    if n_lo >= n_hi:
+        n_lo = counts[0]
+    return (n_lo, n_hi)
+
+
+@dataclass
+class VertexLoss:
+    """One vertex's scaling-loss metrics, graded."""
+
+    vertex: str
+    grade: str
+    cycle_loss: float
+    cycle_loss_share: float
+    flagged: bool
+    efficiencies: dict[str, float]
+    category_level: dict[str, float]  # stall cycles at n_hi
+    category_growth: dict[str, float]  # n_lo -> n_hi change
+    diagnostics: FitDiagnostics
+
+    def to_dict(self) -> dict:
+        return {
+            "vertex": self.vertex,
+            "grade": self.grade,
+            "cycle_loss": self.cycle_loss,
+            "cycle_loss_share": self.cycle_loss_share,
+            "flagged": self.flagged,
+            "efficiencies": dict(self.efficiencies),
+            "category_level": dict(self.category_level),
+            "category_growth": dict(self.category_growth),
+            "diagnostics": self.diagnostics.to_dict(),
+        }
+
+
+@dataclass
+class Detection:
+    """Everything the detector measured, ready for backtracking."""
+
+    window: tuple[int, int]
+    total_loss: float
+    per_vertex: dict[str, VertexLoss] = field(default_factory=dict)
+    #: category -> summed stall level at n_hi over credible vertices.
+    category_totals: dict[str, float] = field(default_factory=dict)
+    #: category -> vertex -> share of the credible stall level.
+    category_shares: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: vertices whose evidence was graded suspect (excluded from shares).
+    excluded: list[str] = field(default_factory=list)
+
+    def rollup(self) -> AnalysisDiagnostics:
+        diag = AnalysisDiagnostics()
+        for name in sorted(self.per_vertex):
+            diag.add(self.per_vertex[name].diagnostics)
+        return diag
+
+
+def _vertex_diagnostics(vertex, counts: list[int], window: tuple[int, int]) -> FitDiagnostics:
+    """Graded evidence for one vertex's loss metrics (kind ``scaling_loss``)."""
+    n_lo, n_hi = window
+    overshoots = {}
+    for n in counts:
+        b = vertex.by_n[n]
+        if b.cycles > 0:
+            overshoots[n] = b.modeled_cycles / b.cycles
+    loss_by_n = {
+        n: vertex.by_n[n].cycles - vertex.by_n[counts[0]].cycles for n in counts
+    }
+    deltas = [loss_by_n[b] - loss_by_n[a] for a, b in zip(counts, counts[1:])]
+    sign_changes = sum(
+        1 for a, b in zip(deltas, deltas[1:]) if a * b < 0 and abs(a) > 0 and abs(b) > 0
+    )
+    fd = FitDiagnostics(
+        name=f"blame_{vertex.name}",
+        kind="scaling_loss",
+        equation="Eqs. 1-10 over segments",
+        n_points=len(counts),
+        estimates={"cycle_loss": float(loss_by_n[n_hi] - loss_by_n[n_lo])},
+        details={
+            "window": [int(n_lo), int(n_hi)],
+            "counts": [int(n) for n in counts],
+            "max_overshoot": max(overshoots.values(), default=0.0),
+            "overshoot_counts": sorted(n for n, o in overshoots.items() if o > 1.05),
+            "residual_fraction_top": float(vertex.by_n[n_hi].residual_fraction),
+            "loss_by_n": {str(n): float(v) for n, v in loss_by_n.items()},
+            "loss_sign_changes": int(sign_changes),
+        },
+    )
+    return apply_rules(fd)
+
+
+def detect_scaling_loss(graph: ScalingGraph) -> Detection:
+    """Measure, grade, and flag every vertex of the scaling graph."""
+    counts = graph.processor_counts
+    window = loss_window(counts)
+    n_lo, n_hi = window
+    n_base = counts[0]
+    total_loss = graph.curves["base"][n_hi] - graph.curves["base"][n_lo]
+
+    detection = Detection(window=window, total_loss=float(total_loss))
+    losses: dict[str, float] = {}
+    for vertex in graph.ordered():
+        b_hi = vertex.by_n[n_hi]
+        b_lo = vertex.by_n[n_lo]
+        b_base = vertex.by_n[n_base]
+        fd = _vertex_diagnostics(vertex, counts, window)
+        cycles_hi = b_hi.cycles or 1.0
+        eff = {
+            "parallel": b_base.cycles / cycles_hi,
+            "sync": 1.0 - b_hi.sync_cycles / cycles_hi,
+            "transfer": 1.0
+            - (b_hi.memory_stall_cycles + b_hi.l2_hit_stall_cycles) / cycles_hi,
+        }
+        level = {c: float(getattr(b_hi, f)) for c, f in CATEGORIES.items()}
+        growth = {
+            c: float(getattr(b_hi, f) - getattr(b_lo, f)) for c, f in CATEGORIES.items()
+        }
+        loss = float(b_hi.cycles - b_lo.cycles)
+        losses[vertex.name] = loss
+        detection.per_vertex[vertex.name] = VertexLoss(
+            vertex=vertex.name,
+            grade=fd.grade,
+            cycle_loss=loss,
+            cycle_loss_share=0.0,  # filled below
+            flagged=False,  # filled below
+            efficiencies=eff,
+            category_level=level,
+            category_growth=growth,
+            diagnostics=fd,
+        )
+
+    # Shares of the positive cycle loss, and the above-trend flag.
+    pos_total = sum(v for v in losses.values() if v > 0)
+    shares = {
+        name: (max(0.0, loss) / pos_total if pos_total > 0 else 0.0)
+        for name, loss in losses.items()
+    }
+    values = list(shares.values())
+    mean = sum(values) / len(values) if values else 0.0
+    std = (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5 if values else 0.0
+    for name, vl in detection.per_vertex.items():
+        vl.cycle_loss_share = shares[name]
+        vl.flagged = (
+            total_loss > 0
+            and vl.cycle_loss > 0
+            and (shares[name] > mean + std or shares[name] > 0.5)
+        )
+
+    # Category attribution over credible (non-suspect) evidence.
+    detection.excluded = sorted(
+        name for name, vl in detection.per_vertex.items() if vl.grade == GRADE_SUSPECT
+    )
+    credible = [
+        name for name in detection.per_vertex if name not in detection.excluded
+    ] or sorted(detection.per_vertex)
+    for category in CATEGORIES:
+        total = sum(detection.per_vertex[name].category_level[category] for name in credible)
+        detection.category_totals[category] = float(total)
+        detection.category_shares[category] = {
+            name: (
+                detection.per_vertex[name].category_level[category] / total
+                if total > 0
+                else 0.0
+            )
+            for name in sorted(credible)
+        }
+    return detection

@@ -1,0 +1,255 @@
+"""The scaling graph: segments as vertices, program structure as edges.
+
+One graph merges three observability layers over a campaign's n-sweep:
+
+* the per-segment counter decomposition (:mod:`repro.core.segments`) —
+  each named phase group becomes a vertex carrying its cycle breakdown
+  (compute / L2-hit stalls / memory stalls / sync / residual) at every
+  measured processor count;
+* the engine/service span trees (PR 4) — ``engine.execute`` span
+  durations give each processor count a wall-clock weight, which the
+  graph apportions to vertices by their cycle share;
+* the run lineage (PR 5) — every vertex carries the spec keys of the
+  base runs whose phase counters fed it, so a blame finding can be
+  walked back to concrete cached runs.
+
+Edges encode program structure the way ScalAna's program-structure graph
+does, at segment granularity: ``program_order`` edges chain the segments
+in first-execution order, and a ``sync`` edge points at each
+barrier-carrying segment from its predecessor — the work whose imbalance
+a barrier inside the segment would wait out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...core.scaltool import ScalToolAnalysis
+from ...core.segments import SegmentBreakdown, analyze_segments, phase_names
+from ...errors import InsufficientDataError
+from ...runner.campaign import CampaignData
+from ...runner.records import ROLE_APP_BASE
+
+__all__ = [
+    "BlameVertex",
+    "BlameEdge",
+    "ScalingGraph",
+    "build_scaling_graph",
+    "default_groups",
+    "wall_by_count",
+]
+
+#: The campaign-level isolated-cost curves copied onto the graph.
+CURVE_KEYS = ("base", "l2lim", "sync", "imb")
+
+
+@dataclass
+class BlameVertex:
+    """One segment across the whole n-sweep."""
+
+    name: str
+    pattern: str
+    order: int  # first-execution position among the segments
+    by_n: dict[int, SegmentBreakdown] = field(default_factory=dict)
+    lineage_refs: list[str] = field(default_factory=list)
+    wall_seconds: dict[int, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "pattern": self.pattern,
+            "order": self.order,
+            "by_n": {str(n): b.row() for n, b in sorted(self.by_n.items())},
+            "lineage_refs": list(self.lineage_refs),
+            "wall_seconds": {str(n): s for n, s in sorted(self.wall_seconds.items())},
+        }
+
+
+@dataclass(frozen=True)
+class BlameEdge:
+    """A directed structural edge (``program_order`` or ``sync``)."""
+
+    src: str
+    dst: str
+    kind: str
+
+    def to_dict(self) -> dict:
+        return {"src": self.src, "dst": self.dst, "kind": self.kind}
+
+
+@dataclass
+class ScalingGraph:
+    """Everything the detector and backtracker read."""
+
+    workload: str
+    s0: int
+    processor_counts: list[int]
+    groups: dict[str, str]
+    vertices: dict[str, BlameVertex]
+    edges: list[BlameEdge]
+    #: Campaign-level accumulated-cycle curves: key -> {n: cycles}.
+    curves: dict[str, dict[int, float]]
+    #: Eq. 9/10 split of the event-31 cost at each n.
+    frac_syn: dict[int, float]
+    frac_imb: dict[int, float]
+
+    def ordered(self) -> list[BlameVertex]:
+        return sorted(self.vertices.values(), key=lambda v: (v.order, v.name))
+
+    def predecessors(self, name: str, kind: str | None = None) -> list[BlameVertex]:
+        """Vertices with an edge into ``name`` (optionally of one kind)."""
+        preds = []
+        for edge in self.edges:
+            if edge.dst != name:
+                continue
+            if kind is not None and edge.kind != kind:
+                continue
+            if edge.src in self.vertices:
+                preds.append(self.vertices[edge.src])
+        return sorted(preds, key=lambda v: (v.order, v.name))
+
+
+def default_groups(campaign: CampaignData) -> dict[str, str]:
+    """One segment per phase-name prefix (the ``segments`` verb default)."""
+    prefixes = sorted({name.split("_")[0] for name in phase_names(campaign)})
+    return {p: f"{p}*" for p in prefixes}
+
+
+def wall_by_count(spans: list[dict] | None) -> dict[int, float]:
+    """Summed ``engine.execute`` span seconds per processor count.
+
+    ``spans`` is the span-dict list a job timeline stores; returns an
+    empty dict when no spans (or none with an ``n`` attribute) exist, in
+    which case the graph simply carries no wall attribution.
+    """
+    wall: dict[int, float] = {}
+    for span in spans or []:
+        if span.get("name") != "engine.execute":
+            continue
+        n = span.get("attrs", {}).get("n")
+        if n is None:
+            continue
+        try:
+            n = int(n)
+        except (TypeError, ValueError):
+            continue
+        wall[n] = wall.get(n, 0.0) + float(span.get("duration_s", 0.0))
+    return wall
+
+
+def _lineage_refs(base_runs: dict, counts: list[int]) -> list[str]:
+    """One reference per contributing base run, per processor count.
+
+    When an ambient lineage collector is active (the request execution
+    path), the reference is the run's actual content-addressed spec key —
+    the same ``key`` the result's lineage record lists, so a finding can
+    be joined to ``scaltool explain`` output exactly.  Without a
+    collector (e.g. blaming a saved campaign directory) the reference
+    falls back to the run's identity tuple, which the lineage table's
+    workload/role/size/n columns still resolve.
+    """
+    from ...obs import lineage as _lineage
+
+    by_ident: dict[tuple, str] = {}
+    collector = _lineage.current()
+    if collector is not None:
+        for entry in collector.build("", "").specs:
+            ident = (
+                entry["workload"],
+                entry["role"],
+                entry["size_bytes"],
+                entry["n_processors"],
+            )
+            by_ident[ident] = entry["key"]
+    refs = []
+    for n in counts:
+        rec = base_runs.get(n)
+        if rec is None:
+            continue
+        ident = (rec.workload, ROLE_APP_BASE, rec.size_bytes, rec.n_processors)
+        refs.append(
+            by_ident.get(ident, f"{rec.workload}:{ROLE_APP_BASE}:s{rec.size_bytes}:n{rec.n_processors}")
+        )
+    return refs
+
+
+def _segment_order(campaign: CampaignData, groups: dict[str, str], n: int) -> dict[str, int]:
+    """Segment -> index of its first matching phase in the base run at n."""
+    import fnmatch
+
+    names = phase_names(campaign, n)
+    order: dict[str, int] = {}
+    for segment, pattern in groups.items():
+        for i, phase in enumerate(names):
+            if fnmatch.fnmatch(phase, pattern):
+                order[segment] = i
+                break
+    return order
+
+
+def build_scaling_graph(
+    analysis: ScalToolAnalysis,
+    campaign: CampaignData,
+    groups: dict[str, str] | None = None,
+    spans: list[dict] | None = None,
+) -> ScalingGraph:
+    """Merge segments, campaign curves, lineage, and spans into one graph."""
+    groups = dict(groups) if groups else default_groups(campaign)
+    counts = [int(n) for n in analysis.curves.processor_counts]
+    if not counts:
+        raise InsufficientDataError("analysis carries no processor counts")
+    seg = analyze_segments(analysis, campaign, groups, counts)
+
+    base_runs = campaign.base_runs()
+    lineage_refs = _lineage_refs(base_runs, counts)
+    order = _segment_order(campaign, groups, counts[0])
+    wall = wall_by_count(spans)
+    total_cycles = {n: sum(seg.at(s, n).cycles for s in groups) for n in counts}
+
+    vertices: dict[str, BlameVertex] = {}
+    for i, name in enumerate(sorted(groups, key=lambda s: (order.get(s, 1 << 30), s))):
+        vertex = BlameVertex(name=name, pattern=groups[name], order=i)
+        for n in counts:
+            b = seg.at(name, n)
+            vertex.by_n[n] = b
+            if n in wall and total_cycles[n] > 0:
+                vertex.wall_seconds[n] = wall[n] * b.cycles / total_cycles[n]
+        vertex.lineage_refs = list(lineage_refs)
+        vertices[name] = vertex
+
+    ordered = sorted(vertices.values(), key=lambda v: v.order)
+    edges: list[BlameEdge] = []
+    for prev, nxt in zip(ordered, ordered[1:]):
+        edges.append(BlameEdge(src=prev.name, dst=nxt.name, kind="program_order"))
+    top = counts[-1]
+    for prev, nxt in zip(ordered, ordered[1:]):
+        if nxt.by_n[top].sync_cycles > 0:
+            edges.append(BlameEdge(src=prev.name, dst=nxt.name, kind="sync"))
+
+    curves = {
+        "base": {n: float(analysis.curves.base[n]) for n in counts},
+        "l2lim": {n: float(analysis.curves.l2lim_cost[n]) for n in counts},
+        "sync": {n: float(analysis.curves.sync_cost[n]) for n in counts},
+        "imb": {n: float(analysis.curves.imb_cost[n]) for n in counts},
+    }
+    frac_syn: dict[int, float] = {}
+    frac_imb: dict[int, float] = {}
+    for n in counts:
+        try:
+            frac_syn[n] = float(analysis.sync.frac_syn(n))
+            frac_imb[n] = float(analysis.sync.frac_imb(n))
+        except Exception:  # noqa: BLE001 - fractions are advisory evidence
+            frac_syn[n] = 0.0
+            frac_imb[n] = 0.0
+
+    return ScalingGraph(
+        workload=analysis.workload,
+        s0=campaign.s0,
+        processor_counts=counts,
+        groups=groups,
+        vertices=vertices,
+        edges=edges,
+        curves=curves,
+        frac_syn=frac_syn,
+        frac_imb=frac_imb,
+    )

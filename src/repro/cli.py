@@ -18,7 +18,7 @@ Subcommands mirror the paper's workflow:
   service (see :mod:`repro.service` and ``docs/service.md``): serve the
   HTTP JSON API, submit a request to it, and read a job back.
 
-The ``analyze``, ``sweep``, ``whatif`` and ``predict`` subcommands execute
+The ``analyze``, ``sweep``, ``whatif``, ``predict`` and ``blame`` subcommands execute
 through the same :mod:`repro.service.requests` handlers the service uses,
 so a service job's result is byte-identical to the direct CLI output.
 
@@ -136,6 +136,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME=PATTERN",
         help="segment definition, e.g. --group spmv='spmv_*' (repeatable); "
         "default: one segment per phase-name prefix",
+    )
+
+    p_blame = sub.add_parser(
+        "blame", parents=[obs_common],
+        help="graph-based scaling-loss localization: which segment loses the cycles, and why",
+    )
+    p_blame.add_argument(
+        "target",
+        help="a workload name, a saved campaign directory (campaign.jsonl), a "
+        "stored job record / --save-result JSON, or a job id (local store, or --url)",
+    )
+    p_blame.add_argument("--s0", type=int, default=None, help="base data-set size in bytes")
+    p_blame.add_argument(
+        "--counts", type=_counts, default=(1, 2, 4, 8, 16, 32),
+        help="processor counts, e.g. 1,2,4,8 (workload targets only)",
+    )
+    p_blame.add_argument(
+        "--cache-dir", default=None,
+        help="campaign cache directory (default: $SCALTOOL_CACHE_DIR or .scaltool_cache)",
+    )
+    p_blame.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run any missing campaign experiments on N worker processes",
+    )
+    p_blame.add_argument(
+        "--group", action="append", default=None, metavar="NAME=PATTERN",
+        help="segment definition, e.g. --group spmv='spmv_*' (repeatable); "
+        "default: one segment per phase-name prefix",
+    )
+    p_blame.add_argument(
+        "--against", default=None, metavar="TARGET",
+        help="diff mode: compare against another campaign/report target and "
+        "explain where their scaling losses differ",
+    )
+    p_blame.add_argument(
+        "--url", default=None,
+        help="fetch the report from a running service (job-id targets only)",
+    )
+    p_blame.add_argument(
+        "--json", action="store_true", help="print the raw BlameReport (or diff) as JSON"
     )
 
     p_sharing = sub.add_parser(
@@ -260,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit = sub.add_parser(
         "submit", parents=[client_common], help="submit a request to a running service"
     )
-    p_submit.add_argument("kind", help="analyze | campaign | sweep | whatif | predict")
+    p_submit.add_argument("kind", help="analyze | blame | campaign | sweep | whatif | predict")
     p_submit.add_argument("workload", help="workload name (see `scaltool list`)")
     p_submit.add_argument("--s0", type=int, default=None, help="base data-set size in bytes")
     p_submit.add_argument("--size", type=int, default=None, help="data-set size (sweep)")
@@ -459,6 +499,140 @@ def _load_stored_result(args) -> tuple[str, dict]:
     )
 
 
+def _blame_groups(args) -> dict:
+    groups: dict = {}
+    for spec in getattr(args, "group", None) or []:
+        name, _, pattern = spec.partition("=")
+        if not pattern:
+            raise ReproError(f"bad --group {spec!r}; expected NAME=PATTERN")
+        groups[name] = pattern.strip("'\"")
+    return groups
+
+
+def _blame_stored(target: str, cache_dir: str | None):
+    """Resolve a blame target held on disk: a stored job record, a
+    ``--save-result`` JSON, or a job id in the local job store.
+
+    Returns ``(label, kind, payload, result)`` — ``kind``/``payload`` are
+    None for a bare saved result — or None when the target is neither.
+    """
+    import json as _json
+    from pathlib import Path as _Path
+
+    path = _Path(target)
+    if path.is_file():
+        try:
+            doc = _json.loads(path.read_text())
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read {path}: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ReproError(f"{path} does not hold a result object")
+        if "state" in doc and "kind" in doc:  # a stored job record
+            if doc.get("state") != "done" or not doc.get("result"):
+                raise ReproError(f"job record {path} is {doc.get('state')!r}; nothing to blame")
+            return str(path), doc["kind"], doc.get("payload") or {}, doc["result"]
+        if any(k in doc for k in ("output", "data", "lineage")):
+            return str(path), None, None, doc
+        raise ReproError(f"{path} is neither a job record nor a saved result")
+    from .runner.engine import default_cache_root
+    from .service.store import JobStore
+
+    root = _Path(cache_dir) if cache_dir else default_cache_root()
+    job = JobStore(root / "service" / "jobs").get(target)
+    if job is not None:
+        if job.state != "done" or not job.result:
+            raise ReproError(f"job {target} is {job.state!r}; nothing to blame")
+        return f"job {job.id} ({job.kind})", job.kind, job.payload or {}, job.result
+    return None
+
+
+def _blame_payload_from_result(label: str, result: dict) -> dict:
+    """Recover the campaign payload from a saved result's data + lineage."""
+    data = result.get("data") or {}
+    lineage = result.get("lineage") or {}
+    specs = [e for e in lineage.get("specs", []) if e.get("role") == "app_base"]
+    payload: dict = {}
+    if data.get("workload"):
+        payload["workload"] = data["workload"]
+    elif specs:
+        payload["workload"] = specs[0]["workload"]
+    if specs:
+        payload["s0"] = max(e["size_bytes"] for e in specs)
+        payload["counts"] = sorted({e["n_processors"] for e in specs})
+    elif data.get("processor_counts"):
+        payload["counts"] = list(data["processor_counts"])
+    missing = [k for k in ("workload", "s0", "counts") if not payload.get(k)]
+    if missing:
+        raise ReproError(
+            f"{label} does not identify a campaign (missing {', '.join(missing)}); "
+            "blame a workload name or a campaign directory instead"
+        )
+    return payload
+
+
+def _blame_target_report(args, target: str) -> tuple[str, dict]:
+    """Resolve a blame target to ``(rendered output, report dict)``.
+
+    Tried in order: a saved campaign directory, a workload name, a stored
+    job record / saved result / local job-store id, a job id on a running
+    service (``--url``).
+    """
+    from pathlib import Path as _Path
+
+    from .viz import render_blame
+
+    groups = _blame_groups(args)
+    path = _Path(target)
+    if path.is_dir() and (path / "campaign.jsonl").exists():
+        from .analysis import blame_campaign
+
+        campaign = CampaignData.load(path)
+        analysis = ScalTool(campaign).analyze()
+        report = blame_campaign(analysis, campaign, groups=groups or None).to_dict()
+        return render_blame(report) + "\n", report
+    if target in available_workloads():
+        result = _execute_request(
+            args,
+            "blame",
+            {
+                "workload": target,
+                "s0": args.s0,
+                "counts": list(args.counts),
+                "groups": groups,
+            },
+        )
+        return result.output, result.data["report"]
+    stored = _blame_stored(target, args.cache_dir)
+    if stored is not None:
+        label, kind, payload, result = stored
+        data = (result or {}).get("data") or {}
+        if kind == "blame" and isinstance(data.get("report"), dict):
+            report = data["report"]
+            return (result.get("output") or render_blame(report) + "\n"), report
+        if payload and all(k in payload for k in ("workload", "s0", "counts")):
+            req_payload = {
+                "workload": payload["workload"],
+                "params": payload.get("params", {}),
+                "s0": payload["s0"],
+                "counts": payload["counts"],
+            }
+        else:
+            req_payload = _blame_payload_from_result(label, result or {})
+        req_payload["groups"] = groups
+        derived = _execute_request(args, "blame", req_payload)
+        return derived.output, derived.data["report"]
+    if args.url:
+        from .service.client import ServiceClient
+
+        view = ServiceClient(args.url).blame(target)
+        return view["output"], view["report"]
+    raise ReproError(
+        f"cannot resolve blame target {target!r}: not a workload name, a saved "
+        "campaign directory, a stored result file, or a local job id "
+        "(pass --cache-dir, or --url for a running service)"
+    )
+
+
 def _axis_value(text: str):
     """Axis values parse as int, then float, then bare string."""
     for cast in (int, float):
@@ -574,6 +748,27 @@ def _dispatch(args) -> int:
             prefixes = sorted({name.split("_")[0] for name in phase_names(campaign)})
             groups = {p: f"{p}*" for p in prefixes}
         print(analyze_segments(analysis, campaign, groups).summary())
+        return 0
+
+    if args.command == "blame":
+        import json as _json
+
+        output, report = _blame_target_report(args, args.target)
+        if args.against:
+            from .analysis import BlameReport, diff_reports
+            from .viz import render_blame_diff
+
+            _, other = _blame_target_report(args, args.against)
+            diff = diff_reports(BlameReport.from_dict(report), BlameReport.from_dict(other))
+            if args.json:
+                print(_json.dumps(diff, indent=2, sort_keys=True))
+            else:
+                print(render_blame_diff(diff))
+            return 0
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(output)
         return 0
 
     if args.command == "sharing":

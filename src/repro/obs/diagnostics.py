@@ -81,6 +81,14 @@ MONOTONE_TOL = 0.05
 #: Tolerance on the Eq. 9 fraction budget (frac_syn + frac_imb <= 1).
 FRAC_SUM_TOL = 1e-6
 
+#: Blame evidence: modeled/measured cycle ratio per segment.  tm(n) is a
+#: whole-run average, so a segment whose modeled stalls exceed its own
+#: measured cycles by this much is absorbing another segment's latency.
+OVERSHOOT_WARN = 1.05
+OVERSHOOT_SUSPECT = 1.5
+#: Blame evidence: residual share of the segment's cycles at the top count.
+BLAME_RESIDUAL_WARN = 0.25
+
 
 def grade_score(grade: str) -> int:
     """Numeric severity (0 ok, 1 warn, 2 suspect) for gauges and ordering."""
@@ -309,11 +317,36 @@ def _rules_sanity(fd: FitDiagnostics) -> None:
         fd.flag(violation.get("grade", GRADE_SUSPECT), violation.get("message", "range violation"))
 
 
+def _rules_scaling_loss(fd: FitDiagnostics) -> None:
+    """Blame-vertex evidence quality (see analysis/blame/detect.py)."""
+    if fd.n_points < 3:
+        fd.flag(GRADE_WARN, f"loss measured over only {fd.n_points} processor counts")
+    overshoot = fd.details.get("max_overshoot", 0.0)
+    if overshoot > OVERSHOOT_SUSPECT:
+        fd.flag(
+            GRADE_SUSPECT,
+            f"modeled cycles exceed measured by {overshoot:.2f}x at "
+            f"n={fd.details.get('overshoot_counts', [])}; whole-run tm(n) "
+            "average misattributes other segments' latency here",
+        )
+    elif overshoot > OVERSHOOT_WARN:
+        fd.flag(GRADE_WARN, f"modeled cycles exceed measured by {overshoot:.2f}x")
+    residual = fd.details.get("residual_fraction_top", 0.0)
+    if residual > BLAME_RESIDUAL_WARN:
+        fd.flag(
+            GRADE_WARN,
+            f"{residual:.0%} of top-count cycles are unmodeled residual",
+        )
+    if fd.details.get("loss_sign_changes", 0) > 1:
+        fd.flag(GRADE_WARN, "cycle loss oscillates across the sweep; trend is noisy")
+
+
 _RULES = {
     "linear_fit": _rules_linear_fit,
     "plateau": _rules_plateau,
     "solve": _rules_solve,
     "sanity": _rules_sanity,
+    "scaling_loss": _rules_scaling_loss,
 }
 
 

@@ -21,6 +21,7 @@ import json
 import os
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 
 from ..errors import (
@@ -122,8 +123,41 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")[1]
 
-    def jobs(self) -> list[dict]:
-        return self._request("GET", "/v1/jobs")[1]["jobs"]
+    def jobs(
+        self,
+        limit: int | None = None,
+        offset: int = 0,
+        state: str | None = None,
+        fingerprint: str | None = None,
+        since: float | None = None,
+    ) -> list[dict]:
+        """Job summaries, optionally filtered/paginated server-side."""
+        return self.jobs_page(
+            limit=limit, offset=offset, state=state, fingerprint=fingerprint, since=since
+        )["jobs"]
+
+    def jobs_page(
+        self,
+        limit: int | None = None,
+        offset: int = 0,
+        state: str | None = None,
+        fingerprint: str | None = None,
+        since: float | None = None,
+    ) -> dict:
+        """The full ``GET /v1/jobs`` page: ``{"jobs","total","limit","offset"}``."""
+        params = []
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        if offset:
+            params.append(f"offset={int(offset)}")
+        if state is not None:
+            params.append(f"state={urllib.parse.quote(state)}")
+        if fingerprint is not None:
+            params.append(f"fingerprint={urllib.parse.quote(fingerprint)}")
+        if since is not None:
+            params.append(f"since={float(since)}")
+        query = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/v1/jobs{query}")[1]
 
     def submit(
         self,
@@ -188,6 +222,10 @@ class ServiceClient:
     def lineage(self, job_id: str) -> dict:
         """The job's result lineage (see ``scaltool explain``)."""
         return self._request("GET", f"/v1/jobs/{job_id}/lineage")[1]
+
+    def blame(self, job_id: str) -> dict:
+        """The job's scaling-loss blame report (see ``scaltool blame``)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/blame")[1]
 
     def metrics(self) -> str:
         """The raw Prometheus text exposition from ``GET /metrics``."""

@@ -446,6 +446,42 @@ class AnalysisService:
         with self._lock:
             return sorted(self._jobs.values(), key=lambda j: j.created)
 
+    def jobs_view(
+        self,
+        limit: int | None = None,
+        offset: int = 0,
+        state: str | None = None,
+        fingerprint: str | None = None,
+        since: float | None = None,
+    ) -> dict:
+        """A filtered, paginated job listing (``GET /v1/jobs?...``).
+
+        Filters compose: ``state`` matches the job state exactly,
+        ``fingerprint`` is a job-id prefix (the fingerprint *is* the id),
+        ``since`` keeps jobs submitted at or after the epoch timestamp.
+        The page is cut *after* filtering; ``total`` counts the filtered
+        set so callers can page through it.
+        """
+        if limit is not None and limit < 0:
+            raise ServiceError(f"bad limit {limit}; expected a non-negative integer")
+        if offset < 0:
+            raise ServiceError(f"bad offset {offset}; expected a non-negative integer")
+        jobs = self.jobs()
+        if state is not None:
+            jobs = [j for j in jobs if j.state == state]
+        if fingerprint is not None:
+            jobs = [j for j in jobs if j.id.startswith(fingerprint)]
+        if since is not None:
+            jobs = [j for j in jobs if j.created >= since]
+        total = len(jobs)
+        page = jobs[offset:] if limit is None else jobs[offset : offset + limit]
+        return {
+            "jobs": [j.summary() for j in page],
+            "total": total,
+            "limit": limit,
+            "offset": offset,
+        }
+
     def stats(self) -> dict:
         """Always-on service tallies plus current queue occupancy."""
         with self._lock:
@@ -674,6 +710,75 @@ class AnalysisService:
             "state": job.state,
             "health": job.result.get("data", {}).get("health"),
             "lineage": lineage,
+        }
+
+    def blame(self, job_id: str) -> dict:
+        """Scaling-loss localization for a finished campaign-backed job
+        (``GET /v1/jobs/<id>/blame``).
+
+        A ``blame`` job serves its stored report; for any other
+        campaign-backed kind (``analyze``, ``campaign``, ...) the report
+        is derived on the spot — every run is already in the cache, so
+        the derivation re-reads records and never re-executes.  Publishes
+        the per-segment loss shares as labelled
+        ``blame.loss_share{segment=...}`` gauges on ``/metrics``.
+        """
+        from ..analysis.blame import wall_by_count
+
+        job = self.status(job_id)
+        if job.state in ACTIVE_STATES:
+            raise ServiceError(f"job {job_id} is still {job.state}; blame needs a result")
+        if job.state == "failed" or not job.result:
+            raise ServiceError(f"job {job_id} failed; nothing to blame")
+        payload = job.payload or {}
+        if not all(k in payload for k in ("workload", "s0", "counts")):
+            raise ServiceError(
+                f"job {job_id} ({job.kind}) carries no campaign to blame"
+            )
+        if job.kind == "blame":
+            report = job.result.get("data", {}).get("report")
+            output = job.result.get("output", "")
+            result_lineage = job.result.get("lineage")
+        else:
+            request = _requests.compile_request(
+                "blame",
+                {
+                    "workload": payload["workload"],
+                    "params": payload.get("params", {}),
+                    "s0": payload["s0"],
+                    "counts": payload["counts"],
+                },
+            )
+            with self._tspan("service.blame", job=job.id), obs.tracer().span(
+                "service.blame", job=job.id
+            ):
+                derived = request.execute(
+                    cache_root=self.root, executor=SerialExecutor(), progress=None
+                )
+            report = derived.data["report"]
+            output = derived.output
+            result_lineage = derived.lineage
+            self._tally("blame.derived")
+        if not report:
+            raise ServiceError(f"job {job_id} result carries no blame report")
+        for vertex in report.get("vertices", []):
+            self.telemetry.set_gauge(
+                "blame.loss_share",
+                float(vertex["cycle_loss_share"]),
+                segment=vertex["vertex"],
+            )
+        self._tally("blame.requests")
+        spans = self.store.get_timeline(job_id) or []
+        wall = wall_by_count(spans)
+        return {
+            "job": job.id,
+            "kind": job.kind,
+            "state": job.state,
+            "output": output,
+            "report": report,
+            "lineage": result_lineage,
+            "trace_id": job.trace_id,
+            "wall_seconds_by_n": {str(n): wall[n] for n in sorted(wall)},
         }
 
     def _tspan(self, name: str, **attrs):

@@ -7,7 +7,10 @@ Routes (JSON unless noted)::
                                     "uptime_seconds", "store"}  (503 if degraded)
     GET  /metrics               -> Prometheus text exposition (0.0.4)
     GET  /v1/stats              -> service tallies + queue occupancy
-    GET  /v1/jobs               -> {"jobs": [<summary>, ...]}
+    GET  /v1/jobs               -> {"jobs": [<summary>, ...], "total",
+                                    "limit", "offset"}; filters/pagination
+                                    via ?limit=&offset=&state=&fingerprint=
+                                    &since= (epoch seconds)
     POST /v1/jobs               -> 202 {"id", "state", "deduped", "trace_id"?}
          body: {"kind": ..., "payload": {...}, "priority": 5}
          headers: traceparent / tracestate (optional) join the job to the
@@ -18,6 +21,8 @@ Routes (JSON unless noted)::
                                    202 {"id","state"}                      (pending)
     GET  /v1/jobs/<id>/trace    -> 200 {"job","trace_id","complete","spans"}
     GET  /v1/jobs/<id>/lineage  -> 200 {"job","kind","state","health","lineage"}
+    GET  /v1/jobs/<id>/blame    -> 200 {"job","kind","state","output","report",
+                                    "lineage","trace_id","wall_seconds_by_n"}
     POST /v1/drain              -> 200 {"drained": true|false}
 
 Backpressure semantics: a full queue answers **429** and a draining
@@ -66,6 +71,38 @@ from .store import Job
 __all__ = ["ServiceServer", "serve"]
 
 _log = get_logger("service.http")
+
+
+def _jobs_query(raw_query: str) -> dict:
+    """Parse ``GET /v1/jobs`` query parameters into jobs_view kwargs.
+
+    Unknown parameters are rejected (400) rather than silently ignored —
+    a typoed filter that returns everything is worse than an error.
+    """
+    from urllib.parse import parse_qsl
+
+    kwargs: dict = {}
+    for name, value in parse_qsl(raw_query, keep_blank_values=True):
+        if name in ("limit", "offset"):
+            try:
+                kwargs[name] = int(value)
+            except ValueError as exc:
+                raise ReproError(f"bad {name!r}: expected an integer, got {value!r}") from exc
+        elif name == "since":
+            try:
+                kwargs[name] = float(value)
+            except ValueError as exc:
+                raise ReproError(
+                    f"bad 'since': expected an epoch timestamp, got {value!r}"
+                ) from exc
+        elif name in ("state", "fingerprint"):
+            kwargs[name] = value
+        else:
+            raise ReproError(
+                f"unknown query parameter {name!r}; "
+                "expected limit, offset, state, fingerprint, or since"
+            )
+    return kwargs
 
 
 def _result_view(service: AnalysisService, job: Job) -> tuple[int, dict]:
@@ -133,7 +170,8 @@ class _Handler(BaseHTTPRequestHandler):
         obs.registry().inc("service.http.requests")
         self.service.telemetry.inc("service.http.requests")
         try:
-            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            path, _, raw_query = self.path.partition("?")
+            parts = [p for p in path.split("/") if p]
             if parts == ["healthz"]:
                 health = self.service.health()
                 self._send(503 if health["status"] == "degraded" else 200, health)
@@ -144,7 +182,7 @@ class _Handler(BaseHTTPRequestHandler):
             elif parts == ["v1", "stats"]:
                 self._send(200, self.service.stats())
             elif parts == ["v1", "jobs"]:
-                self._send(200, {"jobs": [job.summary() for job in self.service.jobs()]})
+                self._send(200, self.service.jobs_view(**_jobs_query(raw_query)))
             elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
                 self._send(200, self.service.status(parts[2]).summary())
             elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
@@ -154,6 +192,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, self.service.trace(parts[2]))
             elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "lineage":
                 self._send(200, self.service.lineage(parts[2]))
+            elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "blame":
+                self._send(200, self.service.blame(parts[2]))
             else:
                 self._send(404, {"error": f"no route {self.path!r}"})
         except JobNotFoundError as exc:

@@ -10,8 +10,8 @@ a :class:`CompiledRequest` that can
 * execute end-to-end (:meth:`CompiledRequest.execute`), producing a
   :class:`RequestResult` whose ``output`` is **byte-identical** to what
   the corresponding ``scaltool`` CLI command prints: the CLI routes its
-  ``analyze`` / ``sweep`` / ``whatif`` / ``predict`` subcommands through
-  these same handlers.
+  ``analyze`` / ``sweep`` / ``whatif`` / ``predict`` / ``blame``
+  subcommands through these same handlers.
 
 The canonical payload also defines the request *fingerprint*
 (:meth:`CompiledRequest.fingerprint`), which the service uses as the job
@@ -344,6 +344,44 @@ class PredictRequest(_CampaignBacked):
         )
 
 
+class BlameRequest(_CampaignBacked):
+    kind = "blame"
+
+    def _canonicalize(self, payload: dict) -> dict:
+        out = self._canonical_campaign(payload)
+        groups = payload.get("groups") or {}
+        if not isinstance(groups, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in groups.items()
+        ):
+            raise ServiceError("bad 'groups': expected an object of name -> phase pattern")
+        # {} means "default prefix grouping", resolved against the campaign
+        # at execution time so the canonical payload stays data-independent.
+        out["groups"] = {k: groups[k] for k in sorted(groups)}
+        return out
+
+    def _execute(self, cache_root, executor, progress) -> RequestResult:
+        from ..analysis import blame_campaign
+        from ..viz import render_blame
+
+        campaign = self._campaign(cache_root, executor, progress)
+        analysis = ScalTool(campaign).analyze()
+        report = blame_campaign(
+            analysis, campaign, groups=self.canonical["groups"] or None
+        )
+        report_dict = report.to_dict()
+        output = render_blame(report_dict) + "\n"
+        return RequestResult(
+            output=output,
+            data={
+                "workload": report.workload,
+                "window": list(report.window),
+                "total_loss": report.total_loss,
+                "findings": len(report.findings),
+                "report": report_dict,
+            },
+        )
+
+
 class SweepRequest(CompiledRequest):
     kind = "sweep"
 
@@ -414,7 +452,14 @@ class SweepRequest(CompiledRequest):
 
 _KIND_CLASSES = {
     cls.kind: cls
-    for cls in (AnalyzeRequest, CampaignRequest, SweepRequest, WhatIfRequest, PredictRequest)
+    for cls in (
+        AnalyzeRequest,
+        BlameRequest,
+        CampaignRequest,
+        SweepRequest,
+        WhatIfRequest,
+        PredictRequest,
+    )
 }
 
 #: The request kinds the service accepts.

@@ -2,6 +2,7 @@
 
 from .ascii_chart import ascii_chart
 from .bars import stacked_bars
+from .blame_view import render_blame, render_blame_diff
 from .diagnostics_view import render_diagnostics, render_lineage
 from .tables import format_table
 from .trace_view import render_trace
@@ -10,6 +11,8 @@ __all__ = [
     "ascii_chart",
     "stacked_bars",
     "format_table",
+    "render_blame",
+    "render_blame_diff",
     "render_diagnostics",
     "render_lineage",
     "render_trace",

@@ -1,0 +1,118 @@
+"""Render a BlameReport (and a --against diff) for the terminal.
+
+Works on the JSON-friendly dict form (``BlameReport.to_dict()``), so the
+CLI renders local reports and reports fetched from the blame endpoint
+identically.
+"""
+
+from __future__ import annotations
+
+from .tables import format_table
+
+__all__ = ["render_blame", "render_blame_diff"]
+
+
+def _fmt_cyc(value: float) -> str:
+    return f"{value:,.0f}"
+
+
+def render_blame(report: dict, title: str = "scaling-loss blame") -> str:
+    """Findings tree, per-vertex loss table, graph edges, and caveats."""
+    n_lo, n_hi = report.get("window", ["?", "?"])
+    counts = report.get("processor_counts", [])
+    lines = [
+        f"{title}: {report.get('workload', '?')} "
+        f"(s0={report.get('s0', '?')}, n={counts})",
+        f"  total scaling loss over n={n_lo}->{n_hi}: "
+        f"{_fmt_cyc(report.get('total_loss', 0.0))} accumulated cycles",
+    ]
+
+    findings = report.get("findings", [])
+    if findings:
+        lines.append("findings (ranked):")
+        for f in findings:
+            marker = "*" if f.get("dominant") else " "
+            lines.append(
+                f"  #{f['rank']}{marker} [{f['category_label']}] "
+                f"{f['vertex']}  share={f['share']:.0%}  "
+                f"level@n={n_hi}: {_fmt_cyc(f['level_cycles'])}  "
+                f"growth: {f['growth_cycles']:+,.0f}  grade: {f['grade']}"
+            )
+            lines.append(f"      └─ cause: {f['root_cause']}")
+            if f.get("candidates"):
+                lines.append(
+                    f"      └─ upstream candidates: {', '.join(f['candidates'])}"
+                )
+            if f.get("lineage_refs"):
+                refs = f["lineage_refs"]
+                shown = ", ".join(refs[:3]) + (" ..." if len(refs) > 3 else "")
+                lines.append(f"      └─ base runs: {shown}")
+    else:
+        lines.append("findings: none (no material stall category)")
+
+    rows = []
+    for v in report.get("vertices", []):
+        eff = v.get("efficiencies", {})
+        rows.append(
+            {
+                "segment": v["vertex"],
+                "grade": v["grade"],
+                "cycle loss": v["cycle_loss"],
+                "share": f"{v['cycle_loss_share']:.0%}",
+                "flag": "<<" if v.get("flagged") else "",
+                "par eff": f"{eff.get('parallel', 0.0):.2f}",
+                "sync eff": f"{eff.get('sync', 0.0):.2f}",
+                "xfer eff": f"{eff.get('transfer', 0.0):.2f}",
+            }
+        )
+    if rows:
+        lines.append(
+            format_table(rows, title=f"per-segment loss over n={n_lo}->{n_hi}:")
+        )
+
+    edges = report.get("edges", [])
+    if edges:
+        parts = [f"{e['src']}->{e['dst']}[{e['kind']}]" for e in edges]
+        lines.append("graph edges: " + "  ".join(parts))
+
+    excluded = report.get("excluded", [])
+    if excluded:
+        lines.append(
+            "excluded from attribution (suspect evidence): " + ", ".join(excluded)
+        )
+    flags = [
+        f"  {check.get('name', '?')}: {flag}"
+        for check in report.get("diagnostics", {}).get("checks", [])
+        for flag in check.get("flags", [])
+    ]
+    if flags:
+        lines.append("evidence caveats:")
+        lines.extend(flags)
+    return "\n".join(lines)
+
+
+def render_blame_diff(diff: dict, title: str = "blame diff") -> str:
+    """Category deltas, biggest segment movers, and curve-level notes."""
+    a, b = diff.get("workloads", ["ours", "theirs"])
+    lines = [f"{title}: {a} vs {b} (top counts {diff.get('top_counts')})"]
+    rows = [
+        {
+            "category": category,
+            "ours": d["ours"],
+            "theirs": d["theirs"],
+            "delta": d["delta"],
+        }
+        for category, d in sorted(diff.get("category_deltas", {}).items())
+    ]
+    if rows:
+        lines.append(format_table(rows, title="credible stall cycles at top count:"))
+    movers = diff.get("movers", [])
+    if movers:
+        lines.append("largest segment movers:")
+        for m in movers:
+            lines.append(
+                f"  {m['vertex']} [{m['category']}]: {m['delta_cycles']:+,.0f} cycles"
+            )
+    for note in diff.get("notes", []):
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Fixtures for the blame (scaling-loss localization) tests.
+
+One module-scoped synthetic campaign at four processor counts: small
+enough to build in seconds, wide enough that the loss window
+(midpoint -> top) is a real sub-range of the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ScalTool
+from repro.runner import CampaignConfig, ScalToolCampaign
+from repro.workloads import make_workload
+
+BLAME_S0 = 163840
+BLAME_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def blame_campaign_data():
+    workload = make_workload("synthetic")
+    cfg = CampaignConfig(s0=BLAME_S0, processor_counts=BLAME_COUNTS)
+    return ScalToolCampaign(workload, cfg).run()
+
+
+@pytest.fixture(scope="module")
+def blame_analysis(blame_campaign_data):
+    return ScalTool(blame_campaign_data).analyze()

@@ -1,0 +1,82 @@
+"""``scaltool blame A --against B``: cross-campaign differential blame.
+
+Two synthetic campaigns that differ *only* in L2 size must produce a
+diff whose notes name the cache-space category (the paper's
+"insufficient caching space" bottleneck, Eq. 4) — and pin it on the
+cramped-L2 campaign.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.machine import origin2000_scaled
+from repro.runner import CampaignConfig, ScalToolCampaign
+from repro.workloads import make_workload
+
+from .conftest import BLAME_COUNTS, BLAME_S0
+
+
+def cli_stdout(argv):
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        rc = main(argv)
+    assert rc == 0, f"scaltool {' '.join(argv)} exited {rc}"
+    return buf.getvalue()
+
+
+def _small_l2(n):
+    machine = origin2000_scaled(n)
+    return dataclasses.replace(machine, l2=machine.l2.scaled(4))
+
+
+@pytest.fixture(scope="module")
+def campaign_dirs(tmp_path_factory, blame_campaign_data):
+    """(normal, small-L2) campaign directories for the same workload."""
+    root = tmp_path_factory.mktemp("blame-diff")
+    normal_dir = root / "normal"
+    blame_campaign_data.save(normal_dir)
+    cfg = CampaignConfig(s0=BLAME_S0, processor_counts=BLAME_COUNTS)
+    small = ScalToolCampaign(
+        make_workload("synthetic"), cfg, machine_factory=_small_l2
+    ).run()
+    small_dir = root / "small-l2"
+    small.save(small_dir)
+    return normal_dir, small_dir
+
+
+class TestAgainstDiff:
+    def test_diff_names_cache_space_on_the_cramped_campaign(self, campaign_dirs):
+        normal_dir, small_dir = campaign_dirs
+        out = cli_stdout(["blame", str(small_dir), "--against", str(normal_dir)])
+        note = next(
+            (line for line in out.splitlines() if "caching space" in line), None
+        )
+        assert note is not None, out
+        # The target campaign ("ours") has the cramped L2.
+        assert "ours campaign suffers more conflict misses" in note
+
+    def test_diff_json_is_structured_and_symmetric(self, campaign_dirs):
+        normal_dir, small_dir = campaign_dirs
+        diff = json.loads(
+            cli_stdout(
+                ["blame", str(small_dir), "--against", str(normal_dir), "--json"]
+            )
+        )
+        assert diff["workloads"] == ["synthetic", "synthetic"]
+        assert set(diff["category_deltas"]) == {"imbalance", "l2", "memory", "sync"}
+        flipped = json.loads(
+            cli_stdout(
+                ["blame", str(normal_dir), "--against", str(small_dir), "--json"]
+            )
+        )
+        for category, row in diff["category_deltas"].items():
+            assert flipped["category_deltas"][category]["delta"] == pytest.approx(
+                -row["delta"]
+            )

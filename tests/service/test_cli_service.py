@@ -108,6 +108,14 @@ class TestCliVerbs:
         assert "cannot reach" in capsys.readouterr().err
 
 
+class TestBlameByteIdentity:
+    def test_blame_json_serial_vs_parallel_is_byte_identical(self, warm_root):
+        base = ["blame", *WARM_ARGS, "--cache-dir", str(warm_root), "--json"]
+        serial = cli_stdout(base)
+        parallel = cli_stdout(base + ["--jobs", "2"])
+        assert serial == parallel
+
+
 class TestByteIdentityProperty:
     """Service output == direct CLI output, for randomly drawn requests."""
 
