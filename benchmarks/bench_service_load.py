@@ -34,6 +34,7 @@ from pathlib import Path
 
 from repro.service.client import ServiceClient
 from repro.service.core import ServiceConfig
+from repro.service.dispatcher import Dispatcher
 from repro.service.http import ServiceServer
 
 #: The smallest synthetic campaign the analysis accepts on the default machine.
@@ -43,12 +44,16 @@ BASE_PAYLOAD = {"workload": "synthetic", "s0": 163840, "counts": [1, 2]}
 def _request_mix(clients: int, requests_per_client: int, phase: str) -> list[list[tuple]]:
     """Per-client request lists: distinct factors, one shared campaign."""
     mixes = []
+    # The warm offset must clear the whole cold factor range, or warm
+    # requests at high client counts collide with cold job ids and the
+    # "warm" phase quietly measures job-level dedup instead of assembly.
+    offset = 0.5 + 0.01 * clients * requests_per_client
     for c in range(clients):
         mix = []
         for r in range(requests_per_client):
             # Unique (phase, client, request) factor -> unique job id, so
             # job-level dedup never hides the spec-level dedup being measured.
-            factor = 1.0 + 0.01 * (c * requests_per_client + r) + (0.5 if phase == "warm" else 0.0)
+            factor = 1.0 + 0.01 * (c * requests_per_client + r) + (offset if phase == "warm" else 0.0)
             mix.append(("whatif", {**BASE_PAYLOAD, "tm": round(factor, 4)}))
         mixes.append(mix)
     return mixes
@@ -135,6 +140,88 @@ def _run_config(
     }
 
 
+def _run_fleet_config(
+    clients: int,
+    requests_per_client: int,
+    worker_count: int,
+    engine_jobs: int,
+    cache_dir: Path,
+    export_dir: Path | None = None,
+) -> dict:
+    """One dispatcher + ``worker_count`` worker processes, both phases."""
+    dispatcher = Dispatcher(
+        ServiceConfig(
+            cache_dir=cache_dir,
+            jobs=engine_jobs,
+            workers=min(8, clients),
+            max_queue=4 * clients * requests_per_client,
+            batch_window=0.05,
+        ),
+        worker_count=worker_count,
+        port=0,
+    ).start()
+    try:
+        cold = _drive_phase(dispatcher.url, clients, requests_per_client, "cold")
+        warm = _drive_phase(dispatcher.url, clients, requests_per_client, "warm")
+        client = ServiceClient(dispatcher.url)
+        stats = client.stats()
+        if export_dir is not None:
+            export_dir.mkdir(parents=True, exist_ok=True)
+            (export_dir / f"metrics_w{worker_count}.prom").write_text(client.metrics())
+    finally:
+        dispatcher.shutdown()
+    counters = stats["counters"]
+    return {
+        "worker_processes": worker_count,
+        "engine_jobs": engine_jobs,
+        "cold": cold,
+        "warm": warm,
+        "dedup_hit_ratio": stats["dedup_hit_ratio"],
+        "plan_specs": counters.get("plan.specs", 0),
+        "batch_specs": counters.get("batch.specs", 0),
+        "batches": counters.get("batches", 0),
+        "jobs_done": stats["jobs"]["done"],
+        "jobs_failed": stats["jobs"]["failed"],
+    }
+
+
+def run_fleet_benchmark(
+    clients: int = 100,
+    requests_per_client: int = 1,
+    worker_counts: tuple = (1, 2, 4),
+    engine_jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    export_dir: str | Path | None = None,
+) -> dict:
+    """The multi-process sweep: same load, ``--workers`` 1 / 2 / 4.
+
+    Every worker count gets a fresh cache root (a true cold phase); the
+    merged ``/v1/stats`` proves the cross-process claim table still
+    executed each spec exactly once system-wide.
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="scaltool-fleet-") as tmp:
+        base = Path(cache_dir) if cache_dir is not None else Path(tmp)
+        workers = {
+            str(n): _run_fleet_config(
+                clients,
+                requests_per_client,
+                n,
+                engine_jobs,
+                base / f"fleet-w{n}",
+                export_dir=Path(export_dir) if export_dir is not None else None,
+            )
+            for n in worker_counts
+        }
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+    }
+
+
 def run_benchmark(
     clients: int = 8,
     requests_per_client: int = 3,
@@ -142,6 +229,8 @@ def run_benchmark(
     cache_dir: str | Path | None = None,
     results_dir: str | Path | None = None,
     export_dir: str | Path | None = None,
+    fleet_clients: int = 0,
+    fleet_worker_counts: tuple = (),
 ) -> dict:
     """Drive the service with concurrent clients; serial vs parallel engine.
 
@@ -172,6 +261,14 @@ def run_benchmark(
         "serial": serial,
         "parallel": parallel,
     }
+    if fleet_worker_counts:
+        result["fleet"] = run_fleet_benchmark(
+            clients=fleet_clients or clients,
+            requests_per_client=1,
+            worker_counts=tuple(fleet_worker_counts),
+            engine_jobs=engine_jobs,
+            export_dir=export_dir,
+        )
     if results_dir is not None:
         results_dir = Path(results_dir)
         results_dir.mkdir(parents=True, exist_ok=True)
@@ -208,6 +305,29 @@ def format_result(result: dict) -> str:
             f"{cfg['plan_specs']:>5.0f} / {cfg['batch_specs']:>4.0f} / {cfg['batches']:>3.0f}"
         )
         lines.append(f"{'jobs done / failed':.<52s} {cfg['jobs_done']:>6d} / {cfg['jobs_failed']:>3d}")
+    fleet = result.get("fleet")
+    if fleet:
+        lines.append("")
+        lines.append(
+            f"fleet sweep ({fleet['clients']} clients x "
+            f"{fleet['requests_per_client']} requests, dispatcher + N workers)"
+        )
+        for n, cfg in sorted(fleet["workers"].items(), key=lambda kv: int(kv[0])):
+            lines.append(f"[--workers {n}]")
+            for phase in ("cold", "warm"):
+                p = cfg[phase]
+                lines.append(
+                    f"{f'{phase}: wall / throughput':.<52s} "
+                    f"{p['wall_seconds']:>7.2f} s / {p['throughput_jobs_per_s']:>6.1f} jobs/s"
+                )
+                lines.append(
+                    f"{f'{phase}: latency mean / p95':.<52s} "
+                    f"{p['latency_mean_s'] * 1e3:>7.0f} ms / {p['latency_p95_s'] * 1e3:>6.0f} ms"
+                )
+            lines.append(
+                f"{'dedup hit ratio / jobs done / failed':.<52s} "
+                f"{cfg['dedup_hit_ratio']:>7.4f} / {cfg['jobs_done']:>4d} / {cfg['jobs_failed']:>3d}"
+            )
     return "\n".join(lines)
 
 
@@ -217,6 +337,8 @@ def test_service_load(emit):
         requests_per_client=3,
         engine_jobs=min(4, os.cpu_count() or 1),
         results_dir=Path(__file__).parent / "results",
+        fleet_clients=100,
+        fleet_worker_counts=(1, 2, 4),
     )
     emit("service_load", format_result(result))
     for cfg in (result["serial"], result["parallel"]):
@@ -228,3 +350,42 @@ def test_service_load(emit):
         assert cfg["dedup_hit_ratio"] > 0.9
         # Warm phase never executes a spec, so it must be much faster.
         assert cfg["warm"]["wall_seconds"] <= cfg["cold"]["wall_seconds"]
+    for cfg in result["fleet"]["workers"].values():
+        assert cfg["jobs_failed"] == 0
+        assert cfg["jobs_done"] == 2 * result["fleet"]["clients"]
+        # Cross-process spec dedup: the whole fleet still executed each
+        # spec once (the SQLite claim table, not per-process luck).
+        assert cfg["batch_specs"] <= cfg["plan_specs"] / 8
+        assert cfg["dedup_hit_ratio"] > 0.9
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="service load bench: N concurrent clients, optional fleet sweep"
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests-per-client", type=int, default=3)
+    parser.add_argument("--engine-jobs", type=int, default=min(4, os.cpu_count() or 1))
+    parser.add_argument(
+        "--workers",
+        type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=(),
+        metavar="N[,N...]",
+        help="also sweep a dispatcher with these worker-process counts (e.g. 1,2,4)",
+    )
+    parser.add_argument("--fleet-clients", type=int, default=100)
+    parser.add_argument("--results-dir", default=None)
+    parser.add_argument("--export-dir", default=None)
+    args = parser.parse_args()
+    out = run_benchmark(
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        engine_jobs=args.engine_jobs,
+        results_dir=args.results_dir,
+        export_dir=args.export_dir,
+        fleet_clients=args.fleet_clients,
+        fleet_worker_counts=args.workers,
+    )
+    print(format_result(out))

@@ -48,6 +48,12 @@ SERVICE_LOAD_METRICS = [
     ("parallel warm wall_seconds", ("parallel", "warm", "wall_seconds")),
     ("parallel cold latency_mean_s", ("parallel", "cold", "latency_mean_s")),
     ("parallel warm latency_mean_s", ("parallel", "warm", "latency_mean_s")),
+    # Multi-process fleet sweep (dispatcher + N workers, 100 clients).
+    ("fleet w1 warm wall_seconds", ("fleet", "workers", "1", "warm", "wall_seconds")),
+    ("fleet w2 warm wall_seconds", ("fleet", "workers", "2", "warm", "wall_seconds")),
+    ("fleet w4 cold wall_seconds", ("fleet", "workers", "4", "cold", "wall_seconds")),
+    ("fleet w4 warm wall_seconds", ("fleet", "workers", "4", "warm", "wall_seconds")),
+    ("fleet w4 warm latency_mean_s", ("fleet", "workers", "4", "warm", "latency_mean_s")),
 ]
 
 OBS_OVERHEAD_METRICS = [
@@ -168,7 +174,11 @@ def main(argv: list[str] | None = None) -> int:
                 export_dir=args.export_dir,
             )
         else:
-            fresh_load = run_benchmark(export_dir=args.export_dir)
+            fresh_load = run_benchmark(
+                export_dir=args.export_dir,
+                fleet_clients=100,
+                fleet_worker_counts=(1, 2, 4),
+            )
         baseline_load = _load_baseline(baseline_dir / "service_load.json")
         if baseline_load is None:
             reports.append("[service_load] no recorded baseline; skipping comparison")

@@ -280,7 +280,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine executor width: run batched experiments on N worker processes",
     )
     p_serve.add_argument(
-        "--workers", type=int, default=2, metavar="N", help="concurrent jobs in flight"
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes: 1 serves in-process, N>=2 starts a dispatcher"
+        " that consistent-hashes job fingerprints onto N worker shards",
+    )
+    p_serve.add_argument(
+        "--concurrency", type=int, default=2, metavar="N",
+        help="concurrent jobs in flight per worker process",
+    )
+    p_serve.add_argument(
+        "--claim-ttl", type=float, default=60.0, metavar="SECONDS",
+        help="in-flight claim TTL: a claim orphaned by a dead worker is"
+        " reclaimable after this long without a heartbeat",
     )
     p_serve.add_argument(
         "--max-queue", type=int, default=32, metavar="N",
@@ -887,17 +898,31 @@ def _dispatch(args) -> int:
 
     if args.command == "serve":
         from .service import ServiceConfig
-        from .service.http import serve
 
         config = ServiceConfig(
             cache_dir=args.cache_dir,
             jobs=args.jobs,
-            workers=args.workers,
+            workers=args.concurrency,
             max_queue=args.max_queue,
             job_timeout=args.job_timeout,
+            claim_ttl=args.claim_ttl,
         )
-        server = serve(config, host=args.host, port=args.port)
-        print(f"scaltool service listening on {server.url}", file=sys.stderr)
+        if args.workers >= 2:
+            from .service.dispatcher import serve_dispatcher
+
+            server = serve_dispatcher(
+                config, worker_count=args.workers, host=args.host, port=args.port
+            )
+            print(
+                f"scaltool dispatcher listening on {server.url}"
+                f" ({args.workers} worker processes)",
+                file=sys.stderr,
+            )
+        else:
+            from .service.http import serve
+
+            server = serve(config, host=args.host, port=args.port)
+            print(f"scaltool service listening on {server.url}", file=sys.stderr)
         try:
             server.serve_forever()
         except KeyboardInterrupt:

@@ -24,6 +24,7 @@ Two presets are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
 from ..errors import ConfigError
 from ..units import MB, KB, is_power_of_two, parse_size
@@ -315,12 +316,17 @@ def origin2000_full(n_processors: int = 32) -> MachineConfig:
     )
 
 
+@lru_cache(maxsize=1024)
 def origin2000_scaled(n_processors: int = 1, scale: int = 64, seed: int = 0) -> MachineConfig:
     """The default experimental substrate: Origin 2000 shrunk by ``scale``.
 
     Capacities (caches, pages) shrink by ``scale``; latencies, topology, and
     associativities are unchanged, so hit-rate/latency *ratios* match the
     full machine when data sets are shrunk by the same factor.
+
+    Pure in its scalar arguments and the result is a frozen value, so the
+    construction is memoised — a serving workload rebuilds the same few
+    machine points on every request.
     """
     if scale <= 0:
         raise ConfigError("scale must be positive")

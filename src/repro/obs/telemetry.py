@@ -26,7 +26,7 @@ from typing import Callable
 
 from .metrics import BucketHistogram, MetricsRegistry
 
-__all__ = ["Telemetry", "prometheus_name", "render_prometheus"]
+__all__ = ["Telemetry", "prometheus_name", "render_prometheus", "merge_prometheus"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -77,6 +77,90 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "scaltool") -> st
         lines.append(f"{metric}_sum {_fmt(hist.sum)}")
         lines.append(f"{metric}_count {hist.count}")
     return "\n".join(lines) + "\n"
+
+
+#: Gauges where "whole system" means the max over processes, not the sum.
+_MAX_GAUGES = ("scaltool_uptime_seconds",)
+
+
+def merge_prometheus(texts: list[str]) -> str:
+    """Merge several processes' text expositions into one truthful view.
+
+    The multi-worker dispatcher scrapes every worker's ``/metrics`` and
+    serves the merge: counters and histogram series (same name + same
+    labels) add, gauges add too — queue depths and per-grade health
+    counts are extensive quantities — except :data:`_MAX_GAUGES`
+    (uptime), which take the max.  ``# TYPE`` / ``# HELP`` lines are
+    kept once, from the first exposition that declares them.  Sample
+    order follows first appearance, so merged output is deterministic
+    given deterministic inputs.
+    """
+    types: dict[str, str] = {}
+    meta_lines: dict[str, list[str]] = {}
+    values: dict[str, float] = {}
+    order: list[str] = []
+
+    def _parse(value: str) -> float:
+        if value == "+Inf":
+            return math.inf
+        if value == "-Inf":
+            return -math.inf
+        return float(value)
+
+    for text in texts:
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 4 and parts[1] in ("TYPE", "HELP"):
+                    metric = parts[2]
+                    if parts[1] == "TYPE":
+                        types.setdefault(metric, parts[3])
+                    meta_lines.setdefault(metric, []).append(line)
+                continue
+            sample, _, raw_value = line.rpartition(" ")
+            if not sample:
+                continue
+            try:
+                value = _parse(raw_value)
+            except ValueError:
+                continue
+            bare = sample.partition("{")[0]
+            family = _family(bare, types)
+            if sample not in values:
+                values[sample] = value
+                order.append(sample)
+            elif types.get(family) == "gauge" and family in _MAX_GAUGES:
+                values[sample] = max(values[sample], value)
+            else:
+                values[sample] += value
+
+    lines: list[str] = []
+    declared: set[str] = set()
+    for sample in order:
+        family = _family(sample.partition("{")[0], types)
+        if family not in declared:
+            declared.add(family)
+            if family in types:
+                lines.append(f"# TYPE {family} {types[family]}")
+        lines.append(f"{sample} {_fmt(values[sample])}")
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _family(bare_name: str, types: dict[str, str]) -> str:
+    """The declared metric family a sample line belongs to.
+
+    Histogram samples render as ``<name>_bucket`` / ``_sum`` / ``_count``
+    while the ``# TYPE`` line declares ``<name>``.
+    """
+    for suffix in ("_bucket", "_sum", "_count"):
+        if bare_name.endswith(suffix):
+            stem = bare_name[: -len(suffix)]
+            if types.get(stem) == "histogram":
+                return stem
+    return bare_name
 
 
 class Telemetry:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import asdict
 from pathlib import Path
 
@@ -32,6 +33,22 @@ from ..workloads.base import Workload
 __all__ = ["campaign_cache_dir", "cached_campaign"]
 
 _log = get_logger("runner.cache")
+
+#: Manifests this process wrote, with the (mtime_ns, size) stamp observed
+#: right after writing.  An all-hit read may skip the re-export only when
+#: the on-disk manifest is *provably* the one we exported — anything else
+#: (another writer, truncation, corruption) gets rewritten, keeping the
+#: "a broken manifest heals on the next call" contract.
+_manifest_lock = threading.Lock()
+_manifest_stamps: dict[Path, tuple[int, int]] = {}
+
+
+def _stamp(path: Path) -> tuple[int, int] | None:
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return (st.st_mtime_ns, st.st_size)
 
 
 def campaign_cache_dir() -> Path:
@@ -73,6 +90,7 @@ def cached_campaign(
     refresh: bool = False,
     progress: ProgressCallback | None = None,
     executor: Executor | None = None,
+    run_cache: RunCache | None = None,
 ) -> CampaignData:
     """Run the campaign for ``workload`` under ``config``, reusing cached runs.
 
@@ -84,11 +102,19 @@ def cached_campaign(
     and reason, counted (``engine.cache.corrupt``), and re-executed.  The
     campaign-level ``cache.hit`` / ``cache.miss`` / ``cache.partial`` /
     ``cache.refresh`` metrics summarise how the batch resolved, and the
-    JSONL manifest is (re)exported after every call.
+    JSONL manifest is (re)exported after any call that executed a run
+    (an all-hit read with the manifest already on disk skips the
+    re-export — the records are unchanged by construction).
+
+    ``run_cache`` substitutes the per-run cache instance itself (the
+    serving layer passes its shared, memoised cache so every assembly in
+    the process reuses parsed records); it must be rooted at
+    ``<cache dir>/runs`` for the manifest to stay beside its runs.
     """
     factory = machine_factory or default_machine_factory()
     root = Path(cache_dir) if cache_dir else campaign_cache_dir()
-    run_cache = RunCache(root / "runs")
+    if run_cache is None:
+        run_cache = RunCache(root / "runs")
     campaign = ScalToolCampaign(workload, config, machine_factory=factory)
     key = _campaign_key(workload, config, _machine_ident(factory, config.processor_counts))
     manifest = root / f"{workload.name}_{key}.jsonl"
@@ -125,5 +151,18 @@ def cached_campaign(
             "campaign cache partial %s", kv(manifest=manifest, hits=hits, misses=misses)
         )
 
-    save_records(data.records, manifest)
+    # An all-hit resolution produced exactly the records the manifest
+    # already holds; rewriting it would serialise every record again on
+    # every warm read — the service's hottest path.  Skip only when the
+    # file on disk still carries our own write stamp.
+    with _manifest_lock:
+        unchanged = _manifest_stamps.get(manifest) is not None and _manifest_stamps[
+            manifest
+        ] == _stamp(manifest)
+    if misses or refresh or not unchanged:
+        save_records(data.records, manifest)
+        with _manifest_lock:
+            stamp = _stamp(manifest)
+            if stamp is not None:
+                _manifest_stamps[manifest] = stamp
     return data

@@ -75,6 +75,13 @@ _log = get_logger("runner.engine")
 #: Cache-key format version; bump when the record or identity layout changes.
 SPEC_FORMAT = 1
 
+#: Process-wide memos, keyed by value (specs/machines are frozen, so a
+#: compiled spec or computed key is shareable).  Dict access is
+#: GIL-atomic; a rare duplicate compute is harmless.
+_spec_key_memo: dict["RunSpec", str] = {}
+_spec_compile_memo: dict[tuple, "RunSpec"] = {}
+_machine_hash_memo: dict["MachineConfig", str] = {}
+
 _ENV_VAR = "SCALTOOL_CACHE_DIR"
 
 #: Exception types the executors treat as retryable.
@@ -130,6 +137,18 @@ class RunSpec:
         """
         params = dict(workload.describe_params())
         params.setdefault("seed", workload.seed)
+        memo_key = (
+            workload.name,
+            tuple(sorted(params.items())),
+            int(size_bytes),
+            int(n_processors),
+            machine,
+            role,
+            bool(keep_ground_truth),
+        )
+        memoised = _spec_compile_memo.get(memo_key)
+        if memoised is not None:
+            return memoised
         spec = cls(
             workload=workload.name,
             params=tuple(sorted(params.items())),
@@ -150,6 +169,9 @@ class RunSpec:
                 f"describe_params(); engine execution requires a faithful "
                 f"(name, params) round-trip"
             )
+        if len(_spec_compile_memo) >= 8192:
+            _spec_compile_memo.clear()
+        _spec_compile_memo[memo_key] = spec
         return spec
 
     def workload_params(self) -> dict:
@@ -176,12 +198,31 @@ class RunSpec:
         }
 
     def key(self) -> str:
-        """Content address of this run (sha256 over the full identity)."""
-        try:
-            blob = json.dumps(self.ident(), sort_keys=True)
-        except TypeError as exc:
-            raise ConfigError(f"run spec is not serialisable: {exc}") from exc
-        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+        """Content address of this run (sha256 over the full identity).
+
+        The hash covers the full machine configuration, so it is not free;
+        a spec is immutable, so the first computation is memoised (every
+        layer — planner, cache, lineage — keys the same spec repeatedly).
+        Specs are *values* (frozen, hashable), so the memo is also shared
+        process-wide: a freshly compiled spec equal to one any earlier
+        request keyed skips the asdict/json/sha round entirely — under a
+        serving workload the same few dozen specs are rebuilt per request.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
+        key = _spec_key_memo.get(self)
+        if key is None:
+            try:
+                blob = json.dumps(self.ident(), sort_keys=True)
+            except TypeError as exc:
+                raise ConfigError(f"run spec is not serialisable: {exc}") from exc
+            key = hashlib.sha256(blob.encode()).hexdigest()[:24]
+            if len(_spec_key_memo) >= 8192:
+                _spec_key_memo.clear()
+            _spec_key_memo[self] = key
+        object.__setattr__(self, "_key", key)
+        return key
 
     def machine_hash(self) -> str:
         """Content address of the machine configuration alone.
@@ -190,8 +231,14 @@ class RunSpec:
         different machine" is visible at a glance without diffing full
         configurations.
         """
-        blob = json.dumps(asdict(self.machine), sort_keys=True)
-        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+        digest = _machine_hash_memo.get(self.machine)
+        if digest is None:
+            blob = json.dumps(asdict(self.machine), sort_keys=True)
+            digest = hashlib.sha256(blob.encode()).hexdigest()[:12]
+            if len(_machine_hash_memo) >= 1024:
+                _machine_hash_memo.clear()
+            _machine_hash_memo[self.machine] = digest
+        return digest
 
     def describe(self) -> str:
         return f"{self.workload} {self.role} size={self.size_bytes} n={self.n_processors}"

@@ -22,6 +22,13 @@ inference-serving-shaped stack (queue -> planner -> batcher -> executor
   of transient failures, and drain-on-shutdown.
 * :mod:`repro.service.http` / :mod:`repro.service.client` — a stdlib
   HTTP JSON API (``scaltool serve``) and the matching Python client.
+* :mod:`repro.service.sharding` / :mod:`repro.service.shared` /
+  :mod:`repro.service.dispatcher` / :mod:`repro.service.worker` — the
+  multi-process deployment (``scaltool serve --workers N``): a
+  dispatcher consistent-hashes content-addressed job fingerprints onto
+  N worker processes, which share the run cache (SQLite-indexed), a
+  cross-process claim table with TTL/heartbeat expiry, and the job
+  store; ``/metrics`` and ``/healthz`` serve merged whole-system views.
 
 Library use::
 
@@ -41,9 +48,12 @@ endpoint even when no obs session is enabled.  See ``docs/service.md``.
 
 from .client import ServiceClient
 from .core import AnalysisService, ServiceConfig
+from .dispatcher import Dispatcher
 from .http import ServiceServer
 from .planner import InFlightTable, RequestPlan, RequestPlanner
 from .requests import REQUEST_KINDS, CompiledRequest, RequestResult, compile_request
+from .sharding import HashRing
+from .shared import IndexedRunCache, RunCacheIndex, SqliteClaimTable
 from .store import Job, JobStore
 
 __all__ = [
@@ -51,6 +61,11 @@ __all__ = [
     "ServiceConfig",
     "ServiceClient",
     "ServiceServer",
+    "Dispatcher",
+    "HashRing",
+    "IndexedRunCache",
+    "RunCacheIndex",
+    "SqliteClaimTable",
     "Job",
     "JobStore",
     "InFlightTable",

@@ -48,9 +48,11 @@ import asyncio
 import collections
 import itertools
 import os
+import sqlite3
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -74,7 +76,9 @@ from ..runner.engine import (
     default_executor,
 )
 from . import requests as _requests
-from .planner import RequestPlanner
+from .planner import InFlightTable, RequestPlanner
+from .sharding import HashRing
+from .shared import IndexedRunCache, RunCacheIndex, SqliteClaimTable
 from .store import ACTIVE_STATES, TERMINAL_STATES, Job, JobStore
 
 __all__ = ["ServiceConfig", "AnalysisService"]
@@ -117,6 +121,9 @@ class ServiceConfig:
     batch_window: float = 0.02  # seconds the batcher waits to coalesce claims
     retry_after: float = 1.0  # advisory back-off handed to rejected clients
     default_priority: int = 5  # lower sorts sooner
+    shard_index: int = 0  # this process's shard id on the hash ring
+    shard_count: int = 1  # total worker processes sharing the cache root
+    claim_ttl: float = 60.0  # seconds before an unheartbeated claim expires
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -125,6 +132,14 @@ class ServiceConfig:
             raise ServiceError("max_queue must be >= 1")
         if self.retries < 0:
             raise ServiceError("retries must be >= 0")
+        if self.shard_count < 1:
+            raise ServiceError("shard_count must be >= 1")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ServiceError(
+                f"shard_index must be in [0, {self.shard_count}), got {self.shard_index}"
+            )
+        if self.claim_ttl <= 0:
+            raise ServiceError("claim_ttl must be > 0")
 
 
 class _SpecBatcher:
@@ -220,14 +235,41 @@ class AnalysisService:
             else default_cache_root()
         )
         self.store = JobStore(self.root / "service" / "jobs")
-        self.run_cache = RunCache(self.root / "runs")
-        self.planner = RequestPlanner(self.run_cache)
+        self.ring = HashRing(self.config.shard_count)
+        try:
+            # The run-cache membership index (and, under a multi-worker
+            # dispatcher, the claim table) lives in SQLite-WAL files under
+            # the cache root so every worker process sees the same state.
+            self.run_cache: RunCache = IndexedRunCache(
+                self.root / "runs",
+                RunCacheIndex(self.root / "service" / "run_index.sqlite"),
+            )
+            inflight = (
+                SqliteClaimTable(
+                    self.root / "service" / "claims.sqlite", ttl=self.config.claim_ttl
+                )
+                if self.config.shard_count > 1
+                else InFlightTable(ttl=self.config.claim_ttl)
+            )
+        except (OSError, sqlite3.OperationalError) as exc:
+            # An unwritable cache root must degrade (503s from start()),
+            # not crash construction — but a multi-worker shard cannot
+            # run without its shared claim table.
+            if self.config.shard_count > 1:
+                raise StoreUnavailableError(
+                    f"cannot create shared store under {self.root}: {exc}"
+                ) from exc
+            _log.warning("shared-store files unavailable %s", kv(reason=exc))
+            self.run_cache = RunCache(self.root / "runs")
+            inflight = InFlightTable(ttl=self.config.claim_ttl)
+        self.planner = RequestPlanner(self.run_cache, inflight)
         self.executor = default_executor(self.config.jobs)
         self.traces = TraceBuffer()
         self.telemetry = Telemetry()
         self.degraded: str | None = None  # store-unwritable reason, set by start()
 
         self._lock = threading.Lock()
+        self._done_cv = threading.Condition(self._lock)
         self._jobs: dict[str, Job] = {}
         self._enqueued_at: dict[str, float] = {}  # job id -> wall time of enqueue
         self._counters: collections.Counter = collections.Counter()
@@ -280,11 +322,21 @@ class AnalysisService:
         for _ in range(self.config.workers):
             self._tasks.append(asyncio.create_task(self._worker()))
 
+    def owns(self, job_id: str) -> bool:
+        """Whether the hash ring routes ``job_id`` to this shard."""
+        return self.ring.owner(job_id) == self.config.shard_index
+
     def _recover(self) -> None:
-        """Re-register stored jobs; interrupted ones go back on the queue."""
+        """Re-register stored jobs; interrupted ones go back on the queue.
+
+        Workers under a dispatcher share one store directory, so each
+        recovers only the jobs the ring routes to it — re-queuing a
+        peer's interrupted job would double-execute it once the peer
+        restarts.
+        """
         requeue: list[Job] = []
         with self._lock:
-            for job in self.store.load_all():
+            for job in self.store.load_all(predicate=self.owns):
                 self._jobs[job.id] = job
                 if job.state in ACTIVE_STATES:
                     job.state = "queued"
@@ -432,9 +484,24 @@ class AnalysisService:
         return self.status(job_id)
 
     def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.02) -> Job:
-        """Block until the job reaches a terminal state."""
+        """Block until the job reaches a terminal state.
+
+        In-memory jobs wait on a condition variable that :meth:`_finish`
+        notifies — no polling on the hot path.  Jobs known only to the
+        store (another worker's, a past life's) fall back to polling.
+        """
         deadline = time.monotonic() + timeout
         while True:
+            with self._done_cv:
+                job = self._jobs.get(job_id)
+                if job is not None:
+                    if job.state in TERMINAL_STATES:
+                        return job
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ServiceError(f"timed out waiting for job {job_id}")
+                    self._done_cv.wait(min(remaining, 1.0))
+                    continue
             job = self.status(job_id)
             if job.state in TERMINAL_STATES:
                 return job
@@ -551,6 +618,11 @@ class AnalysisService:
                 "error": self.degraded,
                 "path": str(self.store.root),
             },
+            "shard": {
+                "index": self.config.shard_index,
+                "count": self.config.shard_count,
+                "pid": os.getpid(),
+            },
         }
 
     # -- internals --------------------------------------------------------------------
@@ -632,23 +704,13 @@ class AnalysisService:
     ) -> None:
         if result is not None and isinstance(result.get("lineage"), dict):
             result["lineage"]["trace_id"] = job.trace_id
-        with self._lock:
-            job.state = state
-            job.result = result
-            job.error = error
-            job.finished = time.time()
-            self.store.put(job)
-            self._tally_locked("jobs.done" if state == "done" else "jobs.failed")
-        if result is not None:
-            self._publish_health(result.get("data", {}).get("health"))
-        obs.registry().observe("service.job_seconds", seconds)
-        obs.registry().set_gauge("service.queue.depth", self._queue.qsize() if self._queue else 0)
-        self.telemetry.observe("service.job_seconds", seconds)
-        self.telemetry.observe("service.e2e_seconds", max(0.0, job.finished - job.created))
-        self.telemetry.set_gauge("service.queue.depth", self._queue.qsize() if self._queue else 0)
+        finished = time.time()
         if job.trace_id and job.trace_span:
             # Close the job's own span (the parent of every lifecycle span
-            # recorded above) and persist the finished tree beside the job.
+            # recorded above) and persist the finished tree beside the job
+            # — *before* the state flips to terminal: a long-polling
+            # waiter wakes the instant the state changes, and its very
+            # next read must already see the complete timeline.
             self.traces.record(
                 TraceSpan(
                     trace_id=job.trace_id,
@@ -656,7 +718,7 @@ class AnalysisService:
                     parent_id=job.trace_parent or "",
                     name="service.job",
                     start=job.created,
-                    duration_s=max(0.0, job.finished - job.created),
+                    duration_s=max(0.0, finished - job.created),
                     attrs={"job": job.id, "kind": job.kind, "state": state},
                     pid=os.getpid(),
                 )
@@ -666,6 +728,21 @@ class AnalysisService:
                 self.store.put_timeline(job.id, [s.to_dict() for s in spans])
             except OSError as exc:  # pragma: no cover - disk full/readonly race
                 _log.warning("could not persist job timeline %s", kv(job=job.id, reason=exc))
+        with self._lock:
+            job.state = state
+            job.result = result
+            job.error = error
+            job.finished = finished
+            self.store.put(job)
+            self._tally_locked("jobs.done" if state == "done" else "jobs.failed")
+            self._done_cv.notify_all()
+        if result is not None:
+            self._publish_health(result.get("data", {}).get("health"))
+        obs.registry().observe("service.job_seconds", seconds)
+        obs.registry().set_gauge("service.queue.depth", self._queue.qsize() if self._queue else 0)
+        self.telemetry.observe("service.job_seconds", seconds)
+        self.telemetry.observe("service.e2e_seconds", max(0.0, job.finished - job.created))
+        self.telemetry.set_gauge("service.queue.depth", self._queue.qsize() if self._queue else 0)
         _log.debug(
             "job finished %s",
             kv(job=job.id, kind=job.kind, state=state, seconds=f"{seconds:.3f}", error=error),
@@ -753,7 +830,10 @@ class AnalysisService:
                 "service.blame", job=job.id
             ):
                 derived = request.execute(
-                    cache_root=self.root, executor=SerialExecutor(), progress=None
+                    cache_root=self.root,
+                    executor=SerialExecutor(),
+                    progress=None,
+                    run_cache=self.run_cache,
                 )
             report = derived.data["report"]
             output = derived.output
@@ -835,8 +915,16 @@ class AnalysisService:
                 fut = asyncio.run_coroutine_threadsafe(
                     self._batcher.submit(plan.claimed, wait_span.context), self._loop
                 )
+                # Re-heartbeat the claims while the batch runs so a long
+                # batch never trips the claim TTL out from under us.
+                hb_interval = max(0.5, self.config.claim_ttl / 3.0)
                 try:
-                    fut.result()
+                    while True:
+                        try:
+                            fut.result(timeout=hb_interval)
+                            break
+                        except FuturesTimeoutError:
+                            self.planner.heartbeat(plan)
                 except Exception as exc:  # noqa: BLE001 - assembly below retries serially
                     self._tally("batch.failures")
                     _log.warning("spec batch failed %s", kv(reason=exc))
@@ -853,7 +941,10 @@ class AnalysisService:
             "service.assemble", kind=request.kind
         ):
             result = request.execute(
-                cache_root=self.root, executor=SerialExecutor(), progress=None
+                cache_root=self.root,
+                executor=SerialExecutor(),
+                progress=None,
+                run_cache=self.run_cache,
             )
         if result.lineage and claimed_keys:
             # Assembly re-reads from a cache the batcher just filled on this

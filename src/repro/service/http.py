@@ -17,8 +17,11 @@ Routes (JSON unless noted)::
          caller's distributed trace
     GET  /v1/jobs/<id>          -> 200 <summary> | 404
     GET  /v1/jobs/<id>/result   -> 200 {"id","state","result","timeline"?} (done)
-                                   200 {"id","state","error","timeline"?}  (failed)
+         [?wait=S]                 200 {"id","state","error","timeline"?}  (failed)
                                    202 {"id","state"}                      (pending)
+         ``wait=S`` long-polls up to S seconds (capped at 60) for a
+         terminal state before answering — the bundled client uses it
+         instead of busy-polling.
     GET  /v1/jobs/<id>/trace    -> 200 {"job","trace_id","complete","spans"}
     GET  /v1/jobs/<id>/lineage  -> 200 {"job","kind","state","health","lineage"}
     GET  /v1/jobs/<id>/blame    -> 200 {"job","kind","state","output","report",
@@ -105,6 +108,26 @@ def _jobs_query(raw_query: str) -> dict:
     return kwargs
 
 
+def _wait_param(raw_query: str) -> float:
+    """The ``?wait=S`` long-poll budget on the result route (0 = none).
+
+    Other query parameters are ignored here (the route historically took
+    none), and the budget is capped so a handler thread can never be
+    parked indefinitely by a client.
+    """
+    from urllib.parse import parse_qsl
+
+    for name, value in parse_qsl(raw_query, keep_blank_values=True):
+        if name == "wait":
+            try:
+                return max(0.0, min(float(value), 60.0))
+            except ValueError as exc:
+                raise ReproError(
+                    f"bad 'wait': expected seconds, got {value!r}"
+                ) from exc
+    return 0.0
+
+
 def _result_view(service: AnalysisService, job: Job) -> tuple[int, dict]:
     if job.state in ("done", "failed"):
         body = {"id": job.id, "state": job.state}
@@ -138,6 +161,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        self.send_header("X-Scaltool-Shard", str(self.service.config.shard_index))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -186,7 +210,18 @@ class _Handler(BaseHTTPRequestHandler):
             elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
                 self._send(200, self.service.status(parts[2]).summary())
             elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
-                status, body = _result_view(self.service, self.service.result(parts[2]))
+                # ?wait=S long-polls: park until terminal (or the budget
+                # runs out) instead of making the client busy-poll.
+                wait_s = _wait_param(raw_query)
+                job = self.service.result(parts[2])
+                if wait_s and job.state not in ("done", "failed"):
+                    try:
+                        job = self.service.wait(parts[2], timeout=wait_s)
+                    except JobNotFoundError:
+                        raise
+                    except ReproError:
+                        job = self.service.result(parts[2])  # budget expired
+                status, body = _result_view(self.service, job)
                 self._send(status, body)
             elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "trace":
                 self._send(200, self.service.trace(parts[2]))
@@ -290,6 +325,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(400, {"error": str(exc)})
 
 
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    # The stdlib default listen backlog (5) drops connections when a
+    # hundred clients reconnect in the same instant; size it for the
+    # concurrency the service is built to absorb.
+    request_queue_size = 128
+
+
 class ServiceServer:
     """An :class:`AnalysisService` bound to a ThreadingHTTPServer.
 
@@ -306,7 +348,7 @@ class ServiceServer:
         port: int = 0,
     ) -> None:
         self.service = AnalysisService(config)
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _ServiceHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self.service  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None

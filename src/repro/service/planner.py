@@ -19,11 +19,21 @@ A claim is always released — even when the claiming batch fails — and a
 waiter re-checks the cache afterwards: if the owner failed, the waiter
 simply executes the spec itself during result assembly, so a crashed
 job never wedges its peers.
+
+Claims also *expire*: each carries a heartbeat timestamp, refreshed by
+the owner during long batches, and :meth:`InFlightTable.claim` reaps
+claims whose heartbeat is older than the TTL before partitioning.  A
+claim orphaned by a dead worker therefore blocks dedup for at most one
+TTL instead of forever.  Cross-process deployments swap the in-memory
+table for :class:`repro.service.shared.SqliteClaimTable` (same
+``claim`` / ``release`` / ``heartbeat`` surface, SQLite WAL backing,
+plus owner-pid liveness checks) — the planner is backend-agnostic.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from ..obs import runtime as obs
@@ -34,25 +44,50 @@ __all__ = ["InFlightTable", "RequestPlan", "RequestPlanner"]
 
 
 class InFlightTable:
-    """Thread-safe registry of run-spec keys currently being executed."""
+    """Thread-safe registry of run-spec keys currently being executed.
 
-    def __init__(self) -> None:
+    ``ttl`` bounds how long an unreleased claim can block peers: claims
+    whose heartbeat is older than ``ttl`` seconds are expired (their
+    waiters woken) on the next :meth:`claim`.  ``ttl=None`` disables
+    expiry (the pre-TTL behaviour).
+    """
+
+    def __init__(self, ttl: float | None = None) -> None:
         self._lock = threading.Lock()
+        self.ttl = ttl
         self._events: dict[str, threading.Event] = {}
+        self._heartbeats: dict[str, float] = {}
+
+    def _expire_locked(self, now: float) -> None:
+        if self.ttl is None:
+            return
+        stale = [k for k, hb in self._heartbeats.items() if now - hb > self.ttl]
+        for key in stale:
+            self._heartbeats.pop(key, None)
+            event = self._events.pop(key, None)
+            if event is not None:
+                event.set()
+        if stale:
+            obs.registry().inc("service.claims.expired", len(stale))
 
     def claim(self, keys: list[str]) -> tuple[list[str], dict[str, threading.Event]]:
         """Partition ``keys`` into (claimed by me, already in flight).
 
         Claimed keys get a fresh event that :meth:`release` will set;
-        in-flight keys map to the owner's event to wait on.
+        in-flight keys map to the owner's event to wait on.  Stale
+        claims (heartbeat older than the TTL) are expired first, so an
+        orphaned claim is reclaimed by the next job that wants it.
         """
         claimed: list[str] = []
         waiting: dict[str, threading.Event] = {}
+        now = time.time()
         with self._lock:
+            self._expire_locked(now)
             for key in keys:
                 event = self._events.get(key)
                 if event is None:
                     self._events[key] = threading.Event()
+                    self._heartbeats[key] = now
                     claimed.append(key)
                 else:
                     waiting[key] = event
@@ -62,9 +97,19 @@ class InFlightTable:
         """Mark claimed keys finished (success *or* failure) and wake waiters."""
         with self._lock:
             events = [self._events.pop(key, None) for key in keys]
+            for key in keys:
+                self._heartbeats.pop(key, None)
         for event in events:
             if event is not None:
                 event.set()
+
+    def heartbeat(self, keys: list[str]) -> None:
+        """Refresh claims still being worked on (call during long batches)."""
+        now = time.time()
+        with self._lock:
+            for key in keys:
+                if key in self._heartbeats:
+                    self._heartbeats[key] = now
 
     def __len__(self) -> int:
         with self._lock:
@@ -77,7 +122,7 @@ class RequestPlan:
 
     specs: list[RunSpec]  # unique specs, in request order
     claimed: list[RunSpec]  # this job executes these (via the batcher)
-    waiting: dict[str, threading.Event] = field(default_factory=dict)
+    waiting: dict[str, object] = field(default_factory=dict)  # key -> waiter
     cache_hits: int = 0
 
     @property
@@ -86,11 +131,18 @@ class RequestPlan:
 
 
 class RequestPlanner:
-    """Compile a request into a deduplicated execution plan."""
+    """Compile a request into a deduplicated execution plan.
 
-    def __init__(self, cache: RunCache, inflight: InFlightTable | None = None) -> None:
+    ``inflight`` is any claim backend exposing ``claim(keys)`` /
+    ``release(keys)`` (optionally ``heartbeat(keys)``): the in-process
+    :class:`InFlightTable` by default, the cross-process
+    :class:`repro.service.shared.SqliteClaimTable` under a multi-worker
+    dispatcher.  Waiters returned by ``claim`` need only ``.wait(timeout)``.
+    """
+
+    def __init__(self, cache: RunCache, inflight=None) -> None:
         self.cache = cache
-        self.inflight = inflight or InFlightTable()
+        self.inflight = inflight if inflight is not None else InFlightTable()
 
     def plan(self, request: CompiledRequest) -> RequestPlan:
         reg = obs.registry()
@@ -124,6 +176,12 @@ class RequestPlanner:
         """Release this plan's claims (call exactly once, success or not)."""
         self.inflight.release(plan.claimed_keys)
 
+    def heartbeat(self, plan: RequestPlan) -> None:
+        """Refresh this plan's claims while its batch is still executing."""
+        hb = getattr(self.inflight, "heartbeat", None)
+        if hb is not None and plan.claimed:
+            hb(plan.claimed_keys)
+
     def wait(self, plan: RequestPlan, timeout: float | None = None) -> bool:
         """Block until every spec claimed by *other* jobs has settled.
 
@@ -131,6 +189,6 @@ class RequestPlanner:
         just executes whatever is still missing itself.
         """
         ok = True
-        for event in plan.waiting.values():
-            ok = event.wait(timeout) and ok
+        for waiter in plan.waiting.values():
+            ok = waiter.wait(timeout) and ok
         return ok

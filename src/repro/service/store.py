@@ -110,11 +110,19 @@ class JobStore:
             self._note_corrupt(job_id, exc)
             return None
 
-    def load_all(self) -> list[Job]:
-        """Every readable job, oldest first (corrupt entries are skipped)."""
+    def load_all(self, predicate=None) -> list[Job]:
+        """Every readable job, oldest first (corrupt entries are skipped).
+
+        ``predicate`` filters by job *id* before the file is read — the
+        multi-worker service passes its shard-ownership test so each
+        worker recovers only the jobs the ring routes to it, even though
+        all workers share one store directory.
+        """
         jobs = []
         if self.root.is_dir():
             for path in sorted(self.root.glob("j*.json")):
+                if predicate is not None and not predicate(path.stem):
+                    continue
                 job = self.get(path.stem)
                 if job is not None:
                     jobs.append(job)

@@ -1,6 +1,7 @@
 """Planner: cache-hit dropping, atomic in-flight claims, waiter semantics."""
 
 import threading
+import time
 
 from repro.runner.engine import RunCache
 from repro.service.planner import InFlightTable, RequestPlanner
@@ -91,3 +92,55 @@ class TestRequestPlanner:
         threading.Thread(target=fail_owner).start()
         assert planner.wait(waiter, timeout=2.0)
         assert released.is_set()
+
+
+class TestClaimTTL:
+    """Stale-claim leakage: an orphaned claim must expire, not block forever."""
+
+    def test_unreleased_claim_expires_after_ttl(self):
+        table = InFlightTable(ttl=0.15)
+        got, _ = table.claim(["k"])
+        assert got == ["k"]
+        time.sleep(0.25)
+        got2, waiting = table.claim(["k"])  # orphaned claim reclaimed
+        assert got2 == ["k"] and not waiting
+
+    def test_expiry_wakes_the_orphans_waiters(self):
+        table = InFlightTable(ttl=0.15)
+        table.claim(["k"])
+        _, waiting = table.claim(["k"])
+        time.sleep(0.25)
+        table.claim(["other"])  # any claim() sweeps expired entries
+        assert waiting["k"].wait(timeout=1.0)
+
+    def test_heartbeat_defers_expiry(self):
+        table = InFlightTable(ttl=0.3)
+        table.claim(["k"])
+        for _ in range(3):
+            time.sleep(0.15)
+            table.heartbeat(["k"])
+        got, waiting = table.claim(["k"])  # still held: heartbeats kept it
+        assert not got and set(waiting) == {"k"}
+
+    def test_no_ttl_means_no_expiry(self):
+        table = InFlightTable()  # ttl=None: the pre-TTL behaviour
+        table.claim(["k"])
+        time.sleep(0.05)
+        got, waiting = table.claim(["k"])
+        assert not got and set(waiting) == {"k"}
+
+    def test_dead_claimant_thread_is_reclaimed_by_ttl(self):
+        """The in-process analogue of a killed worker: the claiming thread
+        dies without release; the TTL reclaims on the next plan."""
+        table = InFlightTable(ttl=0.2)
+
+        def claim_and_die():
+            table.claim(["doomed"])  # never releases
+
+        t = threading.Thread(target=claim_and_die)
+        t.start()
+        t.join()  # claimant is gone, claim leaked
+        assert len(table) == 1
+        time.sleep(0.3)
+        got, waiting = table.claim(["doomed"])
+        assert got == ["doomed"] and not waiting

@@ -1,0 +1,58 @@
+"""Consistent-hash ring: determinism, balance, and minimal remapping."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.service.sharding import HashRing, shard_for
+
+
+def _keys(n: int) -> list[str]:
+    return ["j" + hashlib.sha256(str(i).encode()).hexdigest()[:16] for i in range(n)]
+
+
+class TestHashRing:
+    def test_owner_is_deterministic_across_instances(self):
+        keys = _keys(200)
+        a, b = HashRing(4), HashRing(4)
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_owner_in_range_and_single_shard_trivial(self):
+        ring = HashRing(3)
+        assert all(ring.owner(k) in range(3) for k in _keys(100))
+        assert all(HashRing(1).owner(k) == 0 for k in _keys(20))
+
+    def test_shard_for_matches_ring(self):
+        keys = _keys(50)
+        ring = HashRing(5)
+        assert [shard_for(k, 5) for k in keys] == [ring.owner(k) for k in keys]
+
+    def test_spread_is_roughly_uniform(self):
+        keys = _keys(8000)
+        spread = HashRing(4).spread(keys)
+        assert sum(spread.values()) == len(keys)
+        for shard, count in spread.items():
+            # Within a factor of ~1.5 of uniform at 128 vnodes.
+            assert 0.6 * 2000 < count < 1.5 * 2000, (shard, count)
+
+    def test_adding_a_shard_remaps_a_minority(self):
+        keys = _keys(4000)
+        before = HashRing(4)
+        after = HashRing(5)
+        moved = sum(1 for k in keys if before.owner(k) != after.owner(k))
+        # Consistent hashing: ~1/5 of keys move; a naive mod-N rehash
+        # would move ~4/5.  Allow generous slack.
+        assert moved < len(keys) * 0.45
+
+    def test_owns_agrees_with_owner(self):
+        ring = HashRing(4)
+        for key in _keys(32):
+            owner = ring.owner(key)
+            assert ring.owns(owner, key)
+            assert not any(ring.owns(s, key) for s in range(4) if s != owner)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            HashRing(0)

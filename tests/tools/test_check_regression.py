@@ -17,8 +17,9 @@ from benchmarks.check_regression import (
 
 def _load_result(wall: float) -> dict:
     phase = {"wall_seconds": wall, "latency_mean_s": wall / 10}
-    return {"serial": {"cold": dict(phase), "warm": dict(phase)},
-            "parallel": {"cold": dict(phase), "warm": dict(phase)}}
+    config = lambda: {"cold": dict(phase), "warm": dict(phase)}  # noqa: E731
+    return {"serial": config(), "parallel": config(),
+            "fleet": {"workers": {n: config() for n in ("1", "2", "4")}}}
 
 
 def test_compare_flags_only_past_threshold():
