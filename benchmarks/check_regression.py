@@ -2,7 +2,8 @@
 
 ``python benchmarks/check_regression.py`` reruns the service load bench
 (:mod:`bench_service_load`), the segment-decomposition structural check
-(:mod:`bench_segments`), and the obs overhead bench
+(:mod:`bench_segments`), the cross-model agreement check
+(:mod:`bench_models`), and the obs overhead bench
 (:mod:`bench_obs_overhead`), compares the fresh numbers against the JSON
 recorded in ``benchmarks/results/``, and exits non-zero when any tracked
 metric regressed past the threshold (default 20%).
@@ -72,6 +73,20 @@ SEGMENTS_METRICS = [
         "vector steps residual_fraction n=1",
         ("segments", "vector steps", "1", "residual_fraction"),
     ),
+]
+
+#: Structural quality metrics from the cross-model comparison: how well
+#: each scalability law tracks the measured curve, how far the fitted
+#: curves spread from each other, and the agreement grade (0 ok / 1 warn
+#: / 2 suspect).  All worse-is-higher and wall-clock free except the fit
+#: time itself.
+MODELS_METRICS = [
+    ("models usl residual_rms", ("models", "usl", "residual_rms")),
+    ("models granularity residual_rms", ("models", "granularity", "residual_rms")),
+    ("models scaltool residual_rms", ("models", "scaltool", "residual_rms")),
+    ("models cross_model_rms", ("cross_model_rms",)),
+    ("models agreement_grade_score", ("agreement_grade_score",)),
+    ("models fit_wall_seconds", ("fit_wall_seconds",)),
 ]
 
 
@@ -155,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the obs overhead bench")
     parser.add_argument("--skip-segments", action="store_true",
                         help="skip the segment-decomposition structural check")
+    parser.add_argument("--skip-models", action="store_true",
+                        help="skip the cross-model agreement check")
     args = parser.parse_args(argv)
 
     # Import the benches through the package so monkeypatching
@@ -223,6 +240,42 @@ def main(argv: list[str] | None = None) -> int:
             reports.append(
                 f"[segments] tiling error {fresh_seg['tiling_rel_error_max']:.3g} "
                 ">= 1e-6: segments no longer tile the run"
+            )
+            failed = True
+
+    if not args.skip_models:
+        from benchmarks.bench_models import run_benchmark as run_models
+
+        models_counts = (1, 2, 4, 8) if args.smoke else (1, 2, 4, 8, 16)
+        fresh_models = run_models(counts=models_counts)
+        baseline_models = _load_baseline(baseline_dir / "models_fit.json")
+        if baseline_models is None:
+            reports.append("[models] no recorded baseline; skipping comparison")
+        elif baseline_models.get("counts") != fresh_models.get("counts") or (
+            baseline_models.get("s0") != fresh_models.get("s0")
+        ):
+            # Fit quality depends on how much of the curve the fit saw;
+            # a smoke fit over fewer counts is a different problem.
+            reports.append(
+                "[models] smoke configuration differs from baseline; "
+                "ran the comparison (agreement invariant checked), comparison skipped"
+            )
+        else:
+            rows = compare(baseline_models, fresh_models, MODELS_METRICS, args.threshold)
+            reports.append(format_rows("models", rows, args.threshold))
+            failed |= any(r["regressed"] for r in rows)
+        # The two-roads invariant holds at any configuration: on a
+        # campaign with known injected contention, the closed-form laws
+        # and the decomposition must name the same dominant bottleneck.
+        mapping = fresh_models.get("mapping") or {}
+        if (
+            mapping.get("dominant_usl") != "contention"
+            or mapping.get("dominant_scaltool") != "sync+imb"
+        ):
+            reports.append(
+                "[models] dominance disagreement on the contention campaign: "
+                f"usl={mapping.get('dominant_usl')} "
+                f"scaltool={mapping.get('dominant_scaltool')}"
             )
             failed = True
 

@@ -112,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_campaign = sub.add_parser("campaign", parents=[common], help="run the Table-3 campaign")
     p_campaign.add_argument("--out", required=True, help="directory for the counter files")
+    p_campaign.add_argument(
+        "--export-speedup", default=None, metavar="PATH",
+        help="also write the measured speedup curve as a scaltool-speedup-v1 "
+        "dataset (.csv or .json) for `scaltool models`",
+    )
 
     p_analyze = sub.add_parser(
         "analyze", parents=[common], help="full bottleneck analysis", epilog=_CACHE_EPILOG
@@ -247,6 +252,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--to", type=_counts, default=(48, 64, 128), help="counts to predict, e.g. 64,128"
     )
 
+    p_models = sub.add_parser(
+        "models", parents=[obs_common],
+        help="fit USL/granularity/Scal-Tool scalability models and cross-validate them",
+        epilog=_CACHE_EPILOG,
+    )
+    p_models.add_argument(
+        "action", choices=("fit", "compare", "predict"),
+        help="fit: per-model coefficients; compare: cross-validate the suite; "
+        "predict: extrapolate with CI bands",
+    )
+    p_models.add_argument(
+        "target",
+        help="workload name, campaign directory, speedup dataset (.csv/.json), "
+        "saved result, or local job id",
+    )
+    p_models.add_argument("--s0", type=int, default=None, help="base data-set size in bytes")
+    p_models.add_argument(
+        "--counts", type=_counts, default=(1, 2, 4, 8, 16, 32),
+        help="processor counts, e.g. 1,2,4,8 (workload targets)",
+    )
+    p_models.add_argument(
+        "--to", type=_counts, default=(32, 64, 128),
+        help="counts to extrapolate to (predict), e.g. 64,128",
+    )
+    p_models.add_argument(
+        "--cache-dir", default=None,
+        help="campaign cache directory (default: $SCALTOOL_CACHE_DIR or .scaltool_cache)",
+    )
+    p_models.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run campaign experiments on N worker processes (default: 1, serial)",
+    )
+    p_models.add_argument("--json", action="store_true", help="print the structured report as JSON")
+    p_models.add_argument(
+        "--save-result", default=None, metavar="PATH",
+        help="also write the full result (output + data + lineage) as JSON",
+    )
+
     p_balance = sub.add_parser(
         "balance", parents=[common], help="per-processor load-balance report"
     )
@@ -311,7 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit = sub.add_parser(
         "submit", parents=[client_common], help="submit a request to a running service"
     )
-    p_submit.add_argument("kind", help="analyze | blame | campaign | sweep | whatif | predict")
+    p_submit.add_argument(
+        "kind", help="analyze | blame | campaign | models | sweep | whatif | predict"
+    )
     p_submit.add_argument("workload", help="workload name (see `scaltool list`)")
     p_submit.add_argument("--s0", type=int, default=None, help="base data-set size in bytes")
     p_submit.add_argument("--size", type=int, default=None, help="data-set size (sweep)")
@@ -644,6 +689,86 @@ def _blame_target_report(args, target: str) -> tuple[str, dict]:
     )
 
 
+def _models_result(args):
+    """Resolve a ``models`` target and run the action through the shared
+    request handler (so CLI output stays byte-identical to a service job).
+
+    Tried in order: a saved campaign directory (analysed inline, like
+    ``blame``), a workload name, a speedup dataset file (.csv or
+    ``scaltool-speedup-v1`` JSON), a stored job record / saved result /
+    local job-store id.
+    """
+    import json as _json
+    from pathlib import Path as _Path
+
+    from .service.requests import RequestResult
+
+    target = args.target
+    payload: dict = {"action": args.action}
+    if args.action == "predict":
+        payload["to"] = list(args.to)
+
+    path = _Path(target)
+    if path.is_dir() and (path / "campaign.jsonl").exists():
+        from .models import SpeedupDataset, run_action
+
+        campaign = CampaignData.load(path)
+        analysis = ScalTool(campaign).analyze()
+        dataset = SpeedupDataset.from_campaign(campaign)
+        output, data = run_action(args.action, dataset, analysis, to=payload.get("to"))
+        result = RequestResult(output=output, data=data)
+        save_path = getattr(args, "save_result", None)
+        if save_path:
+            out = _Path(save_path)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(_json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+            print(f"result saved to {out}", file=sys.stderr)
+        return result
+
+    if target in available_workloads():
+        payload.update(
+            {"workload": target, "s0": args.s0, "counts": list(args.counts)}
+        )
+        return _execute_request(args, "models", payload)
+
+    if path.is_file():
+        # A dataset file (CSV, or JSON carrying a points list) beats the
+        # stored-result interpretations.
+        is_dataset = True
+        try:
+            doc = _json.loads(path.read_text())
+        except (OSError, _json.JSONDecodeError):
+            pass  # CSV (or unreadable; the loader reports that properly)
+        else:
+            is_dataset = isinstance(doc, dict) and "points" in doc
+        if is_dataset:
+            from .models import SpeedupDataset
+
+            payload["dataset"] = SpeedupDataset.load(path).to_dict()
+            return _execute_request(args, "models", payload)
+
+    stored = _blame_stored(target, args.cache_dir)
+    if stored is not None:
+        label, kind, job_payload, result = stored
+        if job_payload and all(k in job_payload for k in ("workload", "s0", "counts")):
+            campaign_payload = {
+                "workload": job_payload["workload"],
+                "params": job_payload.get("params", {}),
+                "s0": job_payload["s0"],
+                "counts": job_payload["counts"],
+            }
+        else:
+            campaign_payload = _blame_payload_from_result(label, result or {})
+        payload.update(campaign_payload)
+        return _execute_request(args, "models", payload)
+
+    raise ReproError(
+        f"cannot resolve models target {target!r}: not a workload name, a saved "
+        "campaign directory, a speedup dataset file, a stored result file, or "
+        "a local job id (pass --cache-dir for the local job store)"
+    )
+
+
 def _axis_value(text: str):
     """Axis values parse as int, then float, then bare string."""
     for cast in (int, float):
@@ -717,6 +842,11 @@ def _dispatch(args) -> int:
         )
         manifest = data.save(args.out)
         print(f"wrote {len(data.records)} runs to {manifest.parent}")
+        if args.export_speedup:
+            from .models import SpeedupDataset
+
+            path = SpeedupDataset.from_campaign(data).save(args.export_speedup)
+            print(f"wrote speedup curve to {path}")
         return 0
 
     if args.command == "analyze":
@@ -816,6 +946,16 @@ def _dispatch(args) -> int:
             },
         )
         sys.stdout.write(result.output)
+        return 0
+
+    if args.command == "models":
+        import json as _json
+
+        result = _models_result(args)
+        if args.json:
+            print(_json.dumps(result.data, indent=2, sort_keys=True))
+        else:
+            sys.stdout.write(result.output)
         return 0
 
     if args.command == "balance":

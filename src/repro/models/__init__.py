@@ -1,0 +1,53 @@
+"""Multi-model scalability suite, cross-validated against Scal-Tool.
+
+Three independent models of the same measured speedup curve:
+
+* :class:`~repro.models.usl.USLModel` — Gunther's Universal Scalability
+  Law (contention σ, coherency delay κ);
+* :class:`~repro.models.granularity.GranularityModel` — the
+  parallel-fraction / granularity tradeoff (serial fraction s, overhead
+  slope θ);
+* :class:`~repro.models.scaltool_model.ScalToolModel` — the paper's own
+  Eq. 1–10 counter decomposition projected onto the speedup axis.
+
+:mod:`~repro.models.compare` maps USL's σ onto Scal-Tool's sync+imbalance
+categories and κ onto the caching category and grades their agreement;
+:mod:`~repro.models.predict` extrapolates every model past the measured
+machine with CI bands.  See ``docs/models.md``.
+"""
+
+from .base import MIN_FIT_POINTS, ModelFit, ScalabilityModel, validate_for_fit
+from .compare import COMPARE_SCHEMA, agreement_diagnostics, compare_models, fit_all
+from .dataset import SCHEMA as DATASET_SCHEMA
+from .dataset import SpeedupDataset, SpeedupPoint
+from .granularity import GranularityModel, granularity_speedup
+from .predict import PAYBACK_GAIN, PREDICT_SCHEMA, payback_edge, predict_report
+from .report import ACTIONS, run_action
+from .scaltool_model import ScalToolModel, category_shares
+from .usl import USLModel, usl_speedup
+
+__all__ = [
+    "MIN_FIT_POINTS",
+    "ModelFit",
+    "ScalabilityModel",
+    "validate_for_fit",
+    "COMPARE_SCHEMA",
+    "DATASET_SCHEMA",
+    "PREDICT_SCHEMA",
+    "PAYBACK_GAIN",
+    "SpeedupDataset",
+    "SpeedupPoint",
+    "USLModel",
+    "usl_speedup",
+    "GranularityModel",
+    "granularity_speedup",
+    "ScalToolModel",
+    "category_shares",
+    "fit_all",
+    "compare_models",
+    "agreement_diagnostics",
+    "predict_report",
+    "payback_edge",
+    "ACTIONS",
+    "run_action",
+]

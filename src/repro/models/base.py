@@ -1,0 +1,219 @@
+"""The model protocol and shared fit machinery.
+
+A :class:`ScalabilityModel` turns a :class:`~repro.models.dataset.SpeedupDataset`
+into a :class:`ModelFit`: fitted coefficients with seeded-bootstrap CIs, a
+speedup-axis R², per-point residuals, the predicted peak-speedup count
+n\\*, and a graded :class:`~repro.obs.diagnostics.FitDiagnostics` record
+(kind ``model_fit``) so every fitted number carries the same quality
+evidence the Scal-Tool estimators do.
+
+Degenerate curves fail *before* any algebra runs — :func:`validate_for_fit`
+raises the same typed errors the estimator layer uses
+(:class:`~repro.errors.InsufficientDataError` /
+:class:`~repro.errors.EstimationError`, offending inputs named) instead of
+letting a rank-deficient solve return NaN coefficients:
+
+* fewer points than the model's minimum (4: two coefficients plus real
+  residual evidence);
+* duplicate or non-positive processor counts;
+* non-finite or non-positive speedups;
+* all-equal speedups (no scaling signal to fit);
+* an oscillating curve (more than one rise/fall reversal — a clean
+  retrograde curve has exactly one, which the models represent; a sawtooth
+  is measurement noise);
+* no n=1 baseline to anchor the normalization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import EstimationError, InsufficientDataError
+from ..obs.diagnostics import FitDiagnostics, apply_rules
+from .dataset import SpeedupDataset
+
+__all__ = [
+    "MIN_FIT_POINTS",
+    "ModelFit",
+    "ScalabilityModel",
+    "validate_for_fit",
+    "normalized_speedups",
+    "speedup_r_squared",
+    "model_fit_diagnostics",
+]
+
+#: Two coefficients plus residual evidence: the paper-suite minimum.
+MIN_FIT_POINTS = 4
+
+
+@runtime_checkable
+class ScalabilityModel(Protocol):
+    """Anything that fits a closed-form model to a speedup curve."""
+
+    name: str
+    equation: str
+
+    def fit(self, dataset: SpeedupDataset) -> "ModelFit":  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class ModelFit:
+    """One model's fit of one dataset.
+
+    ``params``/``ci`` hold the fitted coefficients and their seeded
+    bootstrap 95% intervals; ``residuals`` are measured − modeled on the
+    *speedup* axis (one per dataset point), and ``r_squared`` is computed
+    there too, so the three models are comparable even though each fits a
+    different linearization internally.  ``peak_n`` is the continuous
+    n\\* maximizing the modeled speedup (``None`` when the model is
+    monotone and never peaks).
+    """
+
+    model: str
+    equation: str
+    label: str
+    params: dict[str, float]
+    ci: dict[str, list[float]]
+    r_squared: float
+    residual_rms: float
+    residuals: list[float]
+    n_points: int
+    peak_n: float | None
+    peak_speedup: float | None
+    diagnostics: FitDiagnostics
+    predict: Callable[[float], float] = field(repr=False, compare=False, default=None)
+    band: Callable[[float], tuple[float, float] | None] = field(
+        repr=False, compare=False, default=None
+    )
+
+    @property
+    def grade(self) -> str:
+        return self.diagnostics.grade
+
+    def to_dict(self) -> dict:
+        """JSON-able form (prediction callables stay on the live object)."""
+        return {
+            "model": self.model,
+            "equation": self.equation,
+            "label": self.label,
+            "params": {k: float(v) for k, v in self.params.items()},
+            "ci": {k: [float(lo), float(hi)] for k, (lo, hi) in self.ci.items()},
+            "r_squared": float(self.r_squared),
+            "residual_rms": float(self.residual_rms),
+            "residuals": [float(r) for r in self.residuals],
+            "n_points": int(self.n_points),
+            "peak_n": None if self.peak_n is None else float(self.peak_n),
+            "peak_speedup": None if self.peak_speedup is None else float(self.peak_speedup),
+            "grade": self.grade,
+            "diagnostics": self.diagnostics.to_dict(),
+        }
+
+
+def validate_for_fit(
+    dataset: SpeedupDataset, model: str, min_points: int = MIN_FIT_POINTS
+) -> None:
+    """Raise a typed error for any curve a closed-form fit cannot survive."""
+    counts = dataset.counts
+    speedups = dataset.speedups
+    if len(counts) < min_points:
+        raise InsufficientDataError(
+            f"{model} needs >= {min_points} speedup points",
+            inputs={"counts": counts, "have": len(counts)},
+        )
+    if len(set(counts)) != len(counts):
+        dupes = sorted({n for n in counts if counts.count(n) > 1})
+        raise EstimationError(
+            f"{model}: duplicate processor counts", inputs={"counts": dupes}
+        )
+    bad_counts = [n for n in counts if n < 1]
+    if bad_counts:
+        raise EstimationError(
+            f"{model}: processor counts must be >= 1", inputs={"counts": bad_counts}
+        )
+    if 1 not in counts:
+        raise EstimationError(
+            f"{model}: no n=1 baseline to normalize against",
+            inputs={"counts": counts},
+        )
+    bad = [(n, s) for n, s in zip(counts, speedups) if not math.isfinite(s) or s <= 0]
+    if bad:
+        raise EstimationError(
+            f"{model}: speedups must be finite and positive",
+            inputs={"offending": bad},
+        )
+    if max(speedups) - min(speedups) < 1e-12:
+        raise EstimationError(
+            f"{model}: all speedups equal; the curve carries no scaling signal",
+            inputs={"speedup": speedups[0], "counts": counts},
+        )
+    # A single rise->fall reversal is a retrograde curve (exactly what these
+    # models represent); a second reversal means the curve oscillates.
+    diffs = [b - a for a, b in zip(speedups, speedups[1:]) if abs(b - a) > 1e-12]
+    reversals = sum(1 for a, b in zip(diffs, diffs[1:]) if (a > 0) != (b > 0))
+    if reversals > 1:
+        flips = [
+            counts[i + 1]
+            for i, (a, b) in enumerate(zip(diffs, diffs[1:]))
+            if (a > 0) != (b > 0)
+        ]
+        raise EstimationError(
+            f"{model}: speedup curve oscillates (not a scaling trend)",
+            inputs={"reversal_counts": flips, "speedups": speedups},
+        )
+
+
+def normalized_speedups(dataset: SpeedupDataset) -> list[float]:
+    """Speedups rescaled so S(1) = 1 (external curves may be unanchored)."""
+    s1 = dataset.speedup_at(1)
+    return [s / s1 for s in dataset.speedups]
+
+
+def speedup_r_squared(measured: list[float], modeled: list[float]) -> float:
+    """R² on the speedup axis (1.0 for a perfect constant-curve prediction)."""
+    y = np.asarray(measured, dtype=float)
+    yhat = np.asarray(modeled, dtype=float)
+    ss_res = float(np.sum((y - yhat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot > 0:
+        return 1.0 - ss_res / ss_tot
+    return 1.0 if ss_res < 1e-12 else 0.0
+
+
+def model_fit_diagnostics(
+    name: str,
+    equation: str,
+    dataset: SpeedupDataset,
+    estimates: dict[str, float],
+    ci: dict[str, list[float]],
+    r_squared: float,
+    residuals: list[float],
+    clamped: list[str],
+    extra_details: dict | None = None,
+) -> FitDiagnostics:
+    """Evidence + grade for one closed-form model fit (kind ``model_fit``)."""
+    superlinear = [
+        n for n, s in zip(dataset.counts, normalized_speedups(dataset)) if s > n * (1 + 1e-9)
+    ]
+    fd = FitDiagnostics(
+        name=name,
+        kind="model_fit",
+        equation=equation,
+        n_points=len(dataset.points),
+        r_squared=float(r_squared),
+        residual_rms=float(np.sqrt(np.mean(np.square(residuals)))) if residuals else 0.0,
+        residuals=[float(r) for r in residuals],
+        estimates={k: float(v) for k, v in estimates.items()},
+        ci=ci,
+        details={
+            "clamped": list(clamped),
+            "superlinear_counts": [int(n) for n in superlinear],
+            "counts": [int(n) for n in dataset.counts],
+            **(extra_details or {}),
+        },
+    )
+    return apply_rules(fd)

@@ -1,0 +1,175 @@
+"""Cross-validate the model suite against Scal-Tool's decomposition.
+
+Scal-Tool attributes scalability loss to categories from hardware
+counters; USL fits a rational function to the bare speedup curve.  The
+two are independent roads to the same answer, and this module checks
+they agree:
+
+* USL's σ term (contention: serialization and queueing) maps onto
+  Scal-Tool's **synchronization + load-imbalance** categories;
+* USL's κ term (coherency delay: pairwise data exchange) maps onto the
+  **insufficient-caching-space** category (conflict/coherence misses).
+
+Per curve the comparator fits every model, converts each to penalty
+*shares* at the top measured count, and grades agreement through the
+``model_agreement`` rule family in :mod:`repro.obs.diagnostics`:
+a decisive dominance mismatch (the two tools naming different
+bottlenecks, by a real margin) grades ``suspect`` with the shares as
+named evidence; models drifting apart on the speedup axis grade by
+relative RMS; peak-count predictions further than 4x apart warn.
+
+External datasets have no counter decomposition; there the agreement
+check runs across the closed-form models only (and says so).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs import runtime as obs
+from ..obs.diagnostics import FitDiagnostics, apply_rules, grade_score, worst_grade
+from .base import ModelFit, normalized_speedups
+from .dataset import SpeedupDataset
+from .granularity import GranularityModel
+from .scaltool_model import ScalToolModel, category_shares
+from .usl import USLModel
+
+__all__ = ["COMPARE_SCHEMA", "fit_all", "agreement_diagnostics", "compare_models"]
+
+COMPARE_SCHEMA = "scaltool-models-compare-v1"
+
+
+def fit_all(dataset: SpeedupDataset, analysis=None) -> dict[str, ModelFit]:
+    """Fit every applicable model; Scal-Tool's projection needs an analysis."""
+    models: dict[str, ModelFit] = {
+        "usl": USLModel().fit(dataset),
+        "granularity": GranularityModel().fit(dataset),
+    }
+    if analysis is not None:
+        models["scaltool"] = ScalToolModel(analysis).fit(dataset)
+    return models
+
+
+def _cross_model_rms(dataset: SpeedupDataset, fits: dict[str, ModelFit]) -> float:
+    """Relative RMS spread between the models' curves on the measured counts."""
+    curves = []
+    for fit in fits.values():
+        curves.append([fit.predict(n) for n in dataset.counts])
+    measured = normalized_speedups(dataset)
+    spreads = []
+    for i, n in enumerate(dataset.counts):
+        values = [c[i] for c in curves]
+        ref = max(measured[i], 1e-12)
+        spreads.append((max(values) - min(values)) / ref)
+    return float(np.sqrt(np.mean(np.square(spreads)))) if spreads else 0.0
+
+
+def _peak_ratio(fits: dict[str, ModelFit]) -> tuple[float | None, dict[str, float]]:
+    peaks = {
+        name: float(fit.peak_n) for name, fit in fits.items() if fit.peak_n is not None
+    }
+    if len(peaks) < 2:
+        return None, peaks
+    lo, hi = min(peaks.values()), max(peaks.values())
+    return hi / max(lo, 1e-9), peaks
+
+
+def agreement_diagnostics(
+    dataset: SpeedupDataset, fits: dict[str, ModelFit], analysis=None
+) -> FitDiagnostics:
+    """Evidence + grade for the σ/κ ↔ category cross-validation."""
+    top_n = dataset.counts[-1]
+    details: dict = {
+        "top_n": int(top_n),
+        "has_decomposition": analysis is not None,
+        "cross_model_rms": _cross_model_rms(dataset, fits),
+    }
+    ratio, peaks = _peak_ratio(fits)
+    if ratio is not None:
+        details["peak_ratio"] = float(ratio)
+    details["peaks"] = peaks
+
+    if analysis is not None:
+        usl = fits["usl"]
+        usl_shares = USLModel().penalty_shares(usl.params, top_n)
+        scal_shares = category_shares(analysis, top_n)
+        dominant_usl = (
+            "contention"
+            if usl_shares["contention_share"] >= usl_shares["coherency_share"]
+            else "coherency"
+        )
+        dominant_scal = (
+            "sync+imb"
+            if scal_shares["sync_imb_share"] >= scal_shares["l2lim_share"]
+            else "l2lim"
+        )
+        # The mapping: contention <-> sync+imb, coherency <-> l2lim.
+        agree = (dominant_usl == "contention") == (dominant_scal == "sync+imb")
+        pair = sorted([scal_shares["sync_imb_share"], scal_shares["l2lim_share"]])
+        smaller, larger = pair
+        details.update(
+            {
+                "dominant_usl": dominant_usl,
+                "dominant_scaltool": dominant_scal,
+                "dominance_mismatch": not agree,
+                "dominant_share": float(larger),
+                # Floor the denominator: a zero share is "infinitely" dominated,
+                # but the stored evidence must stay finite (JSON round-trips).
+                "dominance_margin": float(larger / max(smaller, 1e-9)),
+                "shares": {
+                    "usl": {k: float(v) for k, v in usl_shares.items()},
+                    "scaltool": {
+                        k: float(scal_shares[k]) for k in ("sync_imb_share", "l2lim_share")
+                    },
+                },
+            }
+        )
+
+    fd = FitDiagnostics(
+        name="model_agreement",
+        kind="model_agreement",
+        equation="USL sigma <-> Sync+Imb, kappa <-> L2Lim",
+        n_points=len(dataset.points),
+        details=details,
+    )
+    return apply_rules(fd)
+
+
+def compare_models(dataset: SpeedupDataset, analysis=None) -> dict:
+    """The full cross-validation report for one speedup curve.
+
+    The report is a plain JSON-able dict (every fitted coefficient,
+    bootstrap CI, per-model R²/residuals, the share mapping, the graded
+    agreement evidence, and each model's predicted peak count) — the
+    exact object ``scaltool models compare --json`` prints and the
+    ``models`` service job stores, byte-identical by construction.
+    """
+    with obs.tracer().span(
+        "models.compare", label=dataset.label, points=len(dataset.points)
+    ):
+        fits = fit_all(dataset, analysis)
+        agreement = agreement_diagnostics(dataset, fits, analysis)
+        # The headline grade is the *agreement* verdict; a model fitting
+        # its own curve poorly is that model's problem (visible in its
+        # per-fit grade), not evidence the tools disagree.
+        grade = agreement.grade
+        reg = obs.registry()
+        reg.inc("models.compare")
+        reg.set_gauge("models.agreement", float(grade_score(grade)))
+        return {
+            "schema": COMPARE_SCHEMA,
+            "label": dataset.label,
+            "source": dataset.source,
+            "counts": [int(n) for n in dataset.counts],
+            "measured_speedups": [float(s) for s in normalized_speedups(dataset)],
+            "models": {name: fit.to_dict() for name, fit in sorted(fits.items())},
+            "mapping": {
+                k: v
+                for k, v in agreement.details.items()
+                if k in ("top_n", "dominant_usl", "dominant_scaltool", "shares")
+            },
+            "agreement": agreement.to_dict(),
+            "grade": grade,
+            "fit_grades": {name: fit.grade for name, fit in sorted(fits.items())},
+            "worst_fit_grade": worst_grade(fit.grade for fit in fits.values()),
+        }

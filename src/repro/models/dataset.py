@@ -1,0 +1,245 @@
+"""The speedup-curve dataset: one schema for simulator and external data.
+
+Everything in :mod:`repro.models` fits against a :class:`SpeedupDataset` —
+a measured (n, time, speedup) curve with optional per-point confidence
+intervals.  The same dataset comes from three places:
+
+* a finished campaign (:meth:`SpeedupDataset.from_campaign` reads the
+  base-size runs' wall cycles — what ``scaltool campaign
+  --export-speedup`` writes out);
+* an external CSV with columns ``n,time,speedup,ci_lo,ci_hi`` (``time``
+  and the CI columns optional; ``speedup`` derived from ``time`` against
+  the n=1 row when absent);
+* a JSON document ``{"schema": "scaltool-speedup-v1", "label": ...,
+  "points": [{"n": ..., "time": ..., "speedup": ..., "ci": [lo, hi]}]}``.
+
+Loading is deliberately lenient (a curve with two points loads fine);
+the *fit* layer (:mod:`repro.models.base`) is where degenerate curves
+raise typed errors.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import EstimationError
+
+__all__ = ["SCHEMA", "SpeedupPoint", "SpeedupDataset"]
+
+#: The on-disk schema tag for the JSON form.
+SCHEMA = "scaltool-speedup-v1"
+
+_CSV_COLUMNS = ("n", "time", "speedup", "ci_lo", "ci_hi")
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One measured point of a speedup curve."""
+
+    n: int
+    speedup: float
+    time: float | None = None  # wall time in any consistent unit (cycles here)
+    ci: tuple[float, float] | None = None  # 95% CI on the speedup, if known
+
+    def to_dict(self) -> dict:
+        out: dict = {"n": self.n, "speedup": self.speedup}
+        if self.time is not None:
+            out["time"] = self.time
+        if self.ci is not None:
+            out["ci"] = [self.ci[0], self.ci[1]]
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpeedupPoint":
+        ci = d.get("ci")
+        return cls(
+            n=int(d["n"]),
+            speedup=float(d["speedup"]),
+            time=None if d.get("time") is None else float(d["time"]),
+            ci=None if not ci else (float(ci[0]), float(ci[1])),
+        )
+
+
+@dataclass
+class SpeedupDataset:
+    """A measured speedup-vs-n curve, sorted by processor count."""
+
+    label: str
+    points: list[SpeedupPoint] = field(default_factory=list)
+    source: str = ""  # where the curve came from (path / "campaign")
+
+    def __post_init__(self) -> None:
+        self.points = sorted(self.points, key=lambda p: p.n)
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def counts(self) -> list[int]:
+        return [p.n for p in self.points]
+
+    @property
+    def speedups(self) -> list[float]:
+        return [p.speedup for p in self.points]
+
+    def speedup_at(self, n: int) -> float | None:
+        for p in self.points:
+            if p.n == n:
+                return p.speedup
+        return None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_campaign(cls, campaign, label: str | None = None) -> "SpeedupDataset":
+        """The measured curve of a campaign's base-size runs.
+
+        ``time`` is the run's wall cycles; speedups are relative to the
+        uniprocessor run, matching
+        :meth:`repro.core.bottlenecks.BottleneckCurves.speedups`.
+        """
+        base = campaign.base_runs()
+        if not base or 1 not in base:
+            raise EstimationError(
+                "campaign has no 1-processor base run to anchor speedups",
+                inputs={"workload": campaign.workload, "counts": sorted(base)},
+            )
+        w1 = base[1].wall_cycles
+        if w1 <= 0:
+            raise EstimationError(
+                "1-processor wall cycles are not positive",
+                inputs={"workload": campaign.workload, "wall_cycles": w1},
+            )
+        points = [
+            SpeedupPoint(n=n, speedup=w1 / base[n].wall_cycles, time=base[n].wall_cycles)
+            for n in sorted(base)
+            if base[n].wall_cycles > 0
+        ]
+        return cls(label=label or campaign.workload, points=points, source="campaign")
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "label": self.label,
+            "source": self.source,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpeedupDataset":
+        if not isinstance(d, dict) or not isinstance(d.get("points"), list):
+            raise EstimationError(
+                "speedup dataset needs a 'points' list",
+                inputs={"keys": sorted(d) if isinstance(d, dict) else type(d).__name__},
+            )
+        try:
+            points = [SpeedupPoint.from_dict(p) for p in d["points"]]
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise EstimationError(
+                f"malformed speedup point: {exc}", inputs={"points": d["points"]}
+            ) from exc
+        return cls(
+            label=str(d.get("label", "dataset")),
+            points=points,
+            source=str(d.get("source", "")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(_CSV_COLUMNS)
+        for p in self.points:
+            writer.writerow(
+                [
+                    p.n,
+                    "" if p.time is None else repr(p.time),
+                    repr(p.speedup),
+                    "" if p.ci is None else repr(p.ci[0]),
+                    "" if p.ci is None else repr(p.ci[1]),
+                ]
+            )
+        return buf.getvalue()
+
+    def save(self, path: str | Path) -> Path:
+        """Write the curve as CSV (``.csv``) or JSON (anything else)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix.lower() == ".csv":
+            path.write_text(self.to_csv())
+        else:
+            path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_csv(cls, text: str, label: str = "dataset", source: str = "") -> "SpeedupDataset":
+        reader = csv.DictReader(io.StringIO(text))
+        if reader.fieldnames is None or "n" not in reader.fieldnames:
+            raise EstimationError(
+                "speedup CSV needs a header with at least an 'n' column",
+                inputs={"header": reader.fieldnames},
+            )
+        rows = []
+        for i, row in enumerate(reader):
+            try:
+                n = int(row["n"])
+                time = float(row["time"]) if row.get("time") else None
+                speedup = float(row["speedup"]) if row.get("speedup") else None
+                lo = float(row["ci_lo"]) if row.get("ci_lo") else None
+                hi = float(row["ci_hi"]) if row.get("ci_hi") else None
+            except (TypeError, ValueError) as exc:
+                raise EstimationError(
+                    f"bad speedup CSV row {i + 2}: {exc}", inputs={"row": dict(row)}
+                ) from exc
+            rows.append((n, time, speedup, (lo, hi) if lo is not None and hi is not None else None))
+        # Derive missing speedups from times against the n=1 row.
+        t1 = next((t for n, t, _, _ in rows if n == 1 and t), None)
+        points = []
+        for n, time, speedup, ci in rows:
+            if speedup is None:
+                if t1 is None or not time:
+                    raise EstimationError(
+                        "CSV row has no speedup and no n=1 time to derive it from",
+                        inputs={"n": n, "time": time},
+                    )
+                speedup = t1 / time
+            points.append(SpeedupPoint(n=n, speedup=speedup, time=time, ci=ci))
+        return cls(label=label, points=points, source=source)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SpeedupDataset":
+        """Load a curve from disk, sniffing CSV vs JSON from the content."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise EstimationError(f"cannot read speedup dataset: {exc}") from exc
+        stripped = text.lstrip()
+        if stripped.startswith("{"):
+            try:
+                doc = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise EstimationError(
+                    f"{path} is not valid JSON: {exc}", inputs={"path": str(path)}
+                ) from exc
+            ds = cls.from_dict(doc)
+        else:
+            ds = cls.from_csv(text, label=path.stem)
+        ds.source = str(path)
+        if not ds.label or ds.label == "dataset":
+            ds.label = path.stem
+        for p in ds.points:
+            if not math.isfinite(p.speedup):
+                raise EstimationError(
+                    "speedup dataset holds a non-finite speedup",
+                    inputs={"n": p.n, "speedup": p.speedup, "path": str(path)},
+                )
+        return ds

@@ -1,0 +1,167 @@
+"""A Kwiatkowski-style parallel-fraction / granularity scalability model.
+
+Kwiatkowski & Olech evaluate parallel programs through *granularity* —
+the ratio of computation to the coordination overhead it pays for.  We
+use the closed form of that tradeoff for tree-structured coordination:
+normalized execution time
+
+    T(p) / T(1) = 1/p + s·(1 − 1/p) + θ·log2(p)
+
+where ``s`` is the serial fraction (1 − s the parallel fraction Amdahl
+would use) and ``θ`` the coordination-overhead slope per doubling:
+parallelizable work shrinks as 1/p while barrier/reduction overhead
+grows with the log-depth of the processor tree.  The granularity figure
+is g = (1 − s)/θ — how much parallel work each unit of overhead buys —
+and the speedup S(p) = T(1)/T(p) peaks at p\\* = g·ln 2.
+
+The log overhead term is what makes this model *structurally* different
+from the USL (whose contention and coherency penalties grow linearly and
+quadratically): when the granularity model fits a curve better,
+coordination is tree-like and scaling dies slowly; when the USL fits
+better, pairwise contention/coherency dominates and scaling dies fast.
+
+The fit linearizes exactly: y(p) = 1/S(p) − 1/p is linear in (s, θ) over
+the design [1 − 1/p, log2 p], so the solve reuses the shared
+least-squares + seeded-bootstrap machinery.  Constraints 0 ≤ s ≤ 1 and
+θ ≥ 0 are enforced by clamp-and-refit, flagged in the diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..obs import runtime as obs
+from ..obs.diagnostics import bootstrap_ci
+from .base import (
+    ModelFit,
+    model_fit_diagnostics,
+    normalized_speedups,
+    speedup_r_squared,
+    validate_for_fit,
+)
+from .dataset import SpeedupDataset
+
+__all__ = ["GranularityModel", "granularity_speedup"]
+
+
+def granularity_speedup(n: float, serial_frac: float, overhead: float) -> float:
+    """S(n) for one (s, θ) pair."""
+    t = 1.0 / n + serial_frac * (1.0 - 1.0 / n) + overhead * math.log2(n)
+    return 1.0 / t if t > 0 else 0.0
+
+
+def _solve_constrained(design: np.ndarray, y: np.ndarray) -> tuple[float, float, list[str]]:
+    """Least squares under 0 <= s <= 1, θ >= 0; names the clamped params."""
+    sol, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    s, theta = float(sol[0]), float(sol[1])
+    clamped: list[str] = []
+    if s < 0 or s > 1 or theta < 0:
+        candidates: list[tuple[float, tuple[float, float], list[str]]] = []
+        for fixed_s in (None, 0.0, 1.0):
+            for fixed_theta in (None, 0.0):
+                if fixed_s is None and fixed_theta is None:
+                    continue
+                names: list[str] = []
+                if fixed_s is None:
+                    resid = y - design[:, 1] * (fixed_theta or 0.0)
+                    c, _, _, _ = np.linalg.lstsq(design[:, :1], resid, rcond=None)
+                    cand_s = min(1.0, max(0.0, float(c[0])))
+                    cand_theta = fixed_theta or 0.0
+                    names = ["overhead"]
+                elif fixed_theta is None:
+                    resid = y - design[:, 0] * fixed_s
+                    c, _, _, _ = np.linalg.lstsq(design[:, 1:], resid, rcond=None)
+                    cand_s = fixed_s
+                    cand_theta = max(0.0, float(c[0]))
+                    names = ["serial_frac"]
+                else:
+                    cand_s, cand_theta = fixed_s, fixed_theta
+                    names = ["serial_frac", "overhead"]
+                sse = float(
+                    np.sum((y - design[:, 0] * cand_s - design[:, 1] * cand_theta) ** 2)
+                )
+                candidates.append((sse, (cand_s, cand_theta), names))
+        _, (s, theta), clamped = min(candidates, key=lambda c: c[0])
+    return s, theta, clamped
+
+
+class GranularityModel:
+    """Fit the parallel-fraction/granularity model to a speedup curve."""
+
+    name = "granularity"
+    equation = "S(p) = 1 / (1/p + s*(1-1/p) + theta*log2(p))"
+
+    def fit(self, dataset: SpeedupDataset) -> ModelFit:
+        with obs.tracer().span("models.fit", model=self.name, points=len(dataset.points)):
+            validate_for_fit(dataset, "granularity fit")
+            speedups = normalized_speedups(dataset)
+            rows = [(n, s) for n, s in zip(dataset.counts, speedups) if n > 1]
+            design = np.array([[1.0 - 1.0 / n, math.log2(n)] for n, _ in rows])
+            y = np.array([1.0 / s - 1.0 / n for n, s in rows])
+            serial, overhead, clamped = _solve_constrained(design, y)
+            ci = bootstrap_ci(design, y, ("serial_frac", "overhead"))
+
+            modeled = [granularity_speedup(n, serial, overhead) for n in dataset.counts]
+            residuals = [m - c for m, c in zip(speedups, modeled)]
+            r2 = speedup_r_squared(speedups, modeled)
+
+            peak_n = peak_speedup = None
+            granularity = None
+            if overhead > 0:
+                granularity = (1.0 - serial) / overhead
+                # dT/dp = -(1-s)/p^2 + theta/(p ln 2) = 0  =>  p* = g ln 2
+                peak_n = max(1.0, granularity * math.log(2.0))
+                peak_speedup = granularity_speedup(peak_n, serial, overhead)
+
+            diagnostics = model_fit_diagnostics(
+                name="granularity_fit",
+                equation=self.equation,
+                dataset=dataset,
+                estimates={"serial_frac": serial, "overhead": overhead},
+                ci=ci,
+                r_squared=r2,
+                residuals=residuals,
+                clamped=clamped,
+                extra_details={
+                    "granularity": None if granularity is None else float(granularity)
+                },
+            )
+            obs.registry().inc("models.fit.granularity")
+
+            def predict(n: float) -> float:
+                return granularity_speedup(n, serial, overhead)
+
+            def band(n: float) -> tuple[float, float] | None:
+                if "serial_frac" not in ci or "overhead" not in ci:
+                    return None
+                lo = granularity_speedup(
+                    n,
+                    min(1.0, max(0.0, ci["serial_frac"][1])),
+                    max(0.0, ci["overhead"][1]),
+                )
+                hi = granularity_speedup(
+                    n,
+                    min(1.0, max(0.0, ci["serial_frac"][0])),
+                    max(0.0, ci["overhead"][0]),
+                )
+                point = predict(n)
+                return (min(lo, point), max(hi, point))
+
+            return ModelFit(
+                model=self.name,
+                equation=self.equation,
+                label=dataset.label,
+                params={"serial_frac": serial, "overhead": overhead},
+                ci=ci,
+                r_squared=r2,
+                residual_rms=float(np.sqrt(np.mean(np.square(residuals)))),
+                residuals=residuals,
+                n_points=len(dataset.points),
+                peak_n=peak_n,
+                peak_speedup=peak_speedup,
+                diagnostics=diagnostics,
+                predict=predict,
+                band=band,
+            )

@@ -1,0 +1,111 @@
+"""Extrapolate a fitted model suite beyond the measured machine.
+
+Given a speedup curve (and optionally a Scal-Tool analysis), this module
+answers the capacity-planning questions the individual fits only imply:
+
+* **peak count n\\*** — where each model says speedup tops out, and the
+  speedup it predicts there;
+* **payback zone** — the largest measured-or-predicted count up to which
+  *doubling* the machine still buys at least :data:`PAYBACK_GAIN`
+  (default 10%) more speedup.  Past the payback edge more processors
+  still help, but not enough to pay for themselves; past n\\* they
+  actively hurt;
+* **predicted speedups** at counts beyond the measured range, with the
+  USL/granularity seeded-bootstrap CI bands so an extrapolated number
+  never travels without its uncertainty.
+"""
+
+from __future__ import annotations
+
+from ..errors import EstimationError
+from ..obs import runtime as obs
+from .base import ModelFit, normalized_speedups
+from .compare import fit_all
+from .dataset import SpeedupDataset
+
+__all__ = ["PREDICT_SCHEMA", "PAYBACK_GAIN", "payback_edge", "predict_report"]
+
+PREDICT_SCHEMA = "scaltool-models-predict-v1"
+
+#: Minimum speedup gain a doubling must deliver to stay in the payback zone.
+PAYBACK_GAIN = 1.10
+
+#: How far past the largest requested count the payback scan looks.
+_PAYBACK_HORIZON = 4096
+
+
+def payback_edge(fit: ModelFit, start: int = 1) -> int:
+    """Largest n (power-of-two scan) where S(2n) >= PAYBACK_GAIN * S(n)."""
+    edge = start
+    n = start
+    while n * 2 <= _PAYBACK_HORIZON:
+        s_now = fit.predict(float(n))
+        s_next = fit.predict(float(n * 2))
+        if s_now <= 0 or s_next < PAYBACK_GAIN * s_now:
+            break
+        edge = n * 2
+        n *= 2
+    return edge
+
+
+def _row_entry(fit: ModelFit, n: int) -> dict:
+    entry: dict = {"speedup": float(fit.predict(float(n)))}
+    band = fit.band(float(n)) if fit.band is not None else None
+    if band is not None:
+        entry["ci"] = [float(band[0]), float(band[1])]
+    return entry
+
+
+def predict_report(
+    dataset: SpeedupDataset, to_counts: list[int], analysis=None
+) -> dict:
+    """Measured + extrapolated speedups for every model, with CI bands.
+
+    ``to_counts`` are the extra processor counts to project to (beyond or
+    between the measured ones); the report always includes the measured
+    counts so the curve reads as one table.
+    """
+    bad = [n for n in to_counts if n < 1]
+    if bad:
+        raise EstimationError(
+            "prediction counts must be >= 1", inputs={"counts": bad}
+        )
+    with obs.tracer().span(
+        "models.predict",
+        label=dataset.label,
+        points=len(dataset.points),
+        targets=len(to_counts),
+    ):
+        fits = fit_all(dataset, analysis)
+        measured = dict(zip(dataset.counts, normalized_speedups(dataset)))
+        counts = sorted(set(dataset.counts) | {int(n) for n in to_counts})
+        rows = []
+        for n in counts:
+            row: dict = {"n": int(n), "measured": measured.get(n)}
+            if row["measured"] is not None:
+                row["measured"] = float(row["measured"])
+            row["models"] = {
+                name: _row_entry(fit, n) for name, fit in sorted(fits.items())
+            }
+            rows.append(row)
+        summary = {}
+        for name, fit in sorted(fits.items()):
+            summary[name] = {
+                "peak_n": None if fit.peak_n is None else float(fit.peak_n),
+                "peak_speedup": (
+                    None if fit.peak_speedup is None else float(fit.peak_speedup)
+                ),
+                "payback_edge": int(payback_edge(fit)),
+                "grade": fit.grade,
+            }
+        obs.registry().inc("models.predict")
+        return {
+            "schema": PREDICT_SCHEMA,
+            "label": dataset.label,
+            "source": dataset.source,
+            "measured_counts": [int(n) for n in dataset.counts],
+            "rows": rows,
+            "models": {name: fit.to_dict() for name, fit in sorted(fits.items())},
+            "summary": summary,
+            "payback_gain": PAYBACK_GAIN,
+        }

@@ -1,0 +1,121 @@
+"""Scal-Tool's decomposition projected onto the speedup axis.
+
+The Section 2 pipeline does not fit a closed-form speedup law — it
+decomposes measured cycles into caching/sync/imbalance costs per count.
+To cross-validate it against USL and the granularity model, this adapter
+presents that decomposition through the same :class:`~repro.models.base.ModelFit`
+interface:
+
+* at *measured* counts ``predict(n)`` returns the decomposition's own
+  reconstruction — the categories sum to the measured cycles by
+  construction (Eq. 1–10 split measurement, they do not approximate it),
+  so the projected speedup there is the analysis' measured curve;
+* *beyond* the measured counts it extrapolates through the existing
+  :class:`~repro.core.prediction.ScalabilityPredictor` (per-component
+  power-law trends), rescaled to splice continuously at the top measured
+  count so the anchor bias of the power-law fits cannot masquerade as
+  model disagreement;
+* ``params`` are the category *shares* of the measured cycles at the top
+  measured count — ``sync_imb_share`` (the multiprocessor factors USL's σ
+  maps onto) and ``l2lim_share`` (the caching-space category κ maps onto);
+* residuals/R² compare that projected curve against the *dataset* under
+  fit.  For the campaign's own curve they are zero by construction; a
+  dataset that did not come from this analysis (mislabeled, stale, or
+  foreign) shows up immediately as large residuals.
+"""
+
+from __future__ import annotations
+
+from ..core.prediction import ScalabilityPredictor
+from ..core.scaltool import ScalToolAnalysis
+from ..errors import EstimationError, InsufficientDataError
+from ..obs import runtime as obs
+from .base import ModelFit, model_fit_diagnostics, normalized_speedups, speedup_r_squared
+from .dataset import SpeedupDataset
+
+__all__ = ["ScalToolModel", "category_shares"]
+
+
+def category_shares(analysis: ScalToolAnalysis, n: int) -> dict[str, float]:
+    """Scal-Tool's per-category cost shares of the measured cycles at n."""
+    curves = analysis.curves
+    base = curves.base[n]
+    if base <= 0:
+        raise EstimationError(
+            "measured cycles at n are not positive", inputs={"n": n, "base": base}
+        )
+    return {
+        "l2lim_share": curves.l2lim_cost[n] / base,
+        "sync_share": curves.sync_cost[n] / base,
+        "imb_share": curves.imb_cost[n] / base,
+        "sync_imb_share": (curves.sync_cost[n] + curves.imb_cost[n]) / base,
+    }
+
+
+class ScalToolModel:
+    """The Eq. 1–10 decomposition as a member of the model suite."""
+
+    name = "scaltool"
+    equation = "Eqs. 1-10 category decomposition, power-law component trends"
+
+    def __init__(self, analysis: ScalToolAnalysis) -> None:
+        self.analysis = analysis
+
+    def fit(self, dataset: SpeedupDataset) -> ModelFit:
+        with obs.tracer().span("models.fit", model=self.name, points=len(dataset.points)):
+            counts = self.analysis.curves.processor_counts
+            if len(counts) < 3:
+                raise InsufficientDataError(
+                    "Scal-Tool projection needs >= 3 measured processor counts",
+                    inputs={"counts": counts},
+                )
+            predictor = ScalabilityPredictor(self.analysis)
+            measured = dict(self.analysis.curves.speedups())
+            top_n = counts[-1]
+            # Splice: measured reconstruction inside the measured range,
+            # calibrated power-law extrapolation beyond it.
+            raw_top = predictor.predict_speedup(top_n)
+            calibration = measured[top_n] / raw_top if raw_top > 0 else 1.0
+
+            def predict(n: float) -> float:
+                count = int(round(n))
+                if count in measured:
+                    return measured[count]
+                return predictor.predict_speedup(count) * calibration
+
+            speedups = normalized_speedups(dataset)
+            modeled = [predict(n) for n in dataset.counts]
+            residuals = [m - c for m, c in zip(speedups, modeled)]
+            r2 = speedup_r_squared(speedups, modeled)
+
+            shares = category_shares(self.analysis, top_n)
+            peak_n = float(predictor.saturation_count())
+            diagnostics = model_fit_diagnostics(
+                name="scaltool_projection",
+                equation=self.equation,
+                dataset=dataset,
+                estimates=shares,
+                ci={},
+                r_squared=r2,
+                residuals=residuals,
+                clamped=[],
+                extra_details={"top_n": int(top_n), "health": self.analysis.health},
+            )
+            obs.registry().inc("models.fit.scaltool")
+
+            return ModelFit(
+                model=self.name,
+                equation=self.equation,
+                label=dataset.label,
+                params=shares,
+                ci={},
+                r_squared=r2,
+                residual_rms=diagnostics.residual_rms or 0.0,
+                residuals=residuals,
+                n_points=len(dataset.points),
+                peak_n=peak_n,
+                peak_speedup=predict(peak_n),
+                diagnostics=diagnostics,
+                predict=predict,
+                band=lambda n: None,
+            )

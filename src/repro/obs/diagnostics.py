@@ -89,6 +89,18 @@ OVERSHOOT_SUSPECT = 1.5
 #: Blame evidence: residual share of the segment's cycles at the top count.
 BLAME_RESIDUAL_WARN = 0.25
 
+#: Model-suite evidence (repro.models): two independent models of the same
+#: speedup curve disagreeing by this relative RMS is evidence one of them
+#: (or the measurement) is wrong.
+AGREE_RMS_WARN = 0.15
+AGREE_RMS_SUSPECT = 0.35
+#: Dominance calls closer than this relative margin are noise, not signal;
+#: shares below the floor never decide a dominance mismatch.
+AGREE_DOMINANCE_MARGIN = 1.25
+AGREE_SHARE_FLOOR = 0.02
+#: Predicted peak-speedup counts further apart than this factor disagree.
+PEAK_RATIO_WARN = 4.0
+
 
 def grade_score(grade: str) -> int:
     """Numeric severity (0 ok, 1 warn, 2 suspect) for gauges and ordering."""
@@ -341,12 +353,102 @@ def _rules_scaling_loss(fd: FitDiagnostics) -> None:
         fd.flag(GRADE_WARN, "cycle loss oscillates across the sweep; trend is noisy")
 
 
+def _rules_model_fit(fd: FitDiagnostics) -> None:
+    """Closed-form scalability-model fit quality (see repro.models)."""
+    if fd.n_points < 4:
+        fd.flag(
+            GRADE_WARN,
+            f"only {fd.n_points} speedup points for 2 coefficients; "
+            "the fit is (nearly) exactly determined",
+        )
+    clamped = fd.details.get("clamped", [])
+    if clamped:
+        fd.flag(
+            GRADE_WARN,
+            f"unconstrained fit went negative for {', '.join(clamped)}; "
+            "refit under non-negativity",
+        )
+    superlinear = fd.details.get("superlinear_counts", [])
+    if superlinear:
+        fd.flag(
+            GRADE_WARN,
+            f"measured speedup exceeds n at n={superlinear}; closed-form "
+            "models bound speedup by n and cannot represent the cache gain",
+        )
+    if fd.r_squared is not None:
+        if fd.r_squared < R2_SUSPECT:
+            fd.flag(
+                GRADE_SUSPECT,
+                f"model explains little of the speedup variation (R2={fd.r_squared:.3f})",
+            )
+        elif fd.r_squared < R2_WARN:
+            fd.flag(GRADE_WARN, f"weak model fit (R2={fd.r_squared:.3f})")
+    for param, value in sorted(fd.estimates.items()):
+        interval = fd.ci.get(param)
+        if interval and abs(value) > 0:
+            lo, hi = interval
+            if (hi - lo) > CI_WIDTH_WARN * abs(value):
+                fd.flag(
+                    GRADE_WARN,
+                    f"{param} bootstrap 95% CI [{lo:.4f}, {hi:.4f}] is wide "
+                    f"relative to the estimate {value:.4f}",
+                )
+
+
+def _rules_model_agreement(fd: FitDiagnostics) -> None:
+    """Cross-validation of the model suite against Scal-Tool's decomposition.
+
+    The evidence (stored in ``details``) is the per-model penalty shares at
+    the top measured count plus cross-model residuals; the grade is what
+    ``scaltool models compare`` reports and ``doctor`` re-derives.
+    """
+    d = fd.details
+    mismatch = d.get("dominance_mismatch")
+    if mismatch:
+        shares = d.get("shares", {})
+        margin = d.get("dominance_margin", 0.0)
+        decisive = (
+            margin >= AGREE_DOMINANCE_MARGIN
+            and d.get("dominant_share", 0.0) >= AGREE_SHARE_FLOOR
+        )
+        fd.flag(
+            GRADE_SUSPECT if decisive else GRADE_WARN,
+            f"dominant bottleneck disagrees at n={d.get('top_n', '?')}: "
+            f"USL says {d.get('dominant_usl', '?')}, Scal-Tool says "
+            f"{d.get('dominant_scaltool', '?')} (shares: {shares})",
+        )
+    rms = d.get("cross_model_rms")
+    if rms is not None:
+        if rms > AGREE_RMS_SUSPECT:
+            fd.flag(
+                GRADE_SUSPECT,
+                f"models disagree on the speedup curve (relative rms {rms:.3f})",
+            )
+        elif rms > AGREE_RMS_WARN:
+            fd.flag(GRADE_WARN, f"models drift apart (relative rms {rms:.3f})")
+    ratio = d.get("peak_ratio")
+    if ratio is not None and (ratio > PEAK_RATIO_WARN or ratio < 1.0 / PEAK_RATIO_WARN):
+        fd.flag(
+            GRADE_WARN,
+            f"predicted peak-speedup counts differ by {ratio:.2f}x "
+            f"({d.get('peaks', {})})",
+        )
+    if not d.get("has_decomposition", True):
+        fd.flag(
+            GRADE_WARN,
+            "no Scal-Tool decomposition for this dataset; agreement checked "
+            "across closed-form models only",
+        )
+
+
 _RULES = {
     "linear_fit": _rules_linear_fit,
     "plateau": _rules_plateau,
     "solve": _rules_solve,
     "sanity": _rules_sanity,
     "scaling_loss": _rules_scaling_loss,
+    "model_fit": _rules_model_fit,
+    "model_agreement": _rules_model_agreement,
 }
 
 

@@ -441,6 +441,64 @@ class BlameRequest(_CampaignBacked):
         )
 
 
+class ModelsRequest(_CampaignBacked):
+    """Fit / cross-validate / extrapolate the scalability-model suite.
+
+    Two modes share one kind:
+
+    * **campaign mode** — the payload names a workload campaign (same
+      canonical fields as ``analyze``); the speedup curve is extracted
+      from the base-size runs and the full Scal-Tool analysis joins the
+      comparison (σ/κ ↔ category mapping included);
+    * **dataset mode** — the payload embeds a speedup curve
+      (``dataset``: the ``scaltool-speedup-v1`` JSON document, e.g. an
+      external machine's measurements); no runs are planned and the
+      closed-form models are compared among themselves.
+    """
+
+    kind = "models"
+
+    def _canonicalize(self, payload: dict) -> dict:
+        from ..models import ACTIONS, SpeedupDataset
+
+        action = payload.get("action", "compare")
+        if action not in ACTIONS:
+            raise ServiceError(
+                f"bad 'action': {action!r}; expected one of {', '.join(ACTIONS)}"
+            )
+        out: dict = {"action": action}
+        if payload.get("dataset") is not None:
+            dataset = payload["dataset"]
+            if not isinstance(dataset, dict):
+                raise ServiceError("bad 'dataset': expected a speedup-curve object")
+            # Round-trip for validation and canonical point order.
+            out["dataset"] = SpeedupDataset.from_dict(dataset).to_dict()
+        else:
+            out.update(self._canonical_campaign(payload))
+        if action == "predict":
+            out["to"] = list(_counts(payload, "to", (32, 64, 128)))
+        return out
+
+    def specs(self) -> list[RunSpec]:
+        if "dataset" in self.canonical:
+            return []
+        return super().specs()
+
+    def _execute(self, cache_root, executor, progress) -> RequestResult:
+        from ..models import SpeedupDataset, run_action
+
+        c = self.canonical
+        if "dataset" in c:
+            dataset = SpeedupDataset.from_dict(c["dataset"])
+            analysis = None
+        else:
+            campaign = self._campaign(cache_root, executor, progress)
+            analysis = self._analysis(campaign, cache_root)
+            dataset = SpeedupDataset.from_campaign(campaign)
+        output, data = run_action(c["action"], dataset, analysis, to=c.get("to"))
+        return RequestResult(output=output, data=data)
+
+
 class SweepRequest(CompiledRequest):
     kind = "sweep"
 
@@ -515,6 +573,7 @@ _KIND_CLASSES = {
         AnalyzeRequest,
         BlameRequest,
         CampaignRequest,
+        ModelsRequest,
         SweepRequest,
         WhatIfRequest,
         PredictRequest,

@@ -4,6 +4,7 @@ from .ascii_chart import ascii_chart
 from .bars import stacked_bars
 from .blame_view import render_blame, render_blame_diff
 from .diagnostics_view import render_diagnostics, render_lineage
+from .models_view import render_model_fit, render_models_compare, render_models_predict
 from .tables import format_table
 from .trace_view import render_trace
 
@@ -15,5 +16,8 @@ __all__ = [
     "render_blame_diff",
     "render_diagnostics",
     "render_lineage",
+    "render_model_fit",
+    "render_models_compare",
+    "render_models_predict",
     "render_trace",
 ]

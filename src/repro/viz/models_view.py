@@ -1,0 +1,141 @@
+"""Render the model-suite reports (fit / compare / predict) for the terminal.
+
+Works on the JSON-friendly dict forms (``ModelFit.to_dict()``,
+``compare_models(...)``, ``predict_report(...)``), so the CLI renders
+local results and results fetched from the service identically.
+"""
+
+from __future__ import annotations
+
+from .tables import format_table
+
+__all__ = ["render_model_fit", "render_models_compare", "render_models_predict"]
+
+
+def _ci_cell(ci: dict, param: str) -> str:
+    interval = ci.get(param)
+    if not interval:
+        return ""
+    return f"[{interval[0]:.4f}, {interval[1]:.4f}]"
+
+
+def render_model_fit(fit: dict, title: str = "model fit") -> str:
+    """One model's coefficients, CIs, fit quality, and caveats."""
+    lines = [
+        f"{title}: {fit.get('model', '?')} on {fit.get('label', '?')} "
+        f"({fit.get('n_points', 0)} points)",
+        f"  {fit.get('equation', '')}",
+    ]
+    rows = [
+        {
+            "param": param,
+            "estimate": value,
+            "95% CI": _ci_cell(fit.get("ci", {}), param),
+        }
+        for param, value in sorted(fit.get("params", {}).items())
+    ]
+    if rows:
+        lines.append(format_table(rows))
+    quality = (
+        f"  R2={fit.get('r_squared', 0.0):.4f}  "
+        f"rms={fit.get('residual_rms', 0.0):.4f}  grade: {fit.get('grade', '?')}"
+    )
+    lines.append(quality)
+    if fit.get("peak_n") is not None:
+        lines.append(
+            f"  peak: n*={fit['peak_n']:.1f} "
+            f"(speedup {fit.get('peak_speedup', 0.0):.2f})"
+        )
+    else:
+        lines.append("  peak: none within model (monotone curve)")
+    for flag in fit.get("diagnostics", {}).get("flags", []):
+        lines.append(f"    {flag}")
+    return "\n".join(lines)
+
+
+def render_models_compare(report: dict, title: str = "model cross-validation") -> str:
+    """Per-model fit table, the σ/κ ↔ category mapping, and the verdict."""
+    lines = [
+        f"{title}: {report.get('label', '?')} "
+        f"(counts {report.get('counts', [])})"
+    ]
+    rows = []
+    for name, fit in sorted(report.get("models", {}).items()):
+        params = ", ".join(
+            f"{k}={v:.4f}" for k, v in sorted(fit.get("params", {}).items())
+        )
+        rows.append(
+            {
+                "model": name,
+                "R2": fit.get("r_squared", 0.0),
+                "rms": fit.get("residual_rms", 0.0),
+                "peak n*": "" if fit.get("peak_n") is None else f"{fit['peak_n']:.1f}",
+                "grade": fit.get("grade", "?"),
+                "params": params,
+            }
+        )
+    if rows:
+        lines.append(format_table(rows, title="fits:"))
+
+    mapping = report.get("mapping", {})
+    shares = mapping.get("shares", {})
+    if shares:
+        top_n = mapping.get("top_n", "?")
+        usl = shares.get("usl", {})
+        scal = shares.get("scaltool", {})
+        lines.append(f"penalty shares at n={top_n} (USL term <-> Scal-Tool category):")
+        lines.append(
+            f"  contention (sigma) {usl.get('contention_share', 0.0):.1%}"
+            f"  <->  Sync+Imb {scal.get('sync_imb_share', 0.0):.1%}"
+        )
+        lines.append(
+            f"  coherency  (kappa) {usl.get('coherency_share', 0.0):.1%}"
+            f"  <->  L2Lim    {scal.get('l2lim_share', 0.0):.1%}"
+        )
+        lines.append(
+            f"  dominant: USL says {mapping.get('dominant_usl', '?')}, "
+            f"Scal-Tool says {mapping.get('dominant_scaltool', '?')}"
+        )
+    lines.append(f"agreement: {report.get('grade', '?')}")
+    for flag in report.get("agreement", {}).get("flags", []):
+        lines.append(f"  {flag}")
+    return "\n".join(lines)
+
+
+def render_models_predict(report: dict, title: str = "speedup prediction") -> str:
+    """Measured + extrapolated speedups per model, with CI bands."""
+    lines = [
+        f"{title}: {report.get('label', '?')} "
+        f"(measured counts {report.get('measured_counts', [])})"
+    ]
+    model_names = sorted(report.get("models", {}))
+    rows = []
+    for row in report.get("rows", []):
+        cells: dict = {
+            "n": row["n"],
+            "measured": "" if row.get("measured") is None else f"{row['measured']:.2f}",
+        }
+        for name in model_names:
+            entry = row.get("models", {}).get(name, {})
+            cell = f"{entry.get('speedup', 0.0):.2f}"
+            ci = entry.get("ci")
+            if ci:
+                cell += f" [{ci[0]:.2f}, {ci[1]:.2f}]"
+            cells[name] = cell
+        rows.append(cells)
+    if rows:
+        lines.append(format_table(rows))
+    gain = report.get("payback_gain", 0.0)
+    lines.append(f"per-model outlook (payback: doubling still gains >= {gain:.0%}):")
+    for name, summary in sorted(report.get("summary", {}).items()):
+        peak = (
+            "no peak (monotone)"
+            if summary.get("peak_n") is None
+            else f"peak n*={summary['peak_n']:.1f} "
+            f"(speedup {summary.get('peak_speedup', 0.0):.2f})"
+        )
+        lines.append(
+            f"  {name}: {peak}, payback edge n={summary.get('payback_edge', '?')}, "
+            f"grade {summary.get('grade', '?')}"
+        )
+    return "\n".join(lines)

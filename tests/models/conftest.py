@@ -1,0 +1,37 @@
+"""Fixtures for the scalability-model suite tests.
+
+One package-scoped contention-heavy synthetic campaign: the default
+synthetic configuration scales *superlinearly* (aggregate cache growth),
+which no closed-form contention law can represent, so the cross-model
+agreement tests need a curve where the injected bottleneck — barriers,
+imbalance, serial work — actually dominates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ScalTool
+from repro.runner import CampaignConfig, ScalToolCampaign
+from repro.workloads import make_workload
+
+CONTENTION_PARAMS = {
+    "barriers_per_iter": 6,
+    "imbalance_amp": 0.4,
+    "serial_frac": 0.3,
+    "sharing_frac": 0.2,
+}
+CONTENTION_S0 = 131072
+CONTENTION_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="package")
+def contention_campaign():
+    workload = make_workload("synthetic", **CONTENTION_PARAMS)
+    cfg = CampaignConfig(s0=CONTENTION_S0, processor_counts=CONTENTION_COUNTS)
+    return ScalToolCampaign(workload, cfg).run()
+
+
+@pytest.fixture(scope="package")
+def contention_analysis(contention_campaign):
+    return ScalTool(contention_campaign).analyze()

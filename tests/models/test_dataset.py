@@ -1,0 +1,119 @@
+"""The scaltool-speedup-v1 dataset: both doors, round trips, rejection."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimationError
+from repro.models import SpeedupDataset, SpeedupPoint
+from repro.models.dataset import SCHEMA
+
+
+def curve(label="curve", **extra):
+    points = [
+        SpeedupPoint(n=1, speedup=1.0, time=1000.0),
+        SpeedupPoint(n=2, speedup=1.9),
+        SpeedupPoint(n=4, speedup=3.4, ci=(3.1, 3.7)),
+        SpeedupPoint(n=8, speedup=5.5),
+    ]
+    return SpeedupDataset(label=label, points=points, **extra)
+
+
+class TestRoundTrips:
+    def test_dict_round_trip(self):
+        ds = curve(source="unit test")
+        again = SpeedupDataset.from_dict(ds.to_dict())
+        assert again == ds
+        assert again.to_dict()["schema"] == SCHEMA
+
+    def test_json_round_trip(self):
+        ds = curve()
+        again = SpeedupDataset.from_dict(json.loads(ds.to_json()))
+        assert again.counts == ds.counts
+        assert again.speedups == ds.speedups
+        assert again.points[2].ci == (3.1, 3.7)
+
+    def test_csv_round_trip(self):
+        ds = curve()
+        again = SpeedupDataset.from_csv(ds.to_csv(), label=ds.label)
+        assert again.counts == ds.counts
+        assert again.speedups == ds.speedups
+
+    def test_points_sorted_by_count(self):
+        ds = SpeedupDataset(
+            label="x",
+            points=[SpeedupPoint(n=8, speedup=5.0), SpeedupPoint(n=1, speedup=1.0)],
+        )
+        assert ds.counts == [1, 8]
+
+    def test_save_and_load_both_formats(self, tmp_path):
+        ds = curve()
+        for name in ("curve.csv", "curve.json"):
+            path = ds.save(tmp_path / name)
+            loaded = SpeedupDataset.load(path)
+            assert loaded.counts == ds.counts
+            assert loaded.speedups == pytest.approx(ds.speedups)
+
+    def test_load_sniffs_json_regardless_of_suffix(self, tmp_path):
+        path = tmp_path / "curve.dat"
+        path.write_text(curve().to_json())
+        assert SpeedupDataset.load(path).counts == [1, 2, 4, 8]
+
+
+class TestCsvDoor:
+    def test_speedup_derived_from_time(self):
+        text = "n,time,speedup,ci_lo,ci_hi\n1,1000,,,\n2,500,,,\n4,260,,,\n"
+        ds = SpeedupDataset.from_csv(text)
+        assert ds.speedups == pytest.approx((1.0, 2.0, 1000 / 260))
+
+    def test_explicit_speedup_wins_over_time(self):
+        text = "n,time,speedup,ci_lo,ci_hi\n1,1000,1.0,,\n2,500,1.8,,\n"
+        assert SpeedupDataset.from_csv(text).speedups == pytest.approx((1.0, 1.8))
+
+    def test_non_finite_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("n,time,speedup,ci_lo,ci_hi\n1,,1.0,,\n2,,nan,,\n")
+        with pytest.raises(EstimationError, match="non-finite"):
+            SpeedupDataset.load(path)
+
+
+class TestFromCampaign:
+    def test_measured_speedups(self, contention_campaign):
+        ds = SpeedupDataset.from_campaign(contention_campaign)
+        assert ds.counts == [1, 2, 4, 8]
+        assert ds.speedups[0] == pytest.approx(1.0)
+        base = contention_campaign.base_runs()
+        want = base[1].wall_cycles / base[8].wall_cycles
+        assert ds.speedups[-1] == pytest.approx(want)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=2, max_value=512),
+            st.floats(min_value=0.05, max_value=500.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=12,
+        unique_by=lambda t: t[0],
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_csv_round_trip_is_exact(rows):
+    points = [SpeedupPoint(n=1, speedup=1.0)] + [
+        SpeedupPoint(n=n, speedup=s) for n, s in rows
+    ]
+    ds = SpeedupDataset(label="prop", points=points)
+    again = SpeedupDataset.from_csv(ds.to_csv())
+    assert again.counts == ds.counts
+    # repr-formatted floats survive the text round trip bit-exactly
+    assert all(
+        a == b or math.isclose(a, b, rel_tol=0, abs_tol=0)
+        for a, b in zip(again.speedups, ds.speedups)
+    )
+    assert again.speedups == ds.speedups

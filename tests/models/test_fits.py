@@ -1,0 +1,158 @@
+"""Closed-form fits: parameter recovery, peaks, and typed degeneracy."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import EstimationError, InsufficientDataError
+from repro.models import (
+    GranularityModel,
+    SpeedupDataset,
+    SpeedupPoint,
+    USLModel,
+    granularity_speedup,
+    usl_speedup,
+    validate_for_fit,
+)
+
+COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def dataset_from(fn, counts=COUNTS, label="synthetic"):
+    return SpeedupDataset(
+        label=label, points=[SpeedupPoint(n=n, speedup=fn(n)) for n in counts]
+    )
+
+
+class TestUSLRecovery:
+    def test_exact_recovery(self):
+        sigma, kappa = 0.08, 0.002
+        fit = USLModel().fit(dataset_from(lambda n: usl_speedup(n, sigma, kappa)))
+        assert fit.params["sigma"] == pytest.approx(sigma, abs=1e-9)
+        assert fit.params["kappa"] == pytest.approx(kappa, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert fit.peak_n == pytest.approx(math.sqrt((1 - sigma) / kappa))
+
+    def test_noisy_recovery_within_tolerance(self):
+        sigma, kappa = 0.05, 0.001
+        rng = random.Random(20260806)
+        fit = USLModel().fit(
+            dataset_from(
+                lambda n: usl_speedup(n, sigma, kappa) * (1 + rng.uniform(-0.02, 0.02))
+            )
+        )
+        assert fit.params["sigma"] == pytest.approx(sigma, rel=0.5)
+        assert fit.params["kappa"] == pytest.approx(kappa, rel=0.5)
+        assert fit.r_squared > 0.98
+        # the seeded bootstrap brackets the truth
+        lo, hi = fit.ci["sigma"]
+        assert lo <= sigma <= hi
+
+    def test_amdahl_curve_clamps_kappa_to_zero(self):
+        # pure contention, no coherency term: kappa must clamp, not go negative
+        fit = USLModel().fit(dataset_from(lambda n: n / (1 + 0.1 * (n - 1))))
+        assert 0.0 <= fit.params["kappa"] < 1e-12
+        assert fit.params["sigma"] == pytest.approx(0.1, abs=1e-6)
+        # effectively monotone: no peak inside any real machine range
+        assert fit.peak_n is None or fit.peak_n > 1e4
+
+    def test_deterministic(self):
+        ds = dataset_from(lambda n: usl_speedup(n, 0.06, 0.0015))
+        a, b = USLModel().fit(ds), USLModel().fit(ds)
+        assert a.params == b.params
+        assert a.ci == b.ci
+
+
+class TestGranularityRecovery:
+    def test_exact_recovery_and_peak(self):
+        s, theta = 0.12, 0.015
+        fit = GranularityModel().fit(
+            dataset_from(lambda n: granularity_speedup(n, s, theta))
+        )
+        assert fit.params["serial_frac"] == pytest.approx(s, abs=1e-9)
+        assert fit.params["overhead"] == pytest.approx(theta, abs=1e-9)
+        granularity = (1 - s) / theta
+        assert fit.diagnostics.details["granularity"] == pytest.approx(granularity)
+        assert fit.peak_n == pytest.approx(granularity * math.log(2))
+
+    def test_structurally_distinct_from_usl(self):
+        # the log-overhead form must NOT reproduce a USL curve exactly
+        # (its predecessor, theta*(p-1), was algebraically identical)
+        ds = dataset_from(lambda n: usl_speedup(n, 0.05, 0.002))
+        fit = GranularityModel().fit(ds)
+        assert fit.residual_rms > 1e-6
+        assert fit.r_squared < 1.0
+
+    def test_constraints_hold_on_hostile_curve(self):
+        # near-linear scaling drives the unconstrained serial fraction negative
+        fit = GranularityModel().fit(dataset_from(lambda n: n * 0.999))
+        assert 0.0 <= fit.params["serial_frac"] <= 1.0
+        assert fit.params["overhead"] >= 0.0
+        assert all(math.isfinite(v) for v in fit.params.values())
+
+
+class TestDegenerateCurves:
+    def fit_both(self, points):
+        ds = SpeedupDataset(label="bad", points=points)
+        for model in (USLModel(), GranularityModel()):
+            with pytest.raises(EstimationError) as err:
+                model.fit(ds)
+            yield err.value
+
+    def test_too_few_points(self):
+        points = [SpeedupPoint(n=n, speedup=float(n)) for n in (1, 2)]
+        for err in self.fit_both(points):
+            assert isinstance(err, InsufficientDataError)
+            assert err.inputs["have"] == 2
+
+    def test_missing_baseline_named(self):
+        points = [SpeedupPoint(n=n, speedup=float(n)) for n in (2, 4, 8, 16)]
+        for err in self.fit_both(points):
+            assert "n=1" in str(err)
+            assert err.inputs["counts"] == [2, 4, 8, 16]
+
+    def test_non_positive_speedup_named(self):
+        points = [
+            SpeedupPoint(n=1, speedup=1.0),
+            SpeedupPoint(n=2, speedup=-0.5),
+            SpeedupPoint(n=4, speedup=3.0),
+            SpeedupPoint(n=8, speedup=5.0),
+        ]
+        for err in self.fit_both(points):
+            assert (2, -0.5) in err.inputs["offending"]
+
+    def test_all_equal_speedups(self):
+        points = [SpeedupPoint(n=n, speedup=1.0) for n in (1, 2, 4, 8)]
+        for err in self.fit_both(points):
+            assert "no scaling signal" in str(err)
+
+    def test_oscillating_curve_rejected_retrograde_allowed(self):
+        sawtooth = [1.0, 3.0, 2.0, 4.0, 3.0]
+        points = [
+            SpeedupPoint(n=n, speedup=s) for n, s in zip((1, 2, 4, 8, 16), sawtooth)
+        ]
+        ds = SpeedupDataset(label="sawtooth", points=points)
+        with pytest.raises(EstimationError, match="oscillat"):
+            validate_for_fit(ds, "test")
+
+        retrograde = dataset_from(lambda n: usl_speedup(n, 0.1, 0.01), (1, 2, 4, 8, 16))
+        validate_for_fit(retrograde, "test")  # single peak: fine
+        fit = USLModel().fit(retrograde)
+        assert fit.peak_n is not None
+
+    def test_duplicate_counts_rejected(self):
+        ds = SpeedupDataset(
+            label="dupe",
+            points=[
+                SpeedupPoint(n=1, speedup=1.0),
+                SpeedupPoint(n=2, speedup=1.8),
+                SpeedupPoint(n=2, speedup=1.9),
+                SpeedupPoint(n=4, speedup=3.0),
+            ],
+        )
+        with pytest.raises(EstimationError, match="duplicate") as err:
+            validate_for_fit(ds, "test")
+        assert err.value.inputs["counts"] == [2]

@@ -17,7 +17,9 @@ PAYLOAD = {"workload": "synthetic", "s0": 163840, "counts": [1, 2]}
 
 class TestCompile:
     def test_kinds_registry(self):
-        assert REQUEST_KINDS == ("analyze", "blame", "campaign", "predict", "sweep", "whatif")
+        assert REQUEST_KINDS == (
+            "analyze", "blame", "campaign", "models", "predict", "sweep", "whatif",
+        )
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ServiceError, match="unknown request kind"):

@@ -246,6 +246,62 @@ class TestNewCommands:
         assert "load balance" in out and "verdict" in out
 
 
+class TestModels:
+    def test_campaign_export_speedup(self, tmp_path, capsys):
+        csv_path = tmp_path / "curve.csv"
+        args = [
+            "campaign", "synthetic", "--s0", "163840", "--counts", "1,2",
+            "--out", str(tmp_path / "camp"), "--export-speedup", str(csv_path),
+        ]
+        assert main(args) == 0
+        assert "wrote speedup curve" in capsys.readouterr().out
+        text = csv_path.read_text()
+        assert text.startswith("n,time,speedup,ci_lo,ci_hi")
+        assert len(text.strip().splitlines()) == 3  # header + the two counts
+
+    def test_models_fit_external_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "curve.csv"
+        csv_path.write_text(
+            "n,time,speedup,ci_lo,ci_hi\n"
+            "1,,1.0,,\n2,,1.9,,\n4,,3.4,,\n8,,5.5,,\n16,,7.1,,\n"
+        )
+        assert main(["models", "fit", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sigma" in out and "serial_frac" in out
+
+    def test_models_compare_campaign(self, tmp_path, capsys):
+        args = [
+            "models", "compare", "synthetic", "--s0", "163840",
+            "--counts", "1,2,4,8", "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "penalty shares" in out and "agreement:" in out
+
+    def test_models_predict_json(self, tmp_path, capsys):
+        csv_path = tmp_path / "curve.csv"
+        csv_path.write_text(
+            "n,time,speedup,ci_lo,ci_hi\n"
+            "1,,1.0,,\n2,,1.9,,\n4,,3.4,,\n8,,5.5,,\n"
+        )
+        assert main(["models", "predict", str(csv_path), "--to", "16,32", "--json"]) == 0
+        import json as _json
+
+        report = _json.loads(capsys.readouterr().out)
+        assert [r["n"] for r in report["rows"]] == [1, 2, 4, 8, 16, 32]
+
+    def test_models_too_few_points_is_typed_error(self, tmp_path, capsys):
+        csv_path = tmp_path / "short.csv"
+        csv_path.write_text("n,time,speedup,ci_lo,ci_hi\n1,,1.0,,\n2,,1.9,,\n")
+        assert main(["models", "fit", str(csv_path)]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err and ">= 4" in err
+
+    def test_models_unknown_target_is_error(self, capsys):
+        assert main(["models", "fit", "no-such-thing.quux"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestObservability:
     def test_profile_prints_report(self, capsys):
         args = ["profile", "synthetic", "--s0", "163840", "--counts", "1,2"]
