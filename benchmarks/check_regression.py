@@ -3,8 +3,9 @@
 ``python benchmarks/check_regression.py`` reruns the service load bench
 (:mod:`bench_service_load`), the segment-decomposition structural check
 (:mod:`bench_segments`), the cross-model agreement check
-(:mod:`bench_models`), and the obs overhead bench
-(:mod:`bench_obs_overhead`), compares the fresh numbers against the JSON
+(:mod:`bench_models`), the obs overhead bench
+(:mod:`bench_obs_overhead`), and the line-sampler overhead bench
+(:mod:`bench_profiler_overhead`), compares the fresh numbers against the JSON
 recorded in ``benchmarks/results/``, and exits non-zero when any tracked
 metric regressed past the threshold (default 20%).
 
@@ -60,6 +61,15 @@ SERVICE_LOAD_METRICS = [
 OBS_OVERHEAD_METRICS = [
     ("obs hook_fraction", ("hook_fraction",)),
     ("obs enabled/disabled ratio", ("ratio",)),
+]
+
+#: Line-sampler cost: profiled / unprofiled campaign wall time and the
+#: sampler's own per-tick accounting.  Both worse-is-higher; the ratio
+#: additionally gates against the absolute 1.10 budget below, baseline
+#: or not.
+PROFILER_METRICS = [
+    ("profiler overhead_ratio", ("overhead_ratio",)),
+    ("profiler tick_fraction", ("tick_fraction",)),
 ]
 
 #: Structural model-quality metrics from the segment decomposition: the
@@ -168,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the service load bench")
     parser.add_argument("--skip-obs", action="store_true",
                         help="skip the obs overhead bench")
+    parser.add_argument("--skip-profiler", action="store_true",
+                        help="skip the line-sampler overhead bench")
     parser.add_argument("--skip-segments", action="store_true",
                         help="skip the segment-decomposition structural check")
     parser.add_argument("--skip-models", action="store_true",
@@ -297,6 +309,27 @@ def main(argv: list[str] | None = None) -> int:
             reports.append(
                 f"[obs_overhead] disabled-mode hook cost "
                 f"{fresh_obs['hook_fraction']:.2%} >= 5% contract"
+            )
+            failed = True
+
+    if not args.skip_profiler:
+        from benchmarks import bench_profiler_overhead
+
+        fresh_prof = bench_profiler_overhead.measure(repeats=2 if args.smoke else 5)
+        baseline_prof = _load_baseline(baseline_dir / "profiler_overhead.json")
+        if baseline_prof is None:
+            reports.append("[profiler_overhead] no recorded baseline; skipping comparison")
+        else:
+            rows = compare(baseline_prof, fresh_prof, PROFILER_METRICS, args.threshold)
+            reports.append(format_rows("profiler_overhead", rows, args.threshold))
+            failed |= any(r["regressed"] for r in rows)
+        # The absolute budget holds regardless of any baseline: a sampler
+        # that distorts the workload by >10% reports the wrong hot path.
+        budget = bench_profiler_overhead.BUDGET_RATIO
+        if fresh_prof["overhead_ratio"] > budget:
+            reports.append(
+                f"[profiler_overhead] sampling overhead ratio "
+                f"{fresh_prof['overhead_ratio']:.3f} > {budget} budget"
             )
             failed = True
 

@@ -205,6 +205,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="run campaign experiments on N worker processes (default: 1, serial)",
     )
+    p_profile.add_argument(
+        "--lines", action="store_true",
+        help="also run the statistical line sampler: hot lines per span "
+        "(stack samples attributed to the open engine phase)",
+    )
+    p_profile.add_argument(
+        "--sample-interval", type=float, default=5.0, metavar="MS",
+        help="sampling interval in milliseconds (default: 5)",
+    )
+    p_profile.add_argument(
+        "--memory", action="store_true",
+        help="with --lines: track tracemalloc peak + top allocating lines "
+        "(adds tracemalloc's own overhead)",
+    )
+    p_profile.add_argument(
+        "--flame", default=None, metavar="PATH",
+        help="with --lines: write collapsed-stack flamegraph lines "
+        "(span;frame;frame count) to PATH",
+    )
+    p_profile.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="with --lines: save the full line profile as JSON "
+        "(render later with `scaltool obs hot PATH`)",
+    )
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -443,6 +467,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_top.add_argument("manifest", help="JSONL manifest written by --metrics-out")
     p_obs_top.add_argument(
         "--limit", type=int, default=10, metavar="N", help="span paths to show (default 10)"
+    )
+    p_obs_top.add_argument(
+        "--sort", choices=("total", "self", "count"), default="total",
+        help="rank spans by total time, self time (minus children), or count "
+        "(ties always break name-then-path)",
+    )
+    p_obs_hot = obs_sub.add_parser(
+        "hot", parents=[obs_common],
+        help="render a saved line profile (scaltool profile --lines --profile-out)",
+    )
+    p_obs_hot.add_argument("profile", help="profile JSON written by --profile-out or /v1/profile")
+    p_obs_hot.add_argument(
+        "--limit", type=int, default=15, metavar="N", help="rows per table (default 15)"
+    )
+    p_obs_hot.add_argument(
+        "--flame", default=None, metavar="PATH",
+        help="also write the collapsed-stack flamegraph lines to PATH",
     )
     return parser
 
@@ -1027,6 +1068,9 @@ def _dispatch(args) -> int:
             run_analysis=not args.no_analysis,
             progress=_progress_printer(args),
             executor=_executor_for(args),
+            line_profile=args.lines,
+            sample_interval=args.sample_interval / 1e3,
+            sample_memory=args.memory,
         )
         meta = {
             "workload": args.workload,
@@ -1034,6 +1078,30 @@ def _dispatch(args) -> int:
             "runs": len(result.campaign.records),
         }
         print(format_profile(result.session, meta=meta))
+        if result.line_profile is not None:
+            import json as _json
+            from pathlib import Path as _Path
+
+            from .viz.sampler_view import render_hot_profile
+
+            profile = result.line_profile
+            print(render_hot_profile(profile.to_dict()))
+            if args.flame:
+                _Path(args.flame).write_text("\n".join(profile.folded()) + "\n")
+                print(f"flamegraph stacks written to {args.flame}")
+            if args.profile_out:
+                payload = {
+                    "kind": "hotpath",
+                    "workload": args.workload,
+                    "s0": args.s0,
+                    "counts": list(args.counts),
+                    "jobs": args.jobs,
+                    "profile": profile.to_dict(),
+                }
+                _Path(args.profile_out).write_text(
+                    _json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                )
+                print(f"line profile written to {args.profile_out}")
         return 0
 
     if args.command == "serve":
@@ -1215,7 +1283,24 @@ def _dispatch(args) -> int:
         if args.obs_command == "top":
             from .obs.export import summarize_manifest
 
-            print(summarize_manifest(args.manifest, limit=args.limit))
+            print(summarize_manifest(args.manifest, limit=args.limit, sort=args.sort))
+            return 0
+        if args.obs_command == "hot":
+            import json as _json
+            from pathlib import Path as _Path
+
+            from .obs.sampler import SampleProfile
+            from .viz.sampler_view import render_hot_profile
+
+            data = _json.loads(_Path(args.profile).read_text())
+            # Accept the CLI artifact ({"kind": "hotpath", "profile": ...}),
+            # the service response ({"profile": ...}), or a bare profile.
+            profile_dict = data.get("profile", data) if isinstance(data, dict) else data
+            print(render_hot_profile(profile_dict, limit=args.limit))
+            if args.flame:
+                folded = SampleProfile.from_dict(profile_dict).folded()
+                _Path(args.flame).write_text("\n".join(folded) + "\n")
+                print(f"flamegraph stacks written to {args.flame}")
             return 0
         raise ReproError(f"unknown obs command {args.obs_command!r}")  # pragma: no cover
 

@@ -37,6 +37,7 @@ from .lineage import Lineage, LineageCollector
 from .logs import configure_logging, get_logger, kv
 from .metrics import BucketHistogram, Histogram, MetricsRegistry
 from .profile import ProfileResult, profile_workload
+from .sampler import NOOP_SAMPLER, SampleProfile, Sampler, active_sampler
 from .runtime import (
     ObsSession,
     active,
@@ -65,13 +66,17 @@ __all__ = [
     "BucketHistogram",
     "Histogram",
     "MetricsRegistry",
+    "NOOP_SAMPLER",
     "ProfileResult",
+    "SampleProfile",
+    "Sampler",
     "Telemetry",
     "TraceBuffer",
     "TraceContext",
     "TraceHandle",
     "TraceSpan",
     "active",
+    "active_sampler",
     "configure_logging",
     "disable",
     "enable",

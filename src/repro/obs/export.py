@@ -21,7 +21,13 @@ from pathlib import Path
 
 from .runtime import ObsSession
 
-__all__ = ["manifest_records", "export_jsonl", "format_profile", "summarize_manifest"]
+__all__ = [
+    "manifest_records",
+    "export_jsonl",
+    "format_profile",
+    "summarize_manifest",
+    "TOP_SORTS",
+]
 
 _HEADER = "# scaltool profile report"
 _META_PREFIX = "# meta: "
@@ -106,14 +112,23 @@ def format_profile(session: ObsSession, meta: dict | None = None) -> str:
     return "\n".join(lines)
 
 
-def summarize_manifest(path: str | Path, limit: int = 10) -> str:
+#: Valid ``scaltool obs top --sort`` orders.
+TOP_SORTS = ("total", "self", "count")
+
+
+def summarize_manifest(path: str | Path, limit: int = 10, sort: str = "total") -> str:
     """``scaltool obs top``: hottest span paths + metric summaries.
 
     Reads a JSONL manifest written by ``--metrics-out`` (or the bench
     artifact uploads), aggregates spans by path, and prints the ``limit``
-    paths with the largest total time — the "where did it go" view that
-    the raw start-ordered manifest makes you compute by hand.
+    paths ranked by ``sort`` — ``total`` time (default), ``self`` time
+    (total minus direct children, i.e. time spent in the span itself),
+    or ``count``.  Ties break deterministically name-then-path (last
+    path segment first, then the full path), so equal-duration spans
+    order identically across runs.
     """
+    if sort not in TOP_SORTS:
+        raise ValueError(f"sort must be one of {TOP_SORTS}, got {sort!r}")
     groups: dict[str, list[float]] = {}
     histograms: list[dict] = []
     counters: list[tuple[str, float]] = []
@@ -131,18 +146,36 @@ def summarize_manifest(path: str | Path, limit: int = 10) -> str:
 
     lines = [f"# scaltool obs top — {path}"]
     if groups:
-        ranked = sorted(
-            groups.items(), key=lambda item: (-sum(item[1]), item[0])
-        )[: max(1, limit)]
+        totals = {p: sum(d) for p, d in groups.items()}
+        selfs = dict(totals)
+        for p, total in totals.items():
+            parent = p.rsplit("/", 1)[0] if "/" in p else None
+            if parent in selfs:
+                selfs[parent] = max(0.0, selfs[parent] - total)
+        values = {
+            "total": totals,
+            "self": selfs,
+            "count": {p: float(len(d)) for p, d in groups.items()},
+        }[sort]
+
+        def rank_key(item):
+            span_path, _durations = item
+            name = span_path.rsplit("/", 1)[-1]
+            return (-values[span_path], name, span_path)
+
+        ranked = sorted(groups.items(), key=rank_key)[: max(1, limit)]
         lines.append("")
-        lines.append(f"Slowest span paths (top {len(ranked)} by total time):")
+        lines.append(f"Slowest span paths (top {len(ranked)} by {sort}):")
         for span_path, durations in ranked:
             total = sum(durations)
             worst = max(durations)
-            lines.append(
+            line = (
                 f"  {span_path:.<52s} {_fmt_seconds(total)}  "
                 f"count={len(durations)} max={worst:.4g}s"
             )
+            if sort == "self":
+                line += f" self={selfs[span_path]:.4g}s"
+            lines.append(line)
     if histograms:
         lines.append("")
         lines.append("Histograms:")

@@ -19,6 +19,7 @@ from typing import Callable
 
 from . import runtime as obs
 from .logs import get_logger
+from .sampler import DEFAULT_INTERVAL_S, SampleProfile, Sampler
 
 __all__ = ["ProfileResult", "profile_workload"]
 
@@ -32,6 +33,7 @@ class ProfileResult:
     session: obs.ObsSession
     campaign: object  # CampaignData
     analysis: object | None  # ScalToolAnalysis, None when run_analysis=False
+    line_profile: SampleProfile | None = None  # set by line_profile=True
 
 
 def profile_workload(
@@ -42,6 +44,9 @@ def profile_workload(
     run_analysis: bool = True,
     progress: "Callable[[int, int, object], None] | None" = None,
     executor=None,
+    line_profile: bool = False,
+    sample_interval: float = DEFAULT_INTERVAL_S,
+    sample_memory: bool = False,
     **workload_params,
 ) -> ProfileResult:
     """Profile one workload end to end.
@@ -54,6 +59,12 @@ def profile_workload(
     run's session to disk and merges it back in plan order (see
     :mod:`repro.obs.spool`), so the profile is structurally identical to
     a serial one — only the timing values differ.
+
+    With ``line_profile=True`` a statistical :class:`Sampler` runs for
+    the whole window, attributing every sample to the open span — this
+    is ``scaltool profile --lines``.  Parallel executors hand sampling
+    down to their pool workers (folded profiles ride the span spools),
+    so the merged line profile covers worker activity too.
     """
     # Imports deferred: obs is a leaf dependency of the layers it observes.
     from ..core import ScalTool
@@ -64,6 +75,11 @@ def profile_workload(
     owns_session = session is None
     if owns_session:
         session = obs.enable()
+    sampler = (
+        Sampler(interval_s=sample_interval, memory=sample_memory)
+        if line_profile
+        else None
+    )
     try:
         workload = make_workload(workload_name, **workload_params)
         size = s0 if s0 is not None else workload.default_size()
@@ -71,24 +87,38 @@ def profile_workload(
         with session.tracer.span(
             "profile", workload=workload.name, s0=size, counts=list(processor_counts)
         ):
-            t0 = time.perf_counter()
-            campaign = ScalToolCampaign(
-                workload, config, machine_factory=machine_factory
-            ).run(progress=progress, executor=executor)
-            session.registry.set_gauge("profile.campaign_seconds", time.perf_counter() - t0)
+            if sampler is not None:
+                sampler.start()
+            try:
+                t0 = time.perf_counter()
+                campaign = ScalToolCampaign(
+                    workload, config, machine_factory=machine_factory
+                ).run(progress=progress, executor=executor)
+                session.registry.set_gauge(
+                    "profile.campaign_seconds", time.perf_counter() - t0
+                )
 
-            analysis = None
-            if run_analysis:
-                t1 = time.perf_counter()
-                analysis = ScalTool(campaign).analyze()
-                session.registry.set_gauge("profile.analysis_seconds", time.perf_counter() - t1)
+                analysis = None
+                if run_analysis:
+                    t1 = time.perf_counter()
+                    analysis = ScalTool(campaign).analyze()
+                    session.registry.set_gauge(
+                        "profile.analysis_seconds", time.perf_counter() - t1
+                    )
+            finally:
+                profile = sampler.stop() if sampler is not None else None
+        if profile is not None:
+            session.registry.set_gauge("profile.samples", float(profile.n_samples))
+            session.registry.set_gauge("profile.overhead_ratio", profile.overhead_ratio())
         _log.debug(
             "profiled %s: %d runs, %d spans",
             workload.name,
             len(campaign.records),
             len(session.tracer.records),
         )
-        return ProfileResult(session=session, campaign=campaign, analysis=analysis)
+        return ProfileResult(
+            session=session, campaign=campaign, analysis=analysis, line_profile=profile
+        )
     finally:
         if owns_session:
             obs.disable()

@@ -18,7 +18,13 @@ directory is ever created — disabled mode stays file-free.
 
 Format: JSON lines — one ``meta`` object (pid, wall epoch, spec key),
 then the worker session's span records in start order, then one
-``metrics`` object holding the registry's raw dump.
+``metrics`` object holding the registry's raw dump, then (when the
+worker sampled itself) one ``sampler`` object holding the folded-stack
+:class:`~repro.obs.sampler.SampleProfile`.  Sampler profiles merge the
+same way spans graft: the worker's span paths are re-parented under the
+span open in the parent at merge time, so a worker's
+``engine.execute/machine.run/...`` samples land on the exact span path
+a serial execution would have attributed them to.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from pathlib import Path
 from .logs import get_logger, kv
 from .metrics import MetricsRegistry
 from .runtime import ObsSession
+from .sampler import SampleProfile
 from .spans import SpanRecord, Tracer
 
 __all__ = ["SpoolDir", "write_spool", "read_spool", "merge_spool"]
@@ -51,8 +58,14 @@ class SpoolDir:
         shutil.rmtree(self.root, ignore_errors=True)
 
 
-def write_spool(path: str | Path, session: ObsSession, meta: dict | None = None) -> Path:
-    """Serialise a worker session to ``path`` (meta, spans, metrics dump)."""
+def write_spool(
+    path: str | Path,
+    session: ObsSession,
+    meta: dict | None = None,
+    sampler: SampleProfile | None = None,
+) -> Path:
+    """Serialise a worker session to ``path`` (meta, spans, metrics dump,
+    and optionally the worker's folded-stack sampling profile)."""
     import os
 
     path = Path(path)
@@ -72,17 +85,25 @@ def write_spool(path: str | Path, session: ObsSession, meta: dict | None = None)
     lines.append(
         json.dumps({"kind": "metrics", **session.registry.dump()}, sort_keys=True)
     )
+    if sampler is not None:
+        lines.append(
+            json.dumps({"kind": "sampler", "profile": sampler.to_dict()}, sort_keys=True)
+        )
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
     tmp.write_text("\n".join(lines) + "\n")
     os.replace(tmp, path)
     return path
 
 
-def read_spool(path: str | Path) -> tuple[dict, list[SpanRecord], dict]:
-    """``(meta, spans in start order, metrics dump)`` from one spool file."""
+def read_spool(
+    path: str | Path,
+) -> tuple[dict, list[SpanRecord], dict, SampleProfile | None]:
+    """``(meta, spans in start order, metrics dump, sampler profile or
+    None)`` from one spool file."""
     meta: dict = {}
     spans: list[SpanRecord] = []
     metrics: dict = {}
+    sampler: SampleProfile | None = None
     for line in Path(path).read_text().splitlines():
         if not line.strip():
             continue
@@ -90,6 +111,8 @@ def read_spool(path: str | Path) -> tuple[dict, list[SpanRecord], dict]:
         kind = obj.get("kind")
         if kind == "meta":
             meta = obj
+        elif kind == "sampler":
+            sampler = SampleProfile.from_dict(obj.get("profile", {}))
         elif kind == "span":
             spans.append(
                 SpanRecord(
@@ -104,26 +127,35 @@ def read_spool(path: str | Path) -> tuple[dict, list[SpanRecord], dict]:
             )
         elif kind == "metrics":
             metrics = {k: v for k, v in obj.items() if k != "kind"}
-    return meta, spans, metrics
+    return meta, spans, metrics, sampler
 
 
 def merge_spool(
-    path: str | Path, tracer: Tracer, registry: MetricsRegistry
+    path: str | Path,
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    profile: SampleProfile | None = None,
 ) -> bool:
     """Merge one worker spool into the parent session; False if unreadable.
 
     Spans graft under the currently open parent span (the engine keeps
     ``engine.run`` open while merging, exactly where a serial execution
     would have nested them); worker start offsets are re-anchored via the
-    wall-clock epochs of the two sessions.  A missing or corrupt spool is
+    wall-clock epochs of the two sessions.  With a ``profile``, a spooled
+    worker sampling profile merges into it under the same open-span
+    prefix the grafted spans receive.  A missing or corrupt spool is
     never fatal — the run record itself already made it back in-band.
     """
     try:
-        meta, spans, metrics = read_spool(path)
+        meta, spans, metrics, worker_profile = read_spool(path)
     except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
         _log.warning("worker spool unreadable, dropping %s", kv(path=path, reason=exc))
         return False
     offset = float(meta.get("wall_epoch", tracer.wall_epoch)) - tracer.wall_epoch
+    stack = getattr(tracer, "_stack", None)
+    span_prefix = stack[-1].path if stack else ""
     tracer.graft(spans, start_offset=offset)
     registry.merge_dump(metrics)
+    if profile is not None and worker_profile is not None:
+        profile.merge(worker_profile, span_prefix=span_prefix)
     return True

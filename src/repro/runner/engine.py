@@ -48,6 +48,7 @@ from ..errors import ConfigError, CounterFormatError, TransientRunError
 from ..machine.config import MachineConfig
 from ..obs import lineage
 from ..obs import runtime as obs
+from ..obs import sampler as obs_sampler
 from ..obs import spool as obs_spool
 from ..obs.logs import get_logger, kv
 from ..obs.trace import TraceHandle
@@ -324,7 +325,10 @@ def default_run_cache() -> RunCache:
 
 
 def _timed_execute(
-    execute_fn: Callable[[RunSpec], RunRecord], spec: RunSpec, spool_path: str | None = None
+    execute_fn: Callable[[RunSpec], RunRecord],
+    spec: RunSpec,
+    spool_path: str | None = None,
+    sample_interval: float | None = None,
 ):
     """Worker body: run one spec, report its wall time (module-level: picklable).
 
@@ -333,13 +337,21 @@ def _timed_execute(
     — this is how ``scaltool profile --jobs N`` sees worker activity.
     The span structure mirrors the serial path exactly (an
     ``engine.execute`` root wrapping the run), so merged parallel
-    sessions are structurally identical to serial ones.
+    sessions are structurally identical to serial ones.  With
+    ``sample_interval``, the worker also samples its own stacks (the
+    parent's sampler cannot see across the process boundary) and spools
+    the folded profile beside the spans for the same plan-order merge.
     """
     if spool_path is None:
         t0 = time.perf_counter()
         record = execute_fn(spec)
         return record, time.perf_counter() - t0, os.getpid()
     session = obs.enable()
+    sampler = (
+        obs_sampler.Sampler(interval_s=sample_interval)
+        if sample_interval is not None
+        else None
+    )
     try:
         t0 = time.perf_counter()
         with session.tracer.span(
@@ -349,11 +361,14 @@ def _timed_execute(
             size=spec.size_bytes,
             n=spec.n_processors,
         ):
+            if sampler is not None:
+                sampler.start()
             record = execute_fn(spec)
         seconds = time.perf_counter() - t0
     finally:
+        profile = sampler.stop() if sampler is not None else None
         obs.disable()
-    obs_spool.write_spool(spool_path, session, meta={"spec": spec.key()})
+    obs_spool.write_spool(spool_path, session, meta={"spec": spec.key()}, sampler=profile)
     return record, seconds, os.getpid()
 
 
@@ -589,13 +604,23 @@ class ParallelExecutor(Executor):
         # the spools in plan order, so the merged session is structurally
         # identical to what a SerialExecutor would have recorded.
         spool = obs_spool.SpoolDir() if obs.is_enabled() else None
+        # With a live sampler, the pool workers sample themselves (the
+        # parent cannot see their stacks) and spool folded profiles; the
+        # parent sampler pauses meanwhile so the batch is not double
+        # counted as time spent waiting in concurrent.futures.
+        parent_sampler = obs_sampler.active_sampler() if spool is not None else None
+        sample_interval = parent_sampler.interval_s if parent_sampler is not None else None
         attempts = {i: 0 for i, _ in pending}
+        if parent_sampler is not None:
+            parent_sampler.pause()
         try:
             with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
 
                 def submit(i: int, spec: RunSpec):
                     path = str(spool.path(i)) if spool is not None else None
-                    return pool.submit(_timed_execute, self._execute_fn, spec, path)
+                    return pool.submit(
+                        _timed_execute, self._execute_fn, spec, path, sample_interval
+                    )
 
                 futures = {}
                 for i, spec in pending:
@@ -617,11 +642,14 @@ class ParallelExecutor(Executor):
                         yield i, record, seconds, attempts[i], pid
             if spool is not None:
                 tracer, registry = obs.tracer(), obs.registry()
+                profile = parent_sampler.profile if parent_sampler is not None else None
                 for i, _spec in pending:
                     path = spool.path(i)
                     if path.exists():
-                        obs_spool.merge_spool(path, tracer, registry)
+                        obs_spool.merge_spool(path, tracer, registry, profile=profile)
         finally:
+            if parent_sampler is not None:
+                parent_sampler.resume()
             if spool is not None:
                 spool.cleanup()
 

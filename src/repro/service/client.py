@@ -299,6 +299,14 @@ class ServiceClient:
         single-process server."""
         return self._request("GET", "/v1/workers")[1]
 
+    def profile(self, seconds: float = 1.0, interval_ms: float = 5.0) -> dict:
+        """Sample the serving process(es) for ``seconds`` (``GET
+        /v1/profile``); against a dispatcher the answer is the merged
+        profile of every worker.  Render with ``scaltool obs hot``."""
+        query = f"/v1/profile?seconds={float(seconds)}&interval_ms={float(interval_ms)}"
+        timeout = max(self.timeout, min(float(seconds), 30.0) + 45.0)
+        return self._request("GET", query, timeout=timeout)[1]
+
     def metrics(self) -> str:
         """The raw Prometheus text exposition from ``GET /metrics``."""
         status, _, raw = self._raw("GET", "/metrics")

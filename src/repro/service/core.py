@@ -593,6 +593,43 @@ class AnalysisService:
             "spans": [s.to_dict() for s in live],
         }
 
+    def profile_view(self, seconds: float = 1.0, interval: float = 0.005) -> dict:
+        """``GET /v1/profile``: sample this process for ``seconds``.
+
+        Runs a :class:`~repro.obs.sampler.Sampler` over **all** threads
+        (the handler thread calling this is just sleeping; the work is
+        on the executor pool and the asyncio loop), so the answer to
+        "what is this worker doing right now" covers the threads doing
+        it.  The window is clamped to [0.05, 30] s so a handler thread
+        can never be parked indefinitely; the sampler's self-measured
+        ``scaltool_profile_overhead_ratio`` gauge is updated on every
+        call, which is how the overhead budget stays observable in
+        production.
+        """
+        from ..obs.sampler import Sampler
+
+        seconds = max(0.05, min(float(seconds), 30.0))
+        interval = max(0.001, min(float(interval), 1.0))
+        self.telemetry.inc("profile.requests")
+        obs.registry().inc("profile.requests")
+        with obs.tracer().span("profile.sample", seconds=seconds):
+            sampler = Sampler(interval_s=interval, all_threads=True)
+            sampler.start()
+            try:
+                time.sleep(seconds)
+            finally:
+                profile = sampler.stop()
+        ratio = profile.overhead_ratio()
+        self.telemetry.set_gauge("profile.overhead_ratio", ratio)
+        self.telemetry.set_gauge("profile.samples", float(profile.n_samples))
+        return {
+            "seconds": seconds,
+            "interval_s": interval,
+            "shard": self.config.shard_index,
+            "pid": os.getpid(),
+            "profile": profile.to_dict(),
+        }
+
     def health(self) -> dict:
         """The liveness view served by ``GET /healthz``."""
         with self._lock:

@@ -20,8 +20,10 @@ SQLite claim table underneath.
 
 Whole-system views fan out and merge: ``/healthz`` and ``/v1/stats``
 aggregate worker answers, ``/metrics`` merges the Prometheus
-expositions (:func:`repro.obs.telemetry.merge_prometheus`), and
-``GET /v1/jobs`` merges listings.  Responses proxied from a worker
+expositions (:func:`repro.obs.telemetry.merge_prometheus`),
+``GET /v1/jobs`` merges listings, and ``GET /v1/profile`` folds every
+worker's sampling profile into one
+(:meth:`repro.obs.sampler.SampleProfile.merge`).  Responses proxied from a worker
 carry ``X-Scaltool-Worker: <shard>`` for observability.
 
 Supervision: a background thread restarts any worker that dies (the
@@ -464,6 +466,55 @@ class Dispatcher:
             },
         }
 
+    def profile_view(self, raw_query: str) -> dict:
+        """Merged ``GET /v1/profile``: every worker samples itself, the
+        dispatcher folds the profiles into one.
+
+        The merge is the same deterministic fold the engine uses for
+        worker spools (:meth:`repro.obs.sampler.SampleProfile.merge`),
+        so the merged ``profile`` object is byte-stable in structure —
+        same keys, same sort orders — regardless of worker count or
+        reply arrival order.
+        """
+        from ..obs.sampler import SampleProfile
+        from .http import _profile_params
+
+        seconds, interval_s = _profile_params(raw_query)
+        downstream = "/v1/profile"
+        if raw_query:
+            downstream += f"?{raw_query}"
+        # The budget covers the workers' own sampling windows (clamped
+        # worker-side to <= 30 s) plus transport slack.
+        answers = self.fan_out("GET", downstream, timeout=min(seconds, 30.0) + 30.0)
+        merged = SampleProfile(interval_s=max(0.001, min(interval_s, 1.0)))
+        workers = []
+        for handle, status, payload in answers:
+            if status != 200:
+                continue
+            try:
+                view = json.loads(payload)
+            except json.JSONDecodeError:  # pragma: no cover - torn worker reply
+                continue
+            worker_profile = SampleProfile.from_dict(view.get("profile", {}))
+            merged.merge(worker_profile)
+            workers.append(
+                {
+                    "shard": view.get("shard"),
+                    "pid": view.get("pid"),
+                    "n_samples": worker_profile.n_samples,
+                    "overhead_ratio": worker_profile.overhead_ratio(),
+                }
+            )
+        workers.sort(key=lambda w: (w["shard"] is None, w["shard"]))
+        self._tally("profile.requests")
+        return {
+            "seconds": seconds,
+            "interval_s": interval_s,
+            "workers": workers,
+            "missing": self.worker_count - len(workers),
+            "profile": merged.to_dict(),
+        }
+
     def jobs_view(self, raw_query: str) -> dict:
         """Merged ``GET /v1/jobs``: filters pushed down, paging done here."""
         from urllib.parse import parse_qsl, urlencode
@@ -598,6 +649,8 @@ class _DispatchHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self.dispatcher.workers_view())
             elif parts == ["v1", "jobs"]:
                 self._send_json(200, self.dispatcher.jobs_view(raw_query))
+            elif parts == ["v1", "profile"]:
+                self._send_json(200, self.dispatcher.profile_view(raw_query))
             elif len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
                 # Job-scoped: status/result/trace/lineage/blame — long
                 # polls included — go to the job's home shard untouched.

@@ -26,6 +26,11 @@ Routes (JSON unless noted)::
     GET  /v1/jobs/<id>/lineage  -> 200 {"job","kind","state","health","lineage"}
     GET  /v1/jobs/<id>/blame    -> 200 {"job","kind","state","output","report",
                                     "lineage","trace_id","wall_seconds_by_n"}
+    GET  /v1/profile            -> 200 {"seconds","interval_s","shard","pid",
+         [?seconds=S&interval_ms=M]  "profile"}; samples this worker's threads
+                                   for S seconds (default 1, capped at 30) —
+                                   the line-level "what is this worker doing"
+                                   view (render with ``scaltool obs hot``)
     POST /v1/drain              -> 200 {"drained": true|false}
 
 Backpressure semantics: a full queue answers **429** and a draining
@@ -126,6 +131,31 @@ def _wait_param(raw_query: str) -> float:
                     f"bad 'wait': expected seconds, got {value!r}"
                 ) from exc
     return 0.0
+
+
+def _profile_params(raw_query: str) -> tuple[float, float]:
+    """``(seconds, interval_s)`` from a ``/v1/profile`` query string.
+
+    Values are validated here and clamped by the service; unknown
+    parameters are rejected so typos fail loudly instead of silently
+    profiling with defaults.
+    """
+    from urllib.parse import parse_qsl
+
+    seconds, interval_s = 1.0, 0.005
+    for name, value in parse_qsl(raw_query, keep_blank_values=True):
+        try:
+            if name == "seconds":
+                seconds = float(value)
+            elif name == "interval_ms":
+                interval_s = float(value) / 1e3
+            else:
+                raise ReproError(
+                    f"unknown query parameter {name!r}; expected seconds or interval_ms"
+                )
+        except ValueError as exc:
+            raise ReproError(f"bad {name!r}: expected a number, got {value!r}") from exc
+    return seconds, interval_s
 
 
 def _result_view(service: AnalysisService, job: Job) -> tuple[int, dict]:
@@ -229,6 +259,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, self.service.lineage(parts[2]))
             elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "blame":
                 self._send(200, self.service.blame(parts[2]))
+            elif parts == ["v1", "profile"]:
+                seconds, interval_s = _profile_params(raw_query)
+                self._send(200, self.service.profile_view(seconds, interval_s))
             else:
                 self._send(404, {"error": f"no route {self.path!r}"})
         except JobNotFoundError as exc:

@@ -11,6 +11,12 @@ configurable sampling period.
 
 This is the *only* consumer of the simulator's ground truth on the
 measurement side; Scal-Tool itself never sees it.
+
+The real sampling profiler (:mod:`repro.obs.sampler`, ``scaltool
+profile --lines``) renders through the same report path
+(:func:`format_sampled_report` / :func:`format_sampler_profile`): one
+row formatter for both tools, so the paper emulation and the live
+profiler cannot drift apart in presentation.
 """
 
 from __future__ import annotations
@@ -22,7 +28,14 @@ import numpy as np
 from ..errors import ValidationError
 from ..machine.system import RunResult
 
-__all__ = ["SpeedshopProfile", "profile_run", "profile_record", "ROUTINE_BUCKETS"]
+__all__ = [
+    "SpeedshopProfile",
+    "profile_run",
+    "profile_record",
+    "format_sampled_report",
+    "format_sampler_profile",
+    "ROUTINE_BUCKETS",
+]
 
 #: Routine names reported per bucket, mirroring the functions the paper
 #: lists for the MP measurement.
@@ -73,14 +86,56 @@ class SpeedshopProfile:
         return rows
 
     def format(self) -> str:
-        lines = [
+        return format_sampled_report(
             "speedshop PC-sampling profile",
-            f"  samples: {self.n_samples} (period {self.sampling_period} cycles)",
-            f"  total cycles: {self.total_cycles:,.0f}",
-        ]
-        for name, cycles in self.routine_table():
-            lines.append(f"  {name:<28s} {cycles:>16,.0f} ({cycles / max(self.total_cycles, 1):6.1%})")
-        return "\n".join(lines)
+            f"samples: {self.n_samples} (period {self.sampling_period} cycles)",
+            f"total cycles: {self.total_cycles:,.0f}",
+            self.routine_table(),
+            self.total_cycles,
+        )
+
+
+def format_sampled_report(
+    title: str,
+    sample_line: str,
+    total_line: str,
+    rows: list[tuple[str, float]],
+    total: float,
+) -> str:
+    """The shared speedshop-style report: title, two summary lines, then
+    one ``name  value (share)`` row per routine.
+
+    Both the paper emulation (:meth:`SpeedshopProfile.format`) and the
+    live sampler (:func:`format_sampler_profile`) render through this
+    single formatter — a format change lands in both or neither.
+    """
+    lines = [title, f"  {sample_line}", f"  {total_line}"]
+    for name, value in rows:
+        lines.append(f"  {name:<28s} {value:>16,.0f} ({value / max(total, 1):6.1%})")
+    return "\n".join(lines)
+
+
+def format_sampler_profile(profile, limit: int = 10) -> str:
+    """Render a live sampling profile the way speedshop reports routines.
+
+    ``profile`` is a :class:`repro.obs.sampler.SampleProfile` or its
+    ``to_dict()`` form; rows are the hottest functions by self samples
+    (the sampler's analogue of PC-sample hits per routine).
+    """
+    data = profile if isinstance(profile, dict) else profile.to_dict()
+    n_samples = int(data.get("n_samples", 0))
+    interval_ms = float(data.get("interval_s", 0.0)) * 1e3
+    rows = [
+        (row["func"][:28], float(row["self"]))
+        for row in (data.get("functions") or [])[: max(1, limit)]
+    ]
+    return format_sampled_report(
+        "sampler stack-sampling profile",
+        f"samples: {n_samples} (interval {interval_ms:.1f} ms)",
+        f"total seconds: {float(data.get('duration_s', 0.0)):,.3f}",
+        rows,
+        float(n_samples),
+    )
 
 
 def profile_record(

@@ -5,6 +5,7 @@ from .bars import stacked_bars
 from .blame_view import render_blame, render_blame_diff
 from .diagnostics_view import render_diagnostics, render_lineage
 from .models_view import render_model_fit, render_models_compare, render_models_predict
+from .sampler_view import render_hot_profile
 from .tables import format_table
 from .trace_view import render_trace
 
@@ -15,6 +16,7 @@ __all__ = [
     "render_blame",
     "render_blame_diff",
     "render_diagnostics",
+    "render_hot_profile",
     "render_lineage",
     "render_model_fit",
     "render_models_compare",

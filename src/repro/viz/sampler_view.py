@@ -1,0 +1,87 @@
+"""Render a sampling profile (``scaltool profile --lines`` / ``obs hot``).
+
+Takes the JSON-able dict form of :class:`repro.obs.sampler.SampleProfile`
+(so a freshly taken profile and one reloaded from a saved
+``hotpath_*.json`` artifact render identically) and produces the
+dotted-fill report idiom the rest of the tooling uses: hot lines with
+their span attribution, hot functions (self + cumulative), samples per
+span, and the sampler's own overhead accounting.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_hot_profile"]
+
+_FILL = 52
+
+
+def _clip(text: str, width: int) -> str:
+    return text if len(text) <= width else "…" + text[-(width - 1) :]
+
+
+def _pct(part: float, whole: float) -> str:
+    return f"{part / whole:6.1%}" if whole else "   0.0%"
+
+
+def render_hot_profile(data: dict, limit: int = 15, show_spans: bool = True) -> str:
+    """Text report for one profile dict (``SampleProfile.to_dict()``)."""
+    n = int(data.get("n_samples", 0))
+    interval = float(data.get("interval_s", 0.0))
+    lines = ["# scaltool hot-path report"]
+    lines.append(
+        f"# meta: samples={n} interval_ms={interval * 1e3:.1f} "
+        f"duration_s={float(data.get('duration_s', 0.0)):.3f} "
+        f"overhead_ratio={float(data.get('overhead_ratio', 1.0)):.4f}"
+    )
+    if not n:
+        lines.append("")
+        lines.append("(no samples recorded)")
+        lines.append("")
+        return "\n".join(lines)
+
+    rows = data.get("lines") or []
+    shown = rows[: max(1, limit)]
+    lines.append("")
+    lines.append(f"Hot lines (top {len(shown)} of {len(rows)} by self samples):")
+    for row in shown:
+        label = _clip(f"{row['file']}:{row['line']} {row['func']}", _FILL)
+        lines.append(
+            f"  {label:.<{_FILL}s} {row['self']:>7d} {_pct(row['self'], n)}"
+        )
+        if show_spans and row.get("spans"):
+            span, count = next(iter(row["spans"].items()))
+            lines.append(f"      └ {_clip(span, _FILL + 4)}  ({count} samples)")
+
+    funcs = data.get("functions") or []
+    shown_f = funcs[: max(1, limit)]
+    lines.append("")
+    lines.append(f"Hot functions (top {len(shown_f)} of {len(funcs)} by self samples):")
+    lines.append(f"  {'':<{_FILL}s} {'self':>7s} {'cumul':>7s}")
+    for row in shown_f:
+        label = _clip(f"{row['file']} {row['func']}", _FILL)
+        lines.append(
+            f"  {label:.<{_FILL}s} {row['self']:>7d} {row['cumulative']:>7d}"
+            f" {_pct(row['cumulative'], n)}"
+        )
+
+    spans = data.get("spans") or []
+    if show_spans and spans:
+        shown_s = spans[: max(1, limit)]
+        lines.append("")
+        lines.append(f"Samples per span (top {len(shown_s)} of {len(spans)}):")
+        for row in shown_s:
+            lines.append(
+                f"  {_clip(row['span'], _FILL):.<{_FILL}s} {row['samples']:>7d}"
+                f" {_pct(row['samples'], n)}"
+            )
+
+    memory = data.get("memory")
+    if memory:
+        lines.append("")
+        lines.append(f"Memory peak: {memory.get('peak_bytes', 0):,} bytes; top allocators:")
+        for entry in (memory.get("top") or [])[:5]:
+            label = _clip(f"{entry['file']}:{entry['line']}", _FILL)
+            lines.append(f"  {label:.<{_FILL}s} {entry['size_bytes']:>12,d} B")
+
+    lines.append("")
+    return "\n".join(lines)

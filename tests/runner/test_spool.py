@@ -14,11 +14,14 @@ no spool directory is ever created.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.obs import runtime as obs
 from repro.obs import spool as obs_spool
-from repro.runner.engine import ParallelExecutor, RunSpec, SerialExecutor
+from repro.obs.sampler import SampleProfile, Sampler
+from repro.runner.engine import ParallelExecutor, RunSpec, SerialExecutor, execute_spec
 
 from ..conftest import small_synthetic, tiny_machine_config
 
@@ -104,11 +107,46 @@ def test_spool_roundtrip_preserves_spans_and_metrics(tmp_path):
     session.registry.observe("lat", 0.5)
 
     path = obs_spool.write_spool(tmp_path / "run.jsonl", session, meta={"spec": "k"})
-    meta, spans, metrics = obs_spool.read_spool(path)
+    meta, spans, metrics, profile = obs_spool.read_spool(path)
     assert meta["spec"] == "k"
     assert [(s.path, s.depth) for s in spans] == [("outer", 0), ("outer/inner", 1)]
     assert metrics["counters"] == {"events": 3}
     assert metrics["histograms"] == {"lat": [0.5]}
+    assert profile is None  # no sampler ran in this worker
+
+
+def test_spool_roundtrip_preserves_sampler_profile(tmp_path):
+    session = obs.ObsSession()
+    worker_profile = SampleProfile(interval_s=0.002)
+    worker_profile.note("engine.execute/machine.run", ("a.py:f:1", "b.py:g:2"), 3)
+    worker_profile.duration_s = 0.5
+    worker_profile.overhead_s = 0.01
+
+    path = obs_spool.write_spool(tmp_path / "run.jsonl", session, sampler=worker_profile)
+    _meta, _spans, _metrics, profile = obs_spool.read_spool(path)
+    assert profile is not None
+    assert profile.counts == worker_profile.counts
+    assert profile.n_samples == 3
+    assert profile.interval_s == 0.002
+    assert profile.duration_s == 0.5
+
+
+def test_merge_spool_grafts_sampler_spans_under_open_span(tmp_path):
+    worker = obs.ObsSession()
+    worker_profile = SampleProfile()
+    worker_profile.note("engine.execute", ("a.py:f:1",), 2)
+    worker_profile.note("", ("b.py:g:2",), 1)  # sample outside any span
+    path = obs_spool.write_spool(tmp_path / "w.jsonl", worker, sampler=worker_profile)
+
+    parent = obs.ObsSession()
+    merged = SampleProfile()
+    with parent.tracer.span("engine.run"):
+        assert obs_spool.merge_spool(path, parent.tracer, parent.registry, profile=merged)
+    spans = {span for (span, _frames) in merged.counts}
+    # Worker span paths re-root under the span open at merge time; the
+    # span-less sample lands directly under it.
+    assert spans == {"engine.run/engine.execute", "engine.run"}
+    assert merged.n_samples == 3
 
 
 def test_merge_spool_grafts_under_open_span(tmp_path):
@@ -122,6 +160,68 @@ def test_merge_spool_grafts_under_open_span(tmp_path):
         assert obs_spool.merge_spool(path, parent.tracer, parent.registry)
     paths = [r.path for r in parent.tracer.in_start_order()]
     assert paths == ["engine.run", "engine.run/work"]
+
+
+def _hot_spin(deadline: float) -> int:
+    """A one-line busy loop every sampler tick must land on."""
+    x = 0
+    while time.perf_counter() < deadline:
+        x += 1
+    return x
+
+
+def _busy_execute(spec):
+    """Module-level (picklable) execute_fn: spin hot, then really run."""
+    _hot_spin(time.perf_counter() + 0.3)
+    return execute_spec(spec)
+
+
+def test_serial_and_parallel_profiles_sample_the_same_hot_frames():
+    """serial ≡ --jobs N for the folded-stack profile (timings aside).
+
+    The spin dominates every run, so both samplers must catch it; in
+    parallel mode the spin happens in pool workers while the parent
+    sampler is paused, so it can only appear via worker self-sampling
+    spooled back and merged — under the very span path the serial
+    profile records it at.
+    """
+    specs = _specs(counts=(1, 2), size=4 * 1024)
+
+    with obs.session():
+        sampler = Sampler(interval_s=0.001).start()
+        try:
+            SerialExecutor(execute_fn=_busy_execute).run(list(specs))
+        finally:
+            serial_profile = sampler.stop()
+
+    with obs.session():
+        sampler = Sampler(interval_s=0.001).start()
+        try:
+            ParallelExecutor(jobs=2, execute_fn=_busy_execute).run(list(specs))
+        finally:
+            parallel_profile = sampler.stop()
+
+    def hot_frames(profile):
+        return {
+            (file, func)
+            for file, func in profile.frame_set()
+            if func in ("_busy_execute", "_hot_spin")
+        }
+
+    assert hot_frames(serial_profile) == hot_frames(parallel_profile) != set()
+
+    def spin_spans(profile):
+        return {
+            span
+            for (span, frames) in profile.counts
+            if any(":_hot_spin:" in label for label in frames)
+        }
+
+    assert (
+        spin_spans(parallel_profile)
+        == spin_spans(serial_profile)
+        == {"engine.run/engine.execute"}
+    )
 
 
 def test_merge_spool_tolerates_garbage(tmp_path):

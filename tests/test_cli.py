@@ -381,3 +381,95 @@ class TestObservability:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["analyze", "--help"])
         assert "SCALTOOL_CACHE_DIR" in capsys.readouterr().out
+
+
+class TestObsTopAndHot:
+    @pytest.fixture
+    def manifest(self, tmp_path):
+        """Hand-built --metrics-out manifest with known span timings.
+
+        engine.run totals 3.0s but 2.5s of it is its child machine.run,
+        so the three sort orders disagree on purpose: total puts
+        engine.run first, self puts machine.run first, and count puts
+        the twice-recorded analysis.fit first.
+        """
+        records = [
+            {"kind": "span", "path": "engine.run", "duration_s": 3.0},
+            {"kind": "span", "path": "engine.run/machine.run", "duration_s": 2.5},
+            {"kind": "span", "path": "analysis.fit", "duration_s": 0.1},
+            {"kind": "span", "path": "analysis.fit", "duration_s": 0.1},
+        ]
+        path = tmp_path / "m.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return path
+
+    def test_obs_top_default_sorts_by_total(self, manifest, capsys):
+        assert main(["obs", "top", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "Slowest span paths (top 3 by total):" in out
+        order = [l for l in out.splitlines() if l.startswith("  ")]
+        assert order[0].startswith("  engine.run.")
+        assert " self=" not in out
+
+    def test_obs_top_sort_self_promotes_leaf_work(self, manifest, capsys):
+        assert main(["obs", "top", str(manifest), "--sort", "self"]) == 0
+        out = capsys.readouterr().out
+        assert "by self" in out
+        rows = [l for l in out.splitlines() if l.startswith("  ")]
+        # machine.run keeps all 2.5s to itself; engine.run keeps only 0.5s.
+        assert rows[0].startswith("  engine.run/machine.run")
+        assert all(" self=" in row for row in rows)
+        assert "self=0.5s" in rows[1] or "self=0.5" in rows[1]
+
+    def test_obs_top_sort_count_and_deterministic_ties(self, manifest, capsys):
+        assert main(["obs", "top", str(manifest), "--sort", "count"]) == 0
+        rows = [
+            l for l in capsys.readouterr().out.splitlines() if l.startswith("  ")
+        ]
+        assert rows[0].startswith("  analysis.fit")
+        # engine.run and machine.run tie at count=1: name-then-path order
+        # ("engine.run" < "machine.run" on the last path segment).
+        assert rows[1].startswith("  engine.run.")
+        assert rows[2].startswith("  engine.run/machine.run")
+
+    def test_obs_top_rejects_unknown_sort(self, manifest):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "top", str(manifest), "--sort", "wall"])
+
+    @pytest.fixture
+    def hotpath_artifact(self, tmp_path):
+        from repro.obs.sampler import SampleProfile
+
+        profile = SampleProfile(interval_s=0.005)
+        profile.note(
+            "profile/engine.run",
+            ("repro/runner/engine.py:run:10", "repro/machine/cache.py:insert:120"),
+            7,
+        )
+        profile.duration_s = 0.035
+        path = tmp_path / "hotpath.json"
+        path.write_text(json.dumps({"kind": "hotpath", "profile": profile.to_dict()}))
+        return path
+
+    def test_obs_hot_renders_saved_artifact(self, hotpath_artifact, capsys):
+        assert main(["obs", "hot", str(hotpath_artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "# scaltool hot-path report" in out
+        assert "samples=7" in out
+        assert "repro/machine/cache.py:120 insert" in out
+        assert "profile/engine.run" in out
+
+    def test_obs_hot_accepts_bare_profile_and_reemits_flame(
+        self, hotpath_artifact, tmp_path, capsys
+    ):
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(json.loads(hotpath_artifact.read_text())["profile"]))
+        flame = tmp_path / "stacks.folded"
+        assert main(["obs", "hot", str(bare), "--flame", str(flame)]) == 0
+        out = capsys.readouterr().out
+        assert "# scaltool hot-path report" in out
+        assert str(flame) in out
+        assert flame.read_text() == (
+            "profile/engine.run;repro/runner/engine.py:run:10;"
+            "repro/machine/cache.py:insert:120 7\n"
+        )

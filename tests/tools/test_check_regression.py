@@ -68,7 +68,7 @@ def test_main_exit_codes_with_stub_baselines(tmp_path, monkeypatch, capsys):
     (tmp_path / "obs_overhead.json").write_text(
         json.dumps({"ratio": 1.0, "hook_fraction": 0.002})
     )
-    args = ["--skip-load", "--baseline-dir", str(tmp_path)]
+    args = ["--skip-load", "--skip-profiler", "--baseline-dir", str(tmp_path)]
     assert cr.main(args) == 1
     assert cr.main(args + ["--report-only"]) == 0
     assert cr.main(args + ["--threshold", "1.5"]) == 0
@@ -81,5 +81,26 @@ def test_main_hook_fraction_contract_fails_even_without_baseline(tmp_path, monke
         "benchmarks.bench_obs_overhead.measure",
         lambda repeats=5: {"ratio": 1.0, "hook_fraction": 0.5},
     )
-    assert main(["--skip-load", "--baseline-dir", str(tmp_path)]) == 1
-    assert main(["--skip-load", "--baseline-dir", str(tmp_path), "--report-only"]) == 0
+    args = ["--skip-load", "--skip-profiler", "--baseline-dir", str(tmp_path)]
+    assert main(args) == 1
+    assert main(args + ["--report-only"]) == 0
+
+
+def test_main_profiler_budget_fails_even_without_baseline(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        "benchmarks.bench_obs_overhead.measure",
+        lambda repeats=5: {"ratio": 1.0, "hook_fraction": 0.002},
+    )
+    monkeypatch.setattr(
+        "benchmarks.bench_profiler_overhead.measure",
+        lambda repeats=5: {"overhead_ratio": 1.25, "tick_fraction": 0.01},
+    )
+    args = ["--skip-load", "--baseline-dir", str(tmp_path)]
+    assert main(args) == 1
+    assert main(args + ["--report-only"]) == 0
+    # Under budget, the absolute gate stays quiet.
+    monkeypatch.setattr(
+        "benchmarks.bench_profiler_overhead.measure",
+        lambda repeats=5: {"overhead_ratio": 1.03, "tick_fraction": 0.01},
+    )
+    assert main(args) == 0

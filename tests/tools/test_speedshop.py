@@ -1,10 +1,17 @@
 """speedshop PC-sampling emulation."""
 
+import re
+
 import pytest
 
 from repro.errors import ValidationError
 from repro.runner.records import RunRecord
-from repro.tools.speedshop import profile_record, profile_run
+from repro.obs.sampler import SampleProfile
+from repro.tools.speedshop import (
+    format_sampler_profile,
+    profile_record,
+    profile_run,
+)
 
 from ..conftest import small_synthetic
 
@@ -55,3 +62,46 @@ class TestProfile:
         rec = RunRecord.from_result(result).without_ground_truth()
         with pytest.raises(ValidationError):
             profile_record(rec)
+
+
+class TestSharedReportPath:
+    """The paper emulation and the live line sampler render through one
+    formatter — a tiny campaign's worth of each must parse with the same
+    row regex (the satellite reconciling speedshop with the sampler)."""
+
+    ROW = re.compile(r"^  (\S+)\s+([\d,]+) \(\s*([\d.]+)%\)$")
+
+    def _parse(self, report: str) -> list[tuple[str, float]]:
+        rows = []
+        lines = report.splitlines()
+        assert len(lines) >= 3, report
+        # Shared shape: title line, two indented summary lines, rows.
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  ") and lines[2].startswith("  ")
+        for line in lines[3:]:
+            m = self.ROW.match(line)
+            assert m, f"row does not match shared format: {line!r}"
+            rows.append((m.group(1), float(m.group(2).replace(",", ""))))
+        return rows
+
+    def test_speedshop_and_sampler_share_row_format(self, result):
+        speedshop_report = profile_run(result, exact=True).format()
+
+        profile = SampleProfile(interval_s=0.005)
+        profile.note("run", ("repro/machine/cache.py:insert:120",), 9)
+        profile.note("run", ("repro/machine/cache.py:insert:120", "repro/machine/cache.py:touch:117"), 4)
+        profile.duration_s = 0.065
+        sampler_report = format_sampler_profile(profile)
+
+        speedshop_rows = self._parse(speedshop_report)
+        sampler_rows = self._parse(sampler_report)
+        assert [n for n, _ in speedshop_rows] == [
+            n for n, _ in profile_run(result, exact=True).routine_table()
+        ]
+        assert sampler_rows == [("insert", 9.0), ("touch", 4.0)]
+        assert "samples:" in speedshop_report and "samples:" in sampler_report
+
+    def test_sampler_report_accepts_dict_form(self):
+        profile = SampleProfile()
+        profile.note("", ("a.py:f:1",), 2)
+        assert format_sampler_profile(profile) == format_sampler_profile(profile.to_dict())
